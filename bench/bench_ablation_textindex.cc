@@ -1,0 +1,82 @@
+// Ablation for the full-text index (paper Section 7.1: "the triplestore
+// employs a traditional full-text index to provide a faster response time
+// for the task of resolving keywords to IRIs"). We compare the inverted
+// keyword index against a full scan over every string literal in the
+// dictionary.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "util/string_utils.h"
+
+namespace {
+
+// Keyword resolution by scanning all string literals (no index).
+std::vector<re2xolap::rdf::TermId> ScanMatch(
+    const re2xolap::rdf::TripleStore& store, const std::string& query) {
+  std::vector<re2xolap::rdf::TermId> out;
+  store.dictionary().ForEach(
+      [&](re2xolap::rdf::TermId id, const re2xolap::rdf::Term& t) {
+        if (!t.is_literal() ||
+            t.literal_type != re2xolap::rdf::LiteralType::kString) {
+          return;
+        }
+        if (re2xolap::util::ContainsIgnoreCase(t.value, query)) {
+          out.push_back(id);
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace re2xolap;
+  using namespace re2xolap::bench;
+
+  const std::vector<std::string> kQueries = {
+      "Germany", "2014", "Asia", "October 2014", "High income"};
+  constexpr int kReps = 200;
+
+  std::cout << "=== Ablation: inverted text index vs full literal scan "
+               "===\n\n";
+  util::TablePrinter t({"Dataset", "Indexed literals", "Index (us/lookup)",
+                        "Scan (us/lookup)", "Speedup"});
+
+  for (const std::string& name : AllDatasets()) {
+    BenchEnv env = MakeEnv(name, DefaultObservations(name) / 2);
+
+    util::WallTimer timer;
+    size_t checksum_idx = 0;
+    for (int r = 0; r < kReps; ++r) {
+      for (const std::string& q : kQueries) {
+        checksum_idx += env.text->Match(q).size();
+      }
+    }
+    double index_us =
+        timer.ElapsedMicros() / (kReps * kQueries.size());
+
+    timer.Restart();
+    size_t checksum_scan = 0;
+    for (int r = 0; r < kReps / 20 + 1; ++r) {  // scans are slow; fewer reps
+      for (const std::string& q : kQueries) {
+        checksum_scan += ScanMatch(env.store(), q).size();
+      }
+    }
+    double scan_us =
+        timer.ElapsedMicros() / ((kReps / 20 + 1) * kQueries.size());
+
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.0fx",
+                  index_us > 0 ? scan_us / index_us : 0.0);
+    t.AddRow({name, std::to_string(env.text->indexed_literal_count()),
+              Ms(index_us), Ms(scan_us), speedup});
+    // Keep the checksums live so the loops are not optimized away.
+    if (checksum_idx == 0 && checksum_scan == ~size_t{0}) std::cout << "";
+  }
+  t.Print(std::cout);
+  std::cout << "\nShape check: the index keeps keyword->member resolution "
+               "(Algorithm 1, line 3) effectively constant-time, enabling "
+               "interactive synthesis on KGs with many literals.\n";
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces the paper's Figure 6c: system bootstrap time (building the
+// Virtual Schema Graph + text index) per dataset, plus an observation-count
+// sweep demonstrating the paper's claim that bootstrap cost is driven by
+// schema complexity (members/attributes), with the store's data-serving
+// cost as the dominating factor — not by the raw observation count alone.
+//
+// Paper reference: bootstrap takes ~25 min (DBpedia) to ~60 min (Eurostat)
+// against Virtuoso over the full dumps; here the store is in-process and
+// datasets are scaled, so absolute numbers are smaller. The shape that must
+// hold: bootstrap scales with what the store must serve (members visited,
+// scans), and per-dataset ordering follows schema/member complexity.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace re2xolap;
+  using namespace re2xolap::bench;
+
+  std::cout << "=== Figure 6c: bootstrap time per dataset ===\n\n";
+  util::TablePrinter t({"Dataset", "#Obs", "Generate (ms)", "VGraph (ms)",
+                        "TextIndex (ms)", "Bootstrap total (ms)",
+                        "Store scans", "Members visited"});
+  for (const std::string& name : AllDatasets()) {
+    uint64_t obs = DefaultObservations(name);
+    BenchEnv env = MakeEnv(name, obs);
+    t.AddRow({name, std::to_string(obs), Ms(env.generate_millis),
+              Ms(env.vsg_millis), Ms(env.text_millis),
+              Ms(env.vsg_millis + env.text_millis),
+              std::to_string(env.vsg_stats.store_scans),
+              std::to_string(env.vsg_stats.members_visited)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\n=== Sweep: Eurostat bootstrap vs observation count ===\n"
+               "(the virtual-graph hierarchy crawl is schema-bound; only the "
+               "observation-classification pass scales with #obs)\n\n";
+  util::TablePrinter sweep({"#Obs", "VGraph (ms)", "Schema crawl scans",
+                            "Levels", "Members"});
+  for (uint64_t obs : {10000u, 40000u, 160000u}) {
+    BenchEnv env = MakeEnv("Eurostat", obs);
+    sweep.AddRow({std::to_string(obs), Ms(env.vsg_millis),
+                  std::to_string(env.vsg_stats.store_scans),
+                  std::to_string(env.vsg->level_count()),
+                  std::to_string(env.vsg->total_members())});
+  }
+  sweep.Print(std::cout);
+  std::cout << "\nShape check: levels/members saturate once every member is "
+               "referenced; VGraph build time grows only with the linear "
+               "observation scan, not with schema work.\n";
+  return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef RE2XOLAP_CORE_DESCRIBE_H_
+#define RE2XOLAP_CORE_DESCRIBE_H_
+
+#include <string>
+
+#include "core/virtual_schema_graph.h"
+#include "rdf/triple_store.h"
+
+namespace re2xolap::core {
+
+/// Natural-language presentation of synthesized queries (paper Section
+/// 5.1, "Presenting Query Interpretations"): RDF keeps schema annotations
+/// alongside the data, so names are taken from rdfs:label declarations on
+/// predicates and IRIs when available, falling back to prettified IRI
+/// local names ("countryDestination" -> "Country Destination") otherwise.
+
+/// Display name of any term: its rdfs:label if one exists in the store,
+/// otherwise the prettified local name (IRIs) or lexical form (literals).
+std::string DisplayName(const rdf::TripleStore& store, rdf::TermId term);
+
+/// Display name for a term given by IRI; falls back to prettifying the
+/// IRI itself when it is not in the store.
+std::string DisplayNameOfIri(const rdf::TripleStore& store,
+                             const std::string& iri);
+
+/// "Country Destination" or "Ref Period / Year": the labels of the
+/// predicates along a level path, joined with " / ".
+std::string DescribePath(const rdf::TripleStore& store,
+                         const LevelPath& path);
+
+}  // namespace re2xolap::core
+
+#endif  // RE2XOLAP_CORE_DESCRIBE_H_

@@ -1,0 +1,69 @@
+#ifndef RE2XOLAP_CORE_QB4OLAP_H_
+#define RE2XOLAP_CORE_QB4OLAP_H_
+
+#include <string>
+
+#include "core/virtual_schema_graph.h"
+#include "rdf/triple_store.h"
+#include "util/result.h"
+
+namespace re2xolap::core {
+
+/// QB4OLAP-style vocabulary (paper Section 2/3: the QB and QB4OLAP
+/// vocabularies describe multi-dimensional cubes in RDF; the paper's
+/// system can also run on graphs carrying such annotations). We emit a
+/// compact dialect sufficient to reconstruct the Virtual Schema Graph
+/// without re-crawling the data.
+namespace qb4o {
+inline constexpr char kDsdClass[] =
+    "http://purl.org/linked-data/cube#DataStructureDefinition";
+inline constexpr char kMeasure[] =
+    "http://purl.org/linked-data/cube#measure";
+inline constexpr char kLevelClass[] =
+    "http://purl.org/qb4olap/cubes#LevelProperty";
+inline constexpr char kHierarchyStepClass[] =
+    "http://purl.org/qb4olap/cubes#HierarchyStep";
+inline constexpr char kChildLevel[] =
+    "http://purl.org/qb4olap/cubes#childLevel";
+inline constexpr char kParentLevel[] =
+    "http://purl.org/qb4olap/cubes#parentLevel";
+inline constexpr char kRollupProperty[] =
+    "http://purl.org/qb4olap/cubes#rollupProperty";
+inline constexpr char kMemberOf[] =
+    "http://purl.org/qb4olap/cubes#memberOf";
+inline constexpr char kHasAttribute[] =
+    "http://purl.org/qb4olap/cubes#hasAttribute";
+inline constexpr char kRootLevel[] =
+    "http://purl.org/qb4olap/cubes#rootLevel";
+inline constexpr char kObservationAttribute[] =
+    "http://purl.org/qb4olap/cubes#observationAttribute";
+inline constexpr char kObservationClass[] =
+    "http://purl.org/qb4olap/cubes#observationClass";
+}  // namespace qb4o
+
+/// Serializes the virtual schema graph as QB4OLAP-style annotations added
+/// to `out` (commonly the data store itself, before a final Freeze()):
+/// one DataStructureDefinition node under `dataset_iri`, one LevelProperty
+/// node per level, one HierarchyStep per edge, `memberOf` links for every
+/// dimension member, plus measure / attribute declarations.
+util::Status ExportQb4OlapAnnotations(const rdf::TripleStore& data,
+                                      const VirtualSchemaGraph& vsg,
+                                      const std::string& dataset_iri,
+                                      const std::string& observation_class_iri,
+                                      rdf::TripleStore* out);
+
+/// Reconstructs a VirtualSchemaGraph from annotations previously written
+/// by ExportQb4OlapAnnotations into `store` (alongside the data). This is
+/// the fast bootstrap path for KGs that ship schema annotations: no data
+/// crawl at all. Returns NotFound when `dataset_iri` carries no
+/// annotations.
+util::Result<VirtualSchemaGraph> BuildFromQb4Olap(
+    const rdf::TripleStore& store, const std::string& dataset_iri);
+
+/// The observation class recorded in the annotations for `dataset_iri`.
+util::Result<std::string> AnnotatedObservationClass(
+    const rdf::TripleStore& store, const std::string& dataset_iri);
+
+}  // namespace re2xolap::core
+
+#endif  // RE2XOLAP_CORE_QB4OLAP_H_

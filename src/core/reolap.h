@@ -1,0 +1,135 @@
+#ifndef RE2XOLAP_CORE_REOLAP_H_
+#define RE2XOLAP_CORE_REOLAP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/virtual_schema_graph.h"
+#include "rdf/text_index.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "util/result.h"
+
+namespace re2xolap::core {
+
+/// One interpretation of an example value: a concrete dimension member plus
+/// the root-to-level path that reaches the member's level (the path's first
+/// predicate identifies the dimension). Paper: the ⟨d, δ⟩ pairs collected
+/// in Algorithm 1, lines 2–5.
+struct Interpretation {
+  rdf::TermId member = rdf::kInvalidTermId;
+  const LevelPath* path = nullptr;  // owned by the VirtualSchemaGraph
+};
+
+/// A reverse-engineered SPARQL OLAP query (Algorithm 1 output).
+struct CandidateQuery {
+  sparql::SelectQuery query;
+  /// One interpretation per example value, aligned with the input order.
+  /// For multi-tuple input this is the first tuple's row; the remaining
+  /// rows are in `extra_rows`.
+  std::vector<Interpretation> interpretations;
+  /// Additional example rows (multi-tuple input), each aligned with the
+  /// same level paths as `interpretations`.
+  std::vector<std::vector<Interpretation>> extra_rows;
+  /// Output column name of the group-by variable for each example value.
+  std::vector<std::string> group_columns;
+  /// Output column names of the aggregate columns (sum first, per measure).
+  std::vector<std::string> measure_columns;
+  /// Natural-language description (Section 5.1, "Presenting Query
+  /// Interpretations").
+  std::string description;
+};
+
+struct ReolapOptions {
+  /// Cap on text-index hits considered per example value (0 = unlimited).
+  size_t max_matches_per_value = 200;
+  /// Cap on generated queries; combination enumeration stops beyond it.
+  size_t max_queries = 256;
+  /// When true, every combination is checked to return at least one
+  /// observation (the paper's correctness guarantee).
+  bool validate = true;
+  /// Per-validation-probe timeout.
+  uint64_t validation_timeout_millis = 10000;
+  /// Aggregation functions emitted per measure; default all four as in the
+  /// paper ("we will retrieve results for all aggregation functions").
+  bool all_aggregates = true;
+  /// When true, candidates are ordered by RankCandidates() before being
+  /// returned (simpler + more focused interpretations first).
+  bool rank_candidates = false;
+};
+
+/// Counters reported by the Figure 7 benches.
+struct ReolapStats {
+  size_t interpretations_considered = 0;  // size of the cartesian space
+  size_t combinations_checked = 0;
+  size_t validated_ok = 0;
+  double match_millis = 0;
+  double combine_millis = 0;
+  double validate_millis = 0;
+};
+
+/// ReOLAP (paper Algorithm 1): reverse-engineers SPARQL OLAP queries from a
+/// tuple of example attribute values (e.g. {"Germany", "2014"}). All
+/// lookups after construction run against the in-memory virtual schema
+/// graph and text index; the store is only touched for validation probes.
+class Reolap {
+ public:
+  Reolap(const rdf::TripleStore* store, const VirtualSchemaGraph* vsg,
+         const rdf::TextIndex* text_index)
+      : store_(store), vsg_(vsg), text_(text_index) {}
+
+  /// MATCHES(a_i) of Algorithm 1: all interpretations of one value.
+  /// Supports mixed inputs (paper Section 5 footnote): a value of the
+  /// form "<iri>" or "http(s)://..." is resolved directly as a dimension
+  /// member IRI instead of going through the label index.
+  std::vector<Interpretation> MatchValue(
+      const std::string& value, const ReolapOptions& options = {}) const;
+
+  /// Full synthesis: interpretations per value, combination (with distinct
+  /// dimensions per combo), query construction and validation. Returns
+  /// the candidate queries; an example value with no match yields an empty
+  /// result (no query can cover the tuple).
+  util::Result<std::vector<CandidateQuery>> Synthesize(
+      const std::vector<std::string>& example_tuple,
+      const ReolapOptions& options = {}, ReolapStats* stats = nullptr) const;
+
+  /// General case: multiple example tuples of the same arity (the set T_E
+  /// of Problem 1). A level-path combination is valid only when EVERY
+  /// tuple maps onto it (per column) and every tuple validates against
+  /// the store, so each example row is subsumed by the query's results.
+  util::Result<std::vector<CandidateQuery>> SynthesizeMulti(
+      const std::vector<std::vector<std::string>>& example_tuples,
+      const ReolapOptions& options = {}, ReolapStats* stats = nullptr) const;
+
+  /// GETQUERY of Algorithm 1: builds the SPARQL OLAP query for one
+  /// combination of interpretations.
+  CandidateQuery BuildQuery(const std::vector<Interpretation>& combo,
+                            const ReolapOptions& options = {}) const;
+
+  /// True when at least one observation jointly satisfies all
+  /// interpretations (executed against the store with a LIMIT-1 probe).
+  bool ValidateCombo(const std::vector<Interpretation>& combo,
+                     uint64_t timeout_millis) const;
+
+  const VirtualSchemaGraph& vsg() const { return *vsg_; }
+  const rdf::TripleStore& store() const { return *store_; }
+
+ private:
+
+  const rdf::TripleStore* store_;
+  const VirtualSchemaGraph* vsg_;
+  const rdf::TextIndex* text_;
+};
+
+/// Ranks candidate queries in place (paper Section 8 lists ranking of
+/// interpretations as future work; this implements a simple instance).
+/// Preference order: shallower paths first (simpler interpretations),
+/// then smaller estimated result cardinality (product of target-level
+/// member counts) — focused views before monster cross-products.
+void RankCandidates(const VirtualSchemaGraph& vsg,
+                    std::vector<CandidateQuery>* candidates);
+
+}  // namespace re2xolap::core
+
+#endif  // RE2XOLAP_CORE_REOLAP_H_

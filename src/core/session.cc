@@ -1,0 +1,161 @@
+#include "core/session.h"
+
+#include <algorithm>
+
+namespace re2xolap::core {
+
+const char* RefinementKindName(RefinementKind kind) {
+  switch (kind) {
+    case RefinementKind::kDisaggregate:
+      return "Disaggregate";
+    case RefinementKind::kRollUp:
+      return "RollUp";
+    case RefinementKind::kTopK:
+      return "TopK";
+    case RefinementKind::kPercentile:
+      return "Percentile";
+    case RefinementKind::kSimilarity:
+      return "Similarity";
+    case RefinementKind::kCluster:
+      return "Cluster";
+  }
+  return "?";
+}
+
+util::Result<std::vector<CandidateQuery>> Session::Start(
+    const std::vector<std::string>& example_tuple,
+    const ReolapOptions& options) {
+  RE2X_ASSIGN_OR_RETURN(candidates_, reolap_.Synthesize(example_tuple, options));
+  history_.clear();
+  pending_refinements_.clear();
+  InvalidateResults();
+  ++stats_.interactions;
+  stats_.frontier = std::max<size_t>(1, candidates_.size());
+  stats_.cumulative_paths += candidates_.size();
+  return candidates_;
+}
+
+util::Status Session::PickCandidate(size_t index) {
+  if (index >= candidates_.size()) {
+    return util::Status::InvalidArgument("candidate index out of range");
+  }
+  history_.clear();
+  history_.push_back(InitialState(candidates_[index]));
+  pending_refinements_.clear();
+  InvalidateResults();
+  return util::Status::OK();
+}
+
+util::Result<const sparql::ResultTable*> Session::Execute() {
+  if (history_.empty()) {
+    return util::Status::InvalidArgument("no current query; call Start/Pick");
+  }
+  if (!results_.has_value()) {
+    RE2X_ASSIGN_OR_RETURN(
+        sparql::ResultTable table,
+        sparql::Execute(*store_, history_.back().query, exec_options_));
+    stats_.cumulative_tuples += table.row_count();
+    results_ = std::move(table);
+  }
+  return &*results_;
+}
+
+util::Result<std::vector<ExploreState>> Session::Refine(
+    RefinementKind kind, const SimilarityOptions& sim_options,
+    const PercentileOptions& perc_options,
+    const ClusterOptions& cluster_options) {
+  if (history_.empty()) {
+    return util::Status::InvalidArgument("no current query; call Start/Pick");
+  }
+  const ExploreState& state = history_.back();
+  std::vector<ExploreState> refinements;
+  switch (kind) {
+    case RefinementKind::kDisaggregate:
+      refinements = Disaggregate(*vsg_, *store_, state);
+      break;
+    case RefinementKind::kRollUp:
+      refinements = RollUp(*vsg_, *store_, state);
+      break;
+    case RefinementKind::kTopK: {
+      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+      RE2X_ASSIGN_OR_RETURN(refinements, SubsetTopK(*store_, state, *table));
+      break;
+    }
+    case RefinementKind::kPercentile: {
+      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+      RE2X_ASSIGN_OR_RETURN(
+          refinements, SubsetPercentile(*store_, state, *table, perc_options));
+      break;
+    }
+    case RefinementKind::kSimilarity: {
+      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+      RE2X_ASSIGN_OR_RETURN(
+          refinements, SimilaritySearch(*store_, state, *table, sim_options));
+      break;
+    }
+    case RefinementKind::kCluster: {
+      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+      RE2X_ASSIGN_OR_RETURN(
+          refinements, SubsetCluster(*store_, state, *table, cluster_options));
+      break;
+    }
+  }
+  pending_refinements_ = refinements;
+  ++stats_.interactions;
+  // Every path on the current frontier could take any of these
+  // refinements: the reachable-path frontier multiplies.
+  if (!refinements.empty()) stats_.frontier *= refinements.size();
+  stats_.cumulative_paths += stats_.frontier;
+  return refinements;
+}
+
+util::Status Session::PickRefinement(size_t index) {
+  if (index >= pending_refinements_.size()) {
+    return util::Status::InvalidArgument("refinement index out of range");
+  }
+  history_.push_back(pending_refinements_[index]);
+  pending_refinements_.clear();
+  InvalidateResults();
+  return util::Status::OK();
+}
+
+util::Result<std::vector<std::string>> Session::ExcludeNegative(
+    const std::vector<std::string>& negative_values) {
+  if (history_.empty()) {
+    return util::Status::InvalidArgument("no current query; call Start/Pick");
+  }
+  RE2X_ASSIGN_OR_RETURN(
+      NegativeResult result,
+      ExcludeNegativeExamples(reolap_, history_.back(), negative_values));
+  history_.push_back(std::move(result.state));
+  pending_refinements_.clear();
+  InvalidateResults();
+  ++stats_.interactions;
+  ++stats_.cumulative_paths;
+  return result.unmatched_values;
+}
+
+util::Status Session::Slice(size_t example_index) {
+  if (history_.empty()) {
+    return util::Status::InvalidArgument("no current query; call Start/Pick");
+  }
+  RE2X_ASSIGN_OR_RETURN(ExploreState next,
+                        SliceToExample(*store_, history_.back(),
+                                       example_index));
+  history_.push_back(std::move(next));
+  pending_refinements_.clear();
+  InvalidateResults();
+  ++stats_.interactions;
+  ++stats_.cumulative_paths;
+  return util::Status::OK();
+}
+
+void Session::Back() {
+  if (history_.size() > 1) {
+    history_.pop_back();
+    pending_refinements_.clear();
+    InvalidateResults();
+  }
+}
+
+}  // namespace re2xolap::core

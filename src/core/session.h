@@ -1,0 +1,127 @@
+#ifndef RE2XOLAP_CORE_SESSION_H_
+#define RE2XOLAP_CORE_SESSION_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/exref.h"
+#include "core/reolap.h"
+#include "sparql/executor.h"
+#include "util/result.h"
+
+namespace re2xolap::core {
+
+/// The refinement methods offered each round (ExRef in Algorithm 2; the
+/// cluster method is the user-study prototype's alternative to TopK).
+enum class RefinementKind {
+  kDisaggregate,
+  kRollUp,
+  kTopK,
+  kPercentile,
+  kSimilarity,
+  kCluster,
+};
+
+const char* RefinementKindName(RefinementKind kind);
+
+/// Cumulative exploration statistics (paper Figure 8c): how many distinct
+/// exploration paths (reachable queries) and result tuples the session
+/// gave access to so far. Each interaction multiplies the reachable-path
+/// frontier by its branching factor (the number of options offered), so
+/// after a few interactions the user has access to thousands of distinct
+/// exploration paths.
+struct ExplorationStats {
+  size_t interactions = 0;
+  /// Sum over interactions of the reachable-path frontier.
+  size_t cumulative_paths = 0;
+  /// Result tuples of executed queries, accumulated.
+  size_t cumulative_tuples = 0;
+  /// Current frontier: product of the branching factors so far.
+  size_t frontier = 1;
+};
+
+/// An interactive Re2xOLAP exploration session (paper Algorithm 2):
+///
+///   Session s(store, vsg, text);
+///   auto candidates = s.Start({"Germany", "2014"});   // ReOLAP
+///   s.PickCandidate(0);
+///   auto* table = s.Execute();                        // Q(G)
+///   auto refinements = s.Refine(RefinementKind::kDisaggregate);
+///   s.PickRefinement(1);
+///   ...
+///   s.Back();                                         // backtrack
+///
+/// The session owns the exploration history; Back() restores the previous
+/// query state (the paper's "backtracks to a previous query to start a
+/// different exploration path").
+class Session {
+ public:
+  Session(const rdf::TripleStore* store, const VirtualSchemaGraph* vsg,
+          const rdf::TextIndex* text, sparql::ExecOptions exec_options = {})
+      : store_(store),
+        vsg_(vsg),
+        text_(text),
+        reolap_(store, vsg, text),
+        exec_options_(exec_options) {}
+
+  /// Query synthesis phase: runs ReOLAP on the example tuple and stores
+  /// the candidates.
+  util::Result<std::vector<CandidateQuery>> Start(
+      const std::vector<std::string>& example_tuple,
+      const ReolapOptions& options = {});
+
+  /// Selects candidate `index` from the last Start() as the current query.
+  util::Status PickCandidate(size_t index);
+
+  /// Executes the current query (cached until the state changes).
+  util::Result<const sparql::ResultTable*> Execute();
+
+  /// Produces refinements of the current state with the given method.
+  /// TopK/Percentile/Similarity/Cluster execute the current query first if
+  /// needed.
+  util::Result<std::vector<ExploreState>> Refine(
+      RefinementKind kind, const SimilarityOptions& sim_options = {},
+      const PercentileOptions& perc_options = {},
+      const ClusterOptions& cluster_options = {});
+
+  /// Applies a negative-example exclusion to the current state in place
+  /// (counts as an interaction). Returns values that matched nothing.
+  util::Result<std::vector<std::string>> ExcludeNegative(
+      const std::vector<std::string>& negative_values);
+
+  /// Slices the current query on example value `example_index` (pins the
+  /// dimension to the example member(s) and removes the column). Counts
+  /// as an interaction and is undoable with Back().
+  util::Status Slice(size_t example_index);
+
+  /// Selects refinement `index` from the last Refine() as the new state.
+  util::Status PickRefinement(size_t index);
+
+  /// Restores the previous state; no-op at the root.
+  void Back();
+
+  bool has_state() const { return !history_.empty(); }
+  const ExploreState& current() const { return history_.back(); }
+  const ExplorationStats& stats() const { return stats_; }
+  const Reolap& reolap() const { return reolap_; }
+
+ private:
+  void InvalidateResults() { results_.reset(); }
+
+  const rdf::TripleStore* store_;
+  const VirtualSchemaGraph* vsg_;
+  const rdf::TextIndex* text_;
+  Reolap reolap_;
+  sparql::ExecOptions exec_options_;
+
+  std::vector<CandidateQuery> candidates_;
+  std::vector<ExploreState> pending_refinements_;
+  std::vector<ExploreState> history_;
+  std::optional<sparql::ResultTable> results_;
+  ExplorationStats stats_;
+};
+
+}  // namespace re2xolap::core
+
+#endif  // RE2XOLAP_CORE_SESSION_H_

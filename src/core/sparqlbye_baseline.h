@@ -1,0 +1,44 @@
+#ifndef RE2XOLAP_CORE_SPARQLBYE_BASELINE_H_
+#define RE2XOLAP_CORE_SPARQLBYE_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "rdf/text_index.h"
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "util/result.h"
+
+namespace re2xolap::core {
+
+/// Re-implementation of the SPARQLByE-style baseline used in the paper's
+/// Section 7.2 comparison (Figure 10): reverse-engineers the *minimal
+/// basic graph pattern* covering the example values.
+///
+/// Characteristic limitations faithfully reproduced:
+///  - only single-hop patterns around each matched entity (no navigation
+///    across 2+ hops, so examples are never connected to observations);
+///  - no aggregation, grouping, or measure handling;
+///  - the per-value patterns are disconnected from each other.
+class SparqlByEBaseline {
+ public:
+  SparqlByEBaseline(const rdf::TripleStore* store,
+                    const rdf::TextIndex* text_index)
+      : store_(store), text_(text_index) {}
+
+  /// Returns the minimal BGP query covering the example values: for each
+  /// value, a `?xi <attr-pred> "value"` pattern plus the entity's other
+  /// IRI-valued single-hop patterns rendered as `?xi <p> ?oij`.
+  /// When a value matches nothing, synthesis fails like the original
+  /// (empty result).
+  util::Result<sparql::SelectQuery> Synthesize(
+      const std::vector<std::string>& example_tuple) const;
+
+ private:
+  const rdf::TripleStore* store_;
+  const rdf::TextIndex* text_;
+};
+
+}  // namespace re2xolap::core
+
+#endif  // RE2XOLAP_CORE_SPARQLBYE_BASELINE_H_

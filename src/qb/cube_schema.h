@@ -1,0 +1,90 @@
+#ifndef RE2XOLAP_QB_CUBE_SCHEMA_H_
+#define RE2XOLAP_QB_CUBE_SCHEMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace re2xolap::qb {
+
+/// Ground-truth description of one hierarchy level of a generated dataset.
+/// Member IRIs are `<iri_base><level-name>/<index>`; each member carries a
+/// `hasLabel` string attribute drawn from `labels`.
+struct LevelSpec {
+  std::string name;
+  std::vector<std::string> labels;  // one per member
+
+  size_t member_count() const { return labels.size(); }
+};
+
+/// One step of a hierarchy branch: a predicate linking members of
+/// `from_level` to members of `to_level`. `parent_of(i)` maps a member
+/// index of from_level to a member index of to_level; when null, a
+/// deterministic hash mapping is used. `parents_per_member > 1` creates
+/// M-to-N steps (each member links to that many distinct parents) — the
+/// DBpedia-style worst case in the paper.
+struct HierarchyStep {
+  std::string predicate;
+  std::string from_level;
+  std::string to_level;
+  std::function<size_t(size_t)> parent_of;  // optional
+  size_t parents_per_member = 1;
+};
+
+/// A branch is a chain of steps rooted at the dimension's base level
+/// (e.g. Country -> Continent, or Month -> Quarter -> Year).
+struct BranchSpec {
+  std::vector<HierarchyStep> steps;
+};
+
+/// A dimension: observations link to members of `base_level` through
+/// `predicate`; zero or more hierarchy branches refine the base level.
+struct DimensionSpec {
+  std::string name;
+  std::string predicate;  // observation -> base member
+  std::string base_level;
+  std::vector<BranchSpec> branches;
+};
+
+/// A literal attribute attached to every observation (makes observations
+/// "richer", like Eurostat's extra attributes in the paper).
+struct ObservationAttrSpec {
+  std::string predicate;
+  std::vector<std::string> values;  // picked round-robin/skewed
+};
+
+/// Full declarative spec of a synthetic statistical KG.
+struct DatasetSpec {
+  std::string name;
+  std::string iri_base;           // e.g. "http://example.org/eurostat/"
+  std::string observation_class;  // IRI of the qb:Observation-like class
+  std::vector<std::string> measure_predicates;
+  std::vector<LevelSpec> levels;
+  std::vector<DimensionSpec> dimensions;
+  std::vector<ObservationAttrSpec> observation_attrs;
+  /// Human-readable labels attached (rdfs:label) to predicate IRIs, as
+  /// real statistical KGs carry ("Country of Destination"); keyed by the
+  /// predicate's local name. The description templating prefers these.
+  std::vector<std::pair<std::string, std::string>> predicate_labels;
+  uint64_t observations = 10000;
+  uint64_t seed = 42;
+
+  const LevelSpec* FindLevel(const std::string& name) const {
+    for (const LevelSpec& l : levels) {
+      if (l.name == name) return &l;
+    }
+    return nullptr;
+  }
+
+  /// Aggregate statistics in the shape of the paper's Table 3.
+  size_t dimension_count() const { return dimensions.size(); }
+  size_t measure_count() const { return measure_predicates.size(); }
+  size_t hierarchy_count() const;
+  size_t level_count() const { return levels.size(); }
+  size_t total_members() const;
+};
+
+}  // namespace re2xolap::qb
+
+#endif  // RE2XOLAP_QB_CUBE_SCHEMA_H_

@@ -1,0 +1,36 @@
+#ifndef RE2XOLAP_QB_DATASETS_H_
+#define RE2XOLAP_QB_DATASETS_H_
+
+#include <cstdint>
+
+#include "qb/cube_schema.h"
+
+namespace re2xolap::qb {
+
+/// The three dataset specs mirroring the paper's Table 3 (Section 7.1).
+/// Real dumps are not available offline, so these synthetic specs reproduce
+/// the published schema-shape statistics (|D|, |M|, |H|, |L|, |N_D|), while
+/// the observation count is a parameter (the paper's claim — and our
+/// benches' — is that ReOLAP cost is independent of it).
+
+/// Eurostat asylum-application cube: 4 dimensions (Age, RefPeriod, Origin,
+/// Destination), deep Month->Quarter/Year hierarchies, 373 dimension
+/// members, rich per-observation literal attributes (incl. Sex), measure
+/// numApplicants. Paper reference: ~15M observations, 160M triples.
+DatasetSpec EurostatSpec(uint64_t observations, uint64_t seed = 42);
+
+/// Production macro-economic cube: 7 dimensions (country, industry,
+/// product, year, flow type, unit, scenario), shallow hierarchies, 6444
+/// members. Paper reference: ~15M observations, 90M triples.
+DatasetSpec ProductionSpec(uint64_t observations, uint64_t seed = 43);
+
+/// DBpedia creative-work view: 5 dimensions (genre, artist, label,
+/// instrument, director), many deep hierarchies with M-to-N steps and
+/// label sets shared across dimensions (genre of works vs. of artists vs.
+/// of labels) — the paper's worst case. ~87160 members. Paper reference:
+/// 541k observations, 20M triples.
+DatasetSpec DbpediaSpec(uint64_t observations, uint64_t seed = 44);
+
+}  // namespace re2xolap::qb
+
+#endif  // RE2XOLAP_QB_DATASETS_H_

@@ -1,0 +1,185 @@
+#include "qb/generator.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "util/rng.h"
+
+namespace re2xolap::qb {
+
+size_t DatasetSpec::hierarchy_count() const {
+  size_t n = 0;
+  for (const DimensionSpec& d : dimensions) {
+    // A dimension with no branch still has one (trivial) hierarchy made of
+    // its base level only.
+    n += d.branches.empty() ? 1 : d.branches.size();
+  }
+  return n;
+}
+
+size_t DatasetSpec::total_members() const {
+  std::set<const LevelSpec*> used;
+  for (const DimensionSpec& d : dimensions) {
+    const LevelSpec* base = FindLevel(d.base_level);
+    if (base) used.insert(base);
+    for (const BranchSpec& b : d.branches) {
+      for (const HierarchyStep& s : b.steps) {
+        const LevelSpec* to = FindLevel(s.to_level);
+        if (to) used.insert(to);
+      }
+    }
+  }
+  size_t n = 0;
+  for (const LevelSpec* l : used) n += l->member_count();
+  return n;
+}
+
+namespace {
+
+// Deterministic fallback parent mapping: spreads children roughly evenly
+// over parents while avoiding trivial modulo clustering.
+size_t HashedParent(size_t child, size_t parent_count, size_t salt) {
+  uint64_t h = child * 2654435761ULL + salt * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 29;
+  return static_cast<size_t>(h % parent_count);
+}
+
+}  // namespace
+
+util::Result<GeneratedDataset> Generate(DatasetSpec spec) {
+  auto store = std::make_unique<rdf::TripleStore>();
+  util::Rng rng(spec.seed);
+
+  const rdf::Term label_pred = rdf::Term::Iri(kHasLabel);
+  const rdf::Term type_pred = rdf::Term::Iri(kRdfType);
+  const rdf::Term obs_class = rdf::Term::Iri(spec.observation_class);
+
+  // --- interning helpers ----------------------------------------------------
+  auto member_iri = [&](const std::string& level, size_t i) {
+    return rdf::Term::Iri(spec.iri_base + level + "/" + std::to_string(i));
+  };
+
+  // Validate level references and index levels by name.
+  std::unordered_map<std::string, const LevelSpec*> levels;
+  for (const LevelSpec& l : spec.levels) {
+    if (l.labels.empty()) {
+      return util::Status::InvalidArgument("level '" + l.name +
+                                           "' has no members");
+    }
+    if (!levels.emplace(l.name, &l).second) {
+      return util::Status::InvalidArgument("duplicate level '" + l.name + "'");
+    }
+  }
+  auto require_level = [&](const std::string& name)
+      -> util::Result<const LevelSpec*> {
+    auto it = levels.find(name);
+    if (it == levels.end()) {
+      return util::Status::InvalidArgument("unknown level '" + name + "'");
+    }
+    return it->second;
+  };
+
+  // --- emit level members and their labels ---------------------------------
+  // Track which levels are actually reachable from some dimension, emitting
+  // members once even when shared by several branches.
+  std::set<std::string> emitted;
+  auto emit_level = [&](const LevelSpec& level) {
+    if (!emitted.insert(level.name).second) return;
+    for (size_t i = 0; i < level.labels.size(); ++i) {
+      store->Add(member_iri(level.name, i), label_pred,
+                 rdf::Term::StringLiteral(level.labels[i]));
+    }
+  };
+
+  // --- predicate labels --------------------------------------------------------
+  for (const auto& [local, text] : spec.predicate_labels) {
+    store->Add(rdf::Term::Iri(spec.iri_base + local), label_pred,
+               rdf::Term::StringLiteral(text));
+  }
+
+  // --- hierarchy edges -------------------------------------------------------
+  size_t salt = 1;
+  for (const DimensionSpec& dim : spec.dimensions) {
+    RE2X_ASSIGN_OR_RETURN(const LevelSpec* base, require_level(dim.base_level));
+    emit_level(*base);
+    for (const BranchSpec& branch : dim.branches) {
+      std::string from = dim.base_level;
+      for (const HierarchyStep& step : branch.steps) {
+        if (step.from_level != from) {
+          return util::Status::InvalidArgument(
+              "branch step for dimension '" + dim.name + "' starts at '" +
+              step.from_level + "' but previous level is '" + from + "'");
+        }
+        RE2X_ASSIGN_OR_RETURN(const LevelSpec* from_level,
+                              require_level(step.from_level));
+        RE2X_ASSIGN_OR_RETURN(const LevelSpec* to_level,
+                              require_level(step.to_level));
+        emit_level(*from_level);
+        emit_level(*to_level);
+        const rdf::Term pred = rdf::Term::Iri(spec.iri_base + step.predicate);
+        const size_t parents = to_level->member_count();
+        for (size_t i = 0; i < from_level->member_count(); ++i) {
+          size_t fanout = std::min(step.parents_per_member, parents);
+          for (size_t k = 0; k < fanout; ++k) {
+            size_t parent;
+            if (step.parent_of && k == 0) {
+              parent = step.parent_of(i);
+            } else if (k == 0 && i < parents) {
+              // Coverage guarantee: the first |parents| children map onto
+              // distinct parents, so every parent member is reachable.
+              parent = i;
+            } else {
+              parent = HashedParent(i, parents, salt + k);
+            }
+            store->Add(member_iri(step.from_level, i), pred,
+                       member_iri(step.to_level, parent % parents));
+          }
+        }
+        from = step.to_level;
+        ++salt;
+      }
+    }
+  }
+
+  // --- observations ----------------------------------------------------------
+  for (uint64_t n = 0; n < spec.observations; ++n) {
+    rdf::Term obs =
+        rdf::Term::Iri(spec.iri_base + "obs/" + std::to_string(n));
+    store->Add(obs, type_pred, obs_class);
+    for (const DimensionSpec& dim : spec.dimensions) {
+      const LevelSpec* base = levels.at(dim.base_level);
+      // Coverage pass: the first |base| observations cycle through every
+      // member so that each base member is referenced at least once (the
+      // real KGs are dense in this sense); afterwards, skewed sampling.
+      size_t member;
+      if (n < base->member_count()) {
+        member = static_cast<size_t>(n);
+      } else {
+        member = static_cast<size_t>(rng.Skewed(base->member_count()));
+        if (member >= base->member_count()) member = base->member_count() - 1;
+      }
+      store->Add(obs, rdf::Term::Iri(spec.iri_base + dim.predicate),
+                 member_iri(dim.base_level, member));
+    }
+    for (const std::string& mp : spec.measure_predicates) {
+      // Skewed positive integer measure (long tail of large values).
+      int64_t value = 1 + static_cast<int64_t>(rng.Skewed(10000));
+      store->Add(obs, rdf::Term::Iri(spec.iri_base + mp),
+                 rdf::Term::IntegerLiteral(value));
+    }
+    for (const ObservationAttrSpec& attr : spec.observation_attrs) {
+      const std::string& v =
+          attr.values[rng.Uniform(attr.values.size())];
+      store->Add(obs, rdf::Term::Iri(spec.iri_base + attr.predicate),
+                 rdf::Term::StringLiteral(v));
+    }
+  }
+
+  store->Freeze();
+  GeneratedDataset out;
+  out.store = std::move(store);
+  out.spec = std::move(spec);
+  return out;
+}
+
+}  // namespace re2xolap::qb

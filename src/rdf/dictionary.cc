@@ -1,0 +1,28 @@
+#include "rdf/dictionary.h"
+
+namespace re2xolap::rdf {
+
+TermId Dictionary::Intern(const Term& term) {
+  auto it = index_.find(term);
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(term);
+  index_.emplace(term, id);
+  return id;
+}
+
+TermId Dictionary::Lookup(const Term& term) const {
+  auto it = index_.find(term);
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+size_t Dictionary::MemoryUsage() const {
+  size_t bytes = terms_.capacity() * sizeof(Term);
+  for (const Term& t : terms_) bytes += t.value.capacity();
+  // Rough estimate of the hash index: bucket array + nodes.
+  bytes += index_.bucket_count() * sizeof(void*);
+  bytes += index_.size() * (sizeof(Term) + sizeof(TermId) + 2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace re2xolap::rdf

@@ -1,0 +1,63 @@
+#ifndef RE2XOLAP_RDF_DICTIONARY_H_
+#define RE2XOLAP_RDF_DICTIONARY_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/term.h"
+#include "util/result.h"
+
+namespace re2xolap::rdf {
+
+/// Dense integer id for an interned term. Id 0 is reserved as the invalid
+/// id so pattern wildcards and "no match" can be represented cheaply.
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTermId = 0;
+
+/// Bidirectional Term <-> TermId mapping. Interning terms once lets the
+/// triple store and all query processing work on fixed-width integers.
+/// Not thread-safe for concurrent writes; concurrent reads are safe after
+/// loading finishes.
+class Dictionary {
+ public:
+  Dictionary() {
+    // Slot 0 is the invalid id.
+    terms_.emplace_back();
+  }
+
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Interns `term`, returning its id (existing id if already present).
+  TermId Intern(const Term& term);
+
+  /// Looks up an existing term; kInvalidTermId when absent.
+  TermId Lookup(const Term& term) const;
+
+  /// The term for `id`. `id` must be a valid interned id.
+  const Term& term(TermId id) const { return terms_[id]; }
+
+  bool IsValid(TermId id) const { return id > 0 && id < terms_.size(); }
+
+  /// Number of interned terms (excluding the reserved invalid slot).
+  size_t size() const { return terms_.size() - 1; }
+
+  /// Iterates every interned (id, term) pair in id order. Fn is called as
+  /// fn(TermId, const Term&).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (TermId id = 1; id < terms_.size(); ++id) fn(id, terms_[id]);
+  }
+
+  /// Approximate heap footprint in bytes (for Table 3-style reporting).
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<Term> terms_;
+  std::unordered_map<Term, TermId, TermHash> index_;
+};
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_DICTIONARY_H_

@@ -1,0 +1,25 @@
+#ifndef RE2XOLAP_RDF_NTRIPLES_H_
+#define RE2XOLAP_RDF_NTRIPLES_H_
+
+#include <ostream>
+#include <string_view>
+
+#include "rdf/triple_store.h"
+#include "util/status.h"
+
+namespace re2xolap::rdf {
+
+/// Serializes the store's triples in an N-Triples-like line format:
+///   <s-iri> <p-iri> <o-term> .
+/// Literals are rendered with a datatype suffix as in Term::ToString().
+void WriteNTriples(const TripleStore& store, std::ostream& os);
+
+/// Parses N-Triples-like text (one `<s> <p> o .` statement per line; `#`
+/// comments and blank lines allowed) into `store`. Supported object forms:
+/// <iri>, _:blank, "string", "lex"^^xsd:integer|xsd:double|xsd:boolean|
+/// xsd:date. The caller still needs to Freeze() the store.
+util::Status ParseNTriples(std::string_view text, TripleStore* store);
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_NTRIPLES_H_

@@ -1,0 +1,52 @@
+#include "rdf/term.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace re2xolap::rdf {
+
+Term Term::DoubleLiteral(double v) {
+  // %.17g guarantees the lexical form round-trips to the same double —
+  // filter thresholds computed from aggregates must compare exactly.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return Term(TermKind::kLiteral, buf, LiteralType::kDouble);
+}
+
+double Term::AsDouble() const {
+  if (!is_literal()) return 0.0;
+  switch (literal_type) {
+    case LiteralType::kInteger:
+    case LiteralType::kDouble:
+      return std::strtod(value.c_str(), nullptr);
+    default:
+      return 0.0;
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case TermKind::kIri:
+      return "<" + value + ">";
+    case TermKind::kBlankNode:
+      return "_:" + value;
+    case TermKind::kLiteral:
+      switch (literal_type) {
+        case LiteralType::kString:
+          return "\"" + value + "\"";
+        case LiteralType::kInteger:
+          return "\"" + value + "\"^^xsd:integer";
+        case LiteralType::kDouble:
+          return "\"" + value + "\"^^xsd:double";
+        case LiteralType::kBoolean:
+          return "\"" + value + "\"^^xsd:boolean";
+        case LiteralType::kDate:
+          return "\"" + value + "\"^^xsd:date";
+        case LiteralType::kOther:
+          return "\"" + value + "\"^^<unknown>";
+      }
+  }
+  return value;
+}
+
+}  // namespace re2xolap::rdf

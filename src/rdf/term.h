@@ -1,0 +1,104 @@
+#ifndef RE2XOLAP_RDF_TERM_H_
+#define RE2XOLAP_RDF_TERM_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace re2xolap::rdf {
+
+/// Kind of an RDF term (Definition 3.1 of the paper: IRIs, literals, blank
+/// nodes).
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kLiteral = 1,
+  kBlankNode = 2,
+};
+
+/// Datatype tag for literals. We model the XSD types that statistical KGs
+/// actually use; anything else is kOther (datatype IRI kept in the lexical
+/// form's sibling field).
+enum class LiteralType : uint8_t {
+  kString = 0,
+  kInteger = 1,
+  kDouble = 2,
+  kBoolean = 3,
+  kDate = 4,
+  kOther = 5,
+};
+
+/// An RDF term: an IRI, a typed literal, or a blank node. Terms are plain
+/// value types; the store interns them in a Dictionary and works with
+/// integer ids.
+struct Term {
+  TermKind kind = TermKind::kIri;
+  /// IRI string, literal lexical form, or blank node label.
+  std::string value;
+  /// Only meaningful for literals.
+  LiteralType literal_type = LiteralType::kString;
+
+  Term() = default;
+  Term(TermKind k, std::string v, LiteralType lt = LiteralType::kString)
+      : kind(k), value(std::move(v)), literal_type(lt) {}
+
+  /// Factory helpers.
+  static Term Iri(std::string iri) {
+    return Term(TermKind::kIri, std::move(iri));
+  }
+  static Term StringLiteral(std::string s) {
+    return Term(TermKind::kLiteral, std::move(s), LiteralType::kString);
+  }
+  static Term IntegerLiteral(int64_t v) {
+    return Term(TermKind::kLiteral, std::to_string(v), LiteralType::kInteger);
+  }
+  static Term DoubleLiteral(double v);
+  static Term BooleanLiteral(bool v) {
+    return Term(TermKind::kLiteral, v ? "true" : "false",
+                LiteralType::kBoolean);
+  }
+  static Term DateLiteral(std::string iso) {
+    return Term(TermKind::kLiteral, std::move(iso), LiteralType::kDate);
+  }
+  static Term Blank(std::string label) {
+    return Term(TermKind::kBlankNode, std::move(label));
+  }
+
+  bool is_iri() const { return kind == TermKind::kIri; }
+  bool is_literal() const { return kind == TermKind::kLiteral; }
+  bool is_blank() const { return kind == TermKind::kBlankNode; }
+  bool is_numeric_literal() const {
+    return is_literal() && (literal_type == LiteralType::kInteger ||
+                            literal_type == LiteralType::kDouble);
+  }
+
+  /// Numeric value of a numeric literal; 0 for anything else.
+  double AsDouble() const;
+
+  /// N-Triples-style rendering: <iri>, "literal"^^type-suffix, _:label.
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.kind == b.kind && a.literal_type == b.literal_type &&
+           a.value == b.value;
+  }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.literal_type != b.literal_type) return a.literal_type < b.literal_type;
+    return a.value < b.value;
+  }
+};
+
+/// Hash functor so Term can key unordered containers.
+struct TermHash {
+  size_t operator()(const Term& t) const {
+    size_t h = std::hash<std::string_view>()(t.value);
+    h ^= (static_cast<size_t>(t.kind) * 0x9E3779B97F4A7C15ULL) +
+         (static_cast<size_t>(t.literal_type) << 16);
+    return h;
+  }
+};
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_TERM_H_

@@ -1,0 +1,77 @@
+#include "rdf/text_index.h"
+
+#include <algorithm>
+
+#include "util/string_utils.h"
+
+namespace re2xolap::rdf {
+
+TextIndex::TextIndex(const TripleStore& store) {
+  store.dictionary().ForEach([&](TermId id, const Term& t) {
+    if (!t.is_literal() || t.literal_type != LiteralType::kString) return;
+    ++indexed_literals_;
+    exact_[util::ToLower(t.value)].push_back(id);
+    std::vector<std::string> tokens = util::TokenizeWords(t.value);
+    std::sort(tokens.begin(), tokens.end());
+    tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+    for (std::string& tok : tokens) postings_[std::move(tok)].push_back(id);
+  });
+  // ForEach visits ids in increasing order, so posting lists are sorted.
+}
+
+std::vector<TermId> TextIndex::ExactMatch(std::string_view text) const {
+  auto it = exact_.find(util::ToLower(text));
+  return it == exact_.end() ? std::vector<TermId>{} : it->second;
+}
+
+std::vector<TermId> TextIndex::KeywordMatch(std::string_view query,
+                                            size_t limit) const {
+  std::vector<std::string> tokens = util::TokenizeWords(query);
+  if (tokens.empty()) return {};
+  // Gather posting lists; missing token => no match.
+  std::vector<const std::vector<TermId>*> lists;
+  lists.reserve(tokens.size());
+  for (const std::string& tok : tokens) {
+    auto it = postings_.find(tok);
+    if (it == postings_.end()) return {};
+    lists.push_back(&it->second);
+  }
+  // Intersect starting from the shortest list.
+  std::sort(lists.begin(), lists.end(),
+            [](const auto* a, const auto* b) { return a->size() < b->size(); });
+  std::vector<TermId> result = *lists[0];
+  std::vector<TermId> next;
+  for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    next.clear();
+    std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
+                          lists[i]->end(), std::back_inserter(next));
+    result.swap(next);
+  }
+  if (limit > 0 && result.size() > limit) result.resize(limit);
+  return result;
+}
+
+std::vector<TermId> TextIndex::Match(std::string_view query,
+                                     size_t limit) const {
+  std::vector<TermId> exact = ExactMatch(query);
+  if (!exact.empty()) {
+    if (limit > 0 && exact.size() > limit) exact.resize(limit);
+    return exact;
+  }
+  return KeywordMatch(query, limit);
+}
+
+size_t TextIndex::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [tok, ids] : postings_) {
+    bytes += tok.capacity() + ids.capacity() * sizeof(TermId) +
+             3 * sizeof(void*);
+  }
+  for (const auto& [text, ids] : exact_) {
+    bytes += text.capacity() + ids.capacity() * sizeof(TermId) +
+             3 * sizeof(void*);
+  }
+  return bytes;
+}
+
+}  // namespace re2xolap::rdf

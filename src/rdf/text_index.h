@@ -1,0 +1,59 @@
+#ifndef RE2XOLAP_RDF_TEXT_INDEX_H_
+#define RE2XOLAP_RDF_TEXT_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace re2xolap::rdf {
+
+/// Inverted keyword index over the string literals of a TripleStore.
+/// This plays the role of the triplestore full-text index the paper relies
+/// on for resolving user keywords to IRIs (Algorithm 1, line 3 — "the
+/// triplestore employs a traditional full-text index").
+///
+/// Tokens are lowercase alphanumeric words; a query matches a literal when
+/// every query token appears among the literal's tokens (AND semantics).
+/// Exact (case-insensitive whole-string) lookup is also provided and is
+/// preferred by the matcher.
+class TextIndex {
+ public:
+  /// Builds the index over every string literal currently interned in
+  /// `store`'s dictionary. The store may keep growing afterwards, but new
+  /// literals are not visible to this index (rebuild to refresh).
+  explicit TextIndex(const TripleStore& store);
+
+  TextIndex(const TextIndex&) = delete;
+  TextIndex& operator=(const TextIndex&) = delete;
+
+  /// Literal term ids whose full lowercase text equals `text` (lowercased).
+  std::vector<TermId> ExactMatch(std::string_view text) const;
+
+  /// Literal term ids containing all word tokens of `query`.
+  /// Results are sorted by id; at most `limit` results are returned
+  /// (0 = unlimited).
+  std::vector<TermId> KeywordMatch(std::string_view query,
+                                   size_t limit = 0) const;
+
+  /// Exact match if any, otherwise keyword match. This is the behavior
+  /// ReOLAP's MATCHES() uses.
+  std::vector<TermId> Match(std::string_view query, size_t limit = 0) const;
+
+  size_t indexed_literal_count() const { return indexed_literals_; }
+  size_t distinct_token_count() const { return postings_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<TermId>> postings_;
+  std::unordered_map<std::string, std::vector<TermId>> exact_;
+  size_t indexed_literals_ = 0;
+};
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_TEXT_INDEX_H_

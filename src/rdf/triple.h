@@ -1,0 +1,36 @@
+#ifndef RE2XOLAP_RDF_TRIPLE_H_
+#define RE2XOLAP_RDF_TRIPLE_H_
+
+#include <cstdint>
+
+#include "rdf/dictionary.h"
+
+namespace re2xolap::rdf {
+
+/// A dictionary-encoded ⟨s p o⟩ triple.
+struct EncodedTriple {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  friend bool operator==(const EncodedTriple& a, const EncodedTriple& b) {
+    return a.s == b.s && a.p == b.p && a.o == b.o;
+  }
+};
+
+/// A triple match pattern: kInvalidTermId in a position means "any".
+struct TriplePattern {
+  TermId s = kInvalidTermId;
+  TermId p = kInvalidTermId;
+  TermId o = kInvalidTermId;
+
+  bool Matches(const EncodedTriple& t) const {
+    return (s == kInvalidTermId || s == t.s) &&
+           (p == kInvalidTermId || p == t.p) &&
+           (o == kInvalidTermId || o == t.o);
+  }
+};
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_TRIPLE_H_

@@ -1,0 +1,188 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace re2xolap::rdf {
+
+namespace {
+
+// Key comparators for the three permutations.
+struct SpoLess {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct PosLess {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OspLess {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+// Finds the contiguous range within `index` (sorted by Cmp) whose triples
+// match the prefix encoded in lo/hi sentinel triples.
+template <typename Cmp>
+std::span<const EncodedTriple> EqualRange(
+    const std::vector<EncodedTriple>& index, const EncodedTriple& lo,
+    const EncodedTriple& hi, Cmp cmp) {
+  auto first = std::lower_bound(index.begin(), index.end(), lo, cmp);
+  auto last = std::upper_bound(index.begin(), index.end(), hi, cmp);
+  if (first >= last) return {};
+  return std::span<const EncodedTriple>(&*first,
+                                        static_cast<size_t>(last - first));
+}
+
+constexpr TermId kMaxId = ~static_cast<TermId>(0);
+
+}  // namespace
+
+void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
+  AddEncoded(EncodedTriple{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
+}
+
+void TripleStore::AddEncoded(EncodedTriple t) {
+  assert(dict_.IsValid(t.s) && dict_.IsValid(t.p) && dict_.IsValid(t.o));
+  spo_.push_back(t);
+  frozen_ = false;
+}
+
+void TripleStore::Freeze() {
+  BuildIndexes();
+  ComputeStats();
+  frozen_ = true;
+}
+
+void TripleStore::BuildIndexes() {
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  spo_.shrink_to_fit();
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+}
+
+void TripleStore::ComputeStats() {
+  stats_.clear();
+  // pos_ is sorted by (p, o, s): per-predicate runs are contiguous, and
+  // within a run objects are grouped, enabling distinct-object counting in
+  // one pass. Distinct subjects need a second pass over a scratch copy per
+  // predicate run sorted by subject.
+  size_t i = 0;
+  while (i < pos_.size()) {
+    TermId p = pos_[i].p;
+    size_t j = i;
+    PredicateStats st;
+    TermId prev_o = kInvalidTermId;
+    std::vector<TermId> subjects;
+    while (j < pos_.size() && pos_[j].p == p) {
+      ++st.triple_count;
+      if (pos_[j].o != prev_o) {
+        ++st.distinct_objects;
+        prev_o = pos_[j].o;
+      }
+      subjects.push_back(pos_[j].s);
+      ++j;
+    }
+    std::sort(subjects.begin(), subjects.end());
+    st.distinct_subjects = static_cast<uint64_t>(
+        std::unique(subjects.begin(), subjects.end()) - subjects.begin());
+    stats_.emplace(p, st);
+    i = j;
+  }
+}
+
+std::span<const EncodedTriple> TripleStore::Match(
+    const TriplePattern& q) const {
+  assert(frozen_ && "TripleStore::Freeze() must be called before Match()");
+  const bool bs = q.s != kInvalidTermId;
+  const bool bp = q.p != kInvalidTermId;
+  const bool bo = q.o != kInvalidTermId;
+
+  if (bs) {
+    // SPO serves s / s,p / s,p,o; OSP serves s,o.
+    if (!bp && bo) {
+      return EqualRange(osp_, EncodedTriple{q.s, kInvalidTermId, q.o},
+                        EncodedTriple{q.s, kMaxId, q.o}, OspLess());
+    }
+    EncodedTriple lo{q.s, bp ? q.p : kInvalidTermId, bo ? q.o : kInvalidTermId};
+    EncodedTriple hi{q.s, bp ? q.p : kMaxId, bo ? q.o : kMaxId};
+    return EqualRange(spo_, lo, hi, SpoLess());
+  }
+  if (bp) {
+    // POS serves p / p,o.
+    EncodedTriple lo{kInvalidTermId, q.p, bo ? q.o : kInvalidTermId};
+    EncodedTriple hi{kMaxId, q.p, bo ? q.o : kMaxId};
+    return EqualRange(pos_, lo, hi, PosLess());
+  }
+  if (bo) {
+    // OSP serves o.
+    return EqualRange(osp_, EncodedTriple{kInvalidTermId, kInvalidTermId, q.o},
+                      EncodedTriple{kMaxId, kMaxId, q.o}, OspLess());
+  }
+  return std::span<const EncodedTriple>(spo_.data(), spo_.size());
+}
+
+uint64_t TripleStore::CountMatches(const TriplePattern& pattern) const {
+  return Match(pattern).size();
+}
+
+std::vector<TermId> TripleStore::PredicatesOfSubject(TermId s) const {
+  std::vector<TermId> out;
+  TermId prev = kInvalidTermId;
+  for (const EncodedTriple& t :
+       Match(TriplePattern{s, kInvalidTermId, kInvalidTermId})) {
+    if (t.p != prev) {
+      out.push_back(t.p);
+      prev = t.p;
+    }
+  }
+  // SPO order groups by predicate within a subject, so `out` is already
+  // deduplicated.
+  return out;
+}
+
+std::vector<TermId> TripleStore::PredicatesOfObject(TermId o) const {
+  std::vector<TermId> out;
+  for (const EncodedTriple& t :
+       Match(TriplePattern{kInvalidTermId, kInvalidTermId, o})) {
+    out.push_back(t.p);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<TermId> TripleStore::AllPredicates() const {
+  std::vector<TermId> out;
+  out.reserve(stats_.size());
+  for (const auto& [p, st] : stats_) out.push_back(p);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+PredicateStats TripleStore::predicate_stats(TermId p) const {
+  auto it = stats_.find(p);
+  return it == stats_.end() ? PredicateStats{} : it->second;
+}
+
+size_t TripleStore::MemoryUsage() const {
+  return dict_.MemoryUsage() +
+         (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
+             sizeof(EncodedTriple) +
+         stats_.size() * (sizeof(TermId) + sizeof(PredicateStats) +
+                          2 * sizeof(void*));
+}
+
+}  // namespace re2xolap::rdf

@@ -1,0 +1,114 @@
+#ifndef RE2XOLAP_RDF_TRIPLE_STORE_H_
+#define RE2XOLAP_RDF_TRIPLE_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/dictionary.h"
+#include "rdf/triple.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace re2xolap::rdf {
+
+/// Per-predicate cardinality statistics used by the query planner for
+/// selectivity-ordered join planning.
+struct PredicateStats {
+  uint64_t triple_count = 0;
+  uint64_t distinct_subjects = 0;
+  uint64_t distinct_objects = 0;
+};
+
+/// In-memory RDF triple store with dictionary encoding and three sorted
+/// index permutations (SPO, POS, OSP), so that every triple pattern with
+/// bound positions maps to a contiguous binary-searchable range.
+///
+/// Usage: Add() triples (cheap append), then Freeze() once before querying.
+/// Further Add() calls invalidate the indexes; Freeze() rebuilds them.
+/// This mirrors the paper's setting: the KG is loaded/bootstrapped once and
+/// then queried read-only.
+class TripleStore {
+ public:
+  TripleStore() = default;
+  TripleStore(const TripleStore&) = delete;
+  TripleStore& operator=(const TripleStore&) = delete;
+
+  /// --- Loading -----------------------------------------------------------
+
+  /// Interns the terms and appends the triple. Duplicate triples are kept
+  /// (deduplicated at Freeze()).
+  void Add(const Term& s, const Term& p, const Term& o);
+
+  /// Appends an already-encoded triple; the ids must come from dictionary().
+  void AddEncoded(EncodedTriple t);
+
+  /// Sorts and deduplicates the three index permutations and computes
+  /// predicate statistics. Must be called after loading, before querying.
+  void Freeze();
+
+  bool frozen() const { return frozen_; }
+
+  /// --- Term access -------------------------------------------------------
+
+  Dictionary& dictionary() { return dict_; }
+  const Dictionary& dictionary() const { return dict_; }
+
+  /// Interns (or finds) a term id.
+  TermId Intern(const Term& t) { return dict_.Intern(t); }
+  /// Finds an existing term id; kInvalidTermId when absent.
+  TermId Lookup(const Term& t) const { return dict_.Lookup(t); }
+  const Term& term(TermId id) const { return dict_.term(id); }
+
+  /// --- Matching (requires frozen()) --------------------------------------
+
+  /// All triples matching the pattern, as a contiguous span into one of the
+  /// sorted indexes. The span's triple component order is always s/p/o
+  /// regardless of which index serves it.
+  std::span<const EncodedTriple> Match(const TriplePattern& pattern) const;
+
+  /// Number of triples matching a pattern (same index ranges, no copy).
+  uint64_t CountMatches(const TriplePattern& pattern) const;
+
+  /// True if at least one triple matches.
+  bool Exists(const TriplePattern& pattern) const {
+    return !Match(pattern).empty();
+  }
+
+  /// Distinct predicate ids appearing on triples with subject `s`.
+  std::vector<TermId> PredicatesOfSubject(TermId s) const;
+
+  /// Distinct predicate ids appearing on triples with object `o`.
+  std::vector<TermId> PredicatesOfObject(TermId o) const;
+
+  /// Distinct predicates in the whole store.
+  std::vector<TermId> AllPredicates() const;
+
+  /// Statistics for a predicate (zeroes for unknown predicates).
+  PredicateStats predicate_stats(TermId p) const;
+
+  /// --- Size accounting ----------------------------------------------------
+
+  uint64_t size() const { return spo_.size(); }
+  /// Approximate heap footprint in bytes (dictionary + 3 indexes).
+  size_t MemoryUsage() const;
+
+ private:
+  /// Reorders [first,last) of spo_ range helpers.
+  void BuildIndexes();
+  void ComputeStats();
+
+  Dictionary dict_;
+  // The three permutations each store full (s,p,o) triples sorted by a
+  // different key order. spo_ doubles as the canonical triple list.
+  std::vector<EncodedTriple> spo_;  // sorted by (s, p, o)
+  std::vector<EncodedTriple> pos_;  // sorted by (p, o, s)
+  std::vector<EncodedTriple> osp_;  // sorted by (o, s, p)
+  std::unordered_map<TermId, PredicateStats> stats_;
+  bool frozen_ = false;
+};
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_TRIPLE_STORE_H_

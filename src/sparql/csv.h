@@ -1,0 +1,18 @@
+#ifndef RE2XOLAP_SPARQL_CSV_H_
+#define RE2XOLAP_SPARQL_CSV_H_
+
+#include <ostream>
+
+#include "sparql/result_table.h"
+
+namespace re2xolap::sparql {
+
+/// Writes the table as RFC-4180-style CSV: a header row of column names,
+/// then one line per row. Cells containing commas, quotes, or newlines
+/// are quoted; embedded quotes are doubled. Term cells render via
+/// ResultTable::CellToString (labels preferred), null cells are empty.
+void WriteCsv(const ResultTable& table, std::ostream& os);
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_CSV_H_

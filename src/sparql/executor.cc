@@ -1,0 +1,819 @@
+#include "sparql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "sparql/parser.h"
+#include "util/timer.h"
+
+namespace re2xolap::sparql {
+
+namespace {
+
+constexpr uint64_t kTimeoutCheckInterval = 8192;
+
+/// Tri-state effective boolean value for filter evaluation.
+enum class Ebv : uint8_t { kFalse = 0, kTrue = 1, kError = 2 };
+
+Ebv EbvAnd(Ebv a, Ebv b) {
+  if (a == Ebv::kFalse || b == Ebv::kFalse) return Ebv::kFalse;
+  if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
+  return Ebv::kTrue;
+}
+Ebv EbvOr(Ebv a, Ebv b) {
+  if (a == Ebv::kTrue || b == Ebv::kTrue) return Ebv::kTrue;
+  if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
+  return Ebv::kFalse;
+}
+Ebv EbvNot(Ebv a) {
+  if (a == Ebv::kError) return Ebv::kError;
+  return a == Ebv::kTrue ? Ebv::kFalse : Ebv::kTrue;
+}
+
+/// Comparison of two cells under SPARQL-ish semantics: numeric when both
+/// sides are numeric, lexical when both are non-numeric, error otherwise.
+/// Returns {comparable, cmp<0|0|>0}.
+struct CellCompare {
+  bool comparable = false;
+  int cmp = 0;
+};
+
+CellCompare CompareCells(const rdf::TripleStore& store, const Cell& a,
+                         const Cell& b) {
+  CellCompare out;
+  if (a.is_null() || b.is_null()) return out;
+  auto numeric = [&](const Cell& c, double* v) {
+    if (c.is_number()) {
+      *v = c.number;
+      return true;
+    }
+    const rdf::Term& t = store.term(c.term);
+    if (t.is_numeric_literal()) {
+      *v = t.AsDouble();
+      return true;
+    }
+    return false;
+  };
+  double va, vb;
+  if (numeric(a, &va) && numeric(b, &vb)) {
+    out.comparable = true;
+    out.cmp = va < vb ? -1 : (va > vb ? 1 : 0);
+    return out;
+  }
+  if (a.is_term() && b.is_term()) {
+    const rdf::Term& ta = store.term(a.term);
+    const rdf::Term& tb = store.term(b.term);
+    // Different kinds (IRI vs literal) are only ==-comparable.
+    out.comparable = true;
+    if (ta.kind != tb.kind) {
+      out.cmp = ta.kind < tb.kind ? -1 : 1;
+      return out;
+    }
+    int c = ta.value.compare(tb.value);
+    out.cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    return out;
+  }
+  return out;  // mixed number vs non-numeric term: incomparable
+}
+
+/// Evaluates a filter expression. LookupFn: const std::string& -> Cell.
+template <typename LookupFn>
+Ebv EvalExpr(const rdf::TripleStore& store, const Expr& e,
+             const LookupFn& lookup) {
+  switch (e.kind) {
+    case ExprKind::kConstant: {
+      // EBV of a constant: boolean literals, non-zero numbers, non-empty
+      // strings.
+      const rdf::Term& t = e.constant;
+      if (t.literal_type == rdf::LiteralType::kBoolean) {
+        return t.value == "true" ? Ebv::kTrue : Ebv::kFalse;
+      }
+      if (t.is_numeric_literal()) {
+        return t.AsDouble() != 0.0 ? Ebv::kTrue : Ebv::kFalse;
+      }
+      return t.value.empty() ? Ebv::kFalse : Ebv::kTrue;
+    }
+    case ExprKind::kVariable: {
+      Cell c = lookup(e.var.name);
+      if (c.is_null()) return Ebv::kError;
+      if (c.is_number()) return c.number != 0.0 ? Ebv::kTrue : Ebv::kFalse;
+      const rdf::Term& t = store.term(c.term);
+      if (t.literal_type == rdf::LiteralType::kBoolean) {
+        return t.value == "true" ? Ebv::kTrue : Ebv::kFalse;
+      }
+      if (t.is_numeric_literal()) {
+        return t.AsDouble() != 0.0 ? Ebv::kTrue : Ebv::kFalse;
+      }
+      return Ebv::kTrue;
+    }
+    case ExprKind::kCompare: {
+      // Evaluate operands to cells.
+      auto operand = [&](const Expr& child) -> Cell {
+        if (child.kind == ExprKind::kVariable) return lookup(child.var.name);
+        if (child.kind == ExprKind::kConstant) {
+          if (child.constant.is_numeric_literal()) {
+            return Cell::OfNumber(child.constant.AsDouble());
+          }
+          rdf::TermId id = store.Lookup(child.constant);
+          if (id != rdf::kInvalidTermId) return Cell::OfTerm(id);
+          // Constant not in the store: compare by materialized value.
+          // Represent as number for numerics (handled above); for other
+          // terms fall back to lexical comparison through a pseudo-null.
+          return Cell::Null();
+        }
+        return Cell::Null();
+      };
+      Cell lhs = operand(*e.children[0]);
+      Cell rhs = operand(*e.children[1]);
+      // Special-case a constant term missing from the dictionary: equal to
+      // nothing, unequal to everything bound.
+      auto missing_const = [&](const Expr& child, const Cell& cell) {
+        return child.kind == ExprKind::kConstant &&
+               !child.constant.is_numeric_literal() && cell.is_null();
+      };
+      bool lhs_missing = missing_const(*e.children[0], lhs);
+      bool rhs_missing = missing_const(*e.children[1], rhs);
+      if (lhs_missing || rhs_missing) {
+        const Cell& other = lhs_missing ? rhs : lhs;
+        if (other.is_null()) return Ebv::kError;
+        if (e.op == CompareOp::kEq) return Ebv::kFalse;
+        if (e.op == CompareOp::kNe) return Ebv::kTrue;
+        // Ordering against a missing term: compare lexically with its
+        // string form.
+        const Expr& cexpr = lhs_missing ? *e.children[0] : *e.children[1];
+        std::string other_str;
+        if (other.is_number()) return Ebv::kError;
+        other_str = store.term(other.term).value;
+        int c = lhs_missing ? cexpr.constant.value.compare(other_str)
+                            : other_str.compare(cexpr.constant.value);
+        // c is "lhs vs rhs" ordering.
+        switch (e.op) {
+          case CompareOp::kLt:
+            return c < 0 ? Ebv::kTrue : Ebv::kFalse;
+          case CompareOp::kLe:
+            return c <= 0 ? Ebv::kTrue : Ebv::kFalse;
+          case CompareOp::kGt:
+            return c > 0 ? Ebv::kTrue : Ebv::kFalse;
+          case CompareOp::kGe:
+            return c >= 0 ? Ebv::kTrue : Ebv::kFalse;
+          default:
+            return Ebv::kError;
+        }
+      }
+      CellCompare cc = CompareCells(store, lhs, rhs);
+      if (!cc.comparable) return Ebv::kError;
+      bool r = false;
+      switch (e.op) {
+        case CompareOp::kEq:
+          r = cc.cmp == 0;
+          break;
+        case CompareOp::kNe:
+          r = cc.cmp != 0;
+          break;
+        case CompareOp::kLt:
+          r = cc.cmp < 0;
+          break;
+        case CompareOp::kLe:
+          r = cc.cmp <= 0;
+          break;
+        case CompareOp::kGt:
+          r = cc.cmp > 0;
+          break;
+        case CompareOp::kGe:
+          r = cc.cmp >= 0;
+          break;
+      }
+      return r ? Ebv::kTrue : Ebv::kFalse;
+    }
+    case ExprKind::kAnd: {
+      Ebv acc = Ebv::kTrue;
+      for (const ExprPtr& c : e.children) {
+        acc = EbvAnd(acc, EvalExpr(store, *c, lookup));
+        if (acc == Ebv::kFalse) return acc;
+      }
+      return acc;
+    }
+    case ExprKind::kOr: {
+      Ebv acc = Ebv::kFalse;
+      for (const ExprPtr& c : e.children) {
+        acc = EbvOr(acc, EvalExpr(store, *c, lookup));
+        if (acc == Ebv::kTrue) return acc;
+      }
+      return acc;
+    }
+    case ExprKind::kNot:
+      return EbvNot(EvalExpr(store, *e.children[0], lookup));
+    case ExprKind::kIn: {
+      Cell c = lookup(e.var.name);
+      if (c.is_null()) return Ebv::kError;
+      for (const rdf::Term& t : e.in_list) {
+        Cell rhs;
+        if (t.is_numeric_literal()) {
+          rhs = Cell::OfNumber(t.AsDouble());
+        } else {
+          rdf::TermId id = store.Lookup(t);
+          if (id == rdf::kInvalidTermId) continue;
+          rhs = Cell::OfTerm(id);
+        }
+        CellCompare cc = CompareCells(store, c, rhs);
+        if (cc.comparable && cc.cmp == 0) return Ebv::kTrue;
+      }
+      return Ebv::kFalse;
+    }
+    case ExprKind::kBound: {
+      return lookup(e.var.name).is_null() ? Ebv::kFalse : Ebv::kTrue;
+    }
+  }
+  return Ebv::kError;
+}
+
+/// Running state of one aggregate.
+struct AggState {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+  std::set<rdf::TermId> distinct_terms;  // only used by COUNT(DISTINCT ?v)
+
+  void Update(double v) {
+    sum += v;
+    min = std::min(min, v);
+    max = std::max(max, v);
+    ++count;
+  }
+
+  void UpdateDistinct(rdf::TermId id) { distinct_terms.insert(id); }
+
+  double Finish(AggFunc f) const {
+    switch (f) {
+      case AggFunc::kSum:
+        return sum;
+      case AggFunc::kMin:
+        return count ? min : 0.0;
+      case AggFunc::kMax:
+        return count ? max : 0.0;
+      case AggFunc::kAvg:
+        return count ? sum / static_cast<double>(count) : 0.0;
+      case AggFunc::kCount:
+        return static_cast<double>(count);
+    }
+    return 0.0;
+  }
+};
+
+struct VecHash {
+  size_t operator()(const std::vector<rdf::TermId>& v) const {
+    size_t h = 14695981039346656037ULL;
+    for (rdf::TermId id : v) {
+      h ^= id;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// Join executor: index nested loop join over the planned steps with
+/// early filters and timeout checks.
+class JoinRunner {
+ public:
+  JoinRunner(const rdf::TripleStore& store, const Plan& plan,
+             const ExecOptions& options, ExecStats* stats)
+      : store_(store), plan_(plan), options_(options), stats_(stats) {}
+
+  /// Runs the join; calls `on_row(bindings)` for every complete binding.
+  /// When `row_cap` is non-zero the join stops early after producing that
+  /// many rows (safe only when no later operator reorders/merges rows).
+  /// Returns non-OK on timeout.
+  template <typename RowFn>
+  util::Status Run(RowFn&& on_row, uint64_t row_cap = 0) {
+    bindings_.assign(plan_.slot_count, rdf::kInvalidTermId);
+    row_cap_ = row_cap;
+    rows_emitted_ = 0;
+    stopped_ = false;
+    timer_.Restart();
+    return Step(0, on_row);
+  }
+
+ private:
+  util::Status CheckTimeout() {
+    if (options_.timeout_millis == 0) return util::Status::OK();
+    if (++ops_ % kTimeoutCheckInterval != 0) return util::Status::OK();
+    if (timer_.ElapsedMillis() >
+        static_cast<double>(options_.timeout_millis)) {
+      return util::Status::Timeout("query exceeded " +
+                                   std::to_string(options_.timeout_millis) +
+                                   " ms");
+    }
+    return util::Status::OK();
+  }
+
+  Cell LookupVar(const std::string& name) const {
+    int slot = plan_.SlotOf(name);
+    if (slot < 0 || bindings_[slot] == rdf::kInvalidTermId) {
+      return Cell::Null();
+    }
+    return Cell::OfTerm(bindings_[slot]);
+  }
+
+  util::Status ApplyFiltersAfter(size_t step, bool* pass) {
+    *pass = true;
+    for (const PlannedFilter& pf : plan_.filters) {
+      if (pf.apply_after_step != step) continue;
+      Ebv v = EvalExpr(store_, *pf.expr,
+                       [this](const std::string& n) { return LookupVar(n); });
+      if (v != Ebv::kTrue) {
+        *pass = false;
+        return util::Status::OK();
+      }
+    }
+    return util::Status::OK();
+  }
+
+  template <typename RowFn>
+  util::Status Step(size_t step, RowFn& on_row) {
+    if (step == 0) {
+      bool pass = true;
+      RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(0, &pass));
+      if (!pass) return util::Status::OK();
+    }
+    if (step == plan_.steps.size()) {
+      return OptionalStep(0, on_row);
+    }
+    if (stopped_) return util::Status::OK();
+    const PhysicalPattern& pp = plan_.steps[step];
+    rdf::TriplePattern q;
+    auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
+      if (cid != rdf::kInvalidTermId) return cid;
+      if (slot >= 0 && bindings_[slot] != rdf::kInvalidTermId) {
+        return bindings_[slot];
+      }
+      return rdf::kInvalidTermId;
+    };
+    q.s = fix(pp.s_id, pp.s_slot);
+    q.p = fix(pp.p_id, pp.p_slot);
+    q.o = fix(pp.o_id, pp.o_slot);
+
+    for (const rdf::EncodedTriple& t : store_.Match(q)) {
+      if (stopped_) return util::Status::OK();
+      if (stats_) ++stats_->triples_scanned;
+      RE2X_RETURN_IF_ERROR(CheckTimeout());
+      // Bind unbound slots; verify repeated-variable consistency.
+      int newly_bound[3];
+      int n_new = 0;
+      bool consistent = true;
+      auto bind = [&](int slot, rdf::TermId value) {
+        if (slot < 0) return;
+        if (bindings_[slot] == rdf::kInvalidTermId) {
+          bindings_[slot] = value;
+          newly_bound[n_new++] = slot;
+        } else if (bindings_[slot] != value) {
+          consistent = false;
+        }
+      };
+      bind(pp.s_slot, t.s);
+      if (consistent) bind(pp.p_slot, t.p);
+      if (consistent) bind(pp.o_slot, t.o);
+      if (consistent) {
+        bool pass = true;
+        RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
+        if (pass) {
+          util::Status st = Step(step + 1, on_row);
+          if (!st.ok()) {
+            for (int i = 0; i < n_new; ++i) {
+              bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+            }
+            return st;
+          }
+        }
+      }
+      for (int i = 0; i < n_new; ++i) {
+        bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+      }
+    }
+    return util::Status::OK();
+  }
+
+  // Left-join extension: tries to match optional block `block`; every
+  // complete extension recurses into the next block, and a block with no
+  // match falls through with its variables left unbound.
+  template <typename RowFn>
+  util::Status OptionalStep(size_t block, RowFn& on_row) {
+    if (stopped_) return util::Status::OK();
+    if (block == plan_.optionals.size()) {
+      // Filters that could not be attached to the mandatory join.
+      for (const ExprPtr& f : plan_.post_optional_filters) {
+        Ebv v = EvalExpr(store_, *f, [this](const std::string& n) {
+          return LookupVar(n);
+        });
+        if (v != Ebv::kTrue) return util::Status::OK();
+      }
+      if (stats_) ++stats_->intermediate_bindings;
+      on_row(bindings_);
+      if (row_cap_ != 0 && ++rows_emitted_ >= row_cap_) stopped_ = true;
+      return CheckTimeout();
+    }
+    const PlannedOptional& po = plan_.optionals[block];
+    if (po.never_matches || po.steps.empty()) {
+      return OptionalStep(block + 1, on_row);
+    }
+    bool matched = false;
+    RE2X_RETURN_IF_ERROR(OptionalPattern(block, 0, &matched, on_row));
+    if (!matched && !stopped_) return OptionalStep(block + 1, on_row);
+    return util::Status::OK();
+  }
+
+  template <typename RowFn>
+  util::Status OptionalPattern(size_t block, size_t idx, bool* matched,
+                               RowFn& on_row) {
+    const PlannedOptional& po = plan_.optionals[block];
+    if (idx == po.steps.size()) {
+      *matched = true;
+      return OptionalStep(block + 1, on_row);
+    }
+    const PhysicalPattern& pp = po.steps[idx];
+    rdf::TriplePattern q;
+    auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
+      if (cid != rdf::kInvalidTermId) return cid;
+      if (slot >= 0 && bindings_[slot] != rdf::kInvalidTermId) {
+        return bindings_[slot];
+      }
+      return rdf::kInvalidTermId;
+    };
+    q.s = fix(pp.s_id, pp.s_slot);
+    q.p = fix(pp.p_id, pp.p_slot);
+    q.o = fix(pp.o_id, pp.o_slot);
+    for (const rdf::EncodedTriple& t : store_.Match(q)) {
+      if (stopped_) return util::Status::OK();
+      if (stats_) ++stats_->triples_scanned;
+      RE2X_RETURN_IF_ERROR(CheckTimeout());
+      int newly_bound[3];
+      int n_new = 0;
+      bool consistent = true;
+      auto bind = [&](int slot, rdf::TermId value) {
+        if (slot < 0) return;
+        if (bindings_[slot] == rdf::kInvalidTermId) {
+          bindings_[slot] = value;
+          newly_bound[n_new++] = slot;
+        } else if (bindings_[slot] != value) {
+          consistent = false;
+        }
+      };
+      bind(pp.s_slot, t.s);
+      if (consistent) bind(pp.p_slot, t.p);
+      if (consistent) bind(pp.o_slot, t.o);
+      if (consistent) {
+        util::Status st = OptionalPattern(block, idx + 1, matched, on_row);
+        if (!st.ok()) {
+          for (int i = 0; i < n_new; ++i) {
+            bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+          }
+          return st;
+        }
+      }
+      for (int i = 0; i < n_new; ++i) {
+        bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+      }
+    }
+    return util::Status::OK();
+  }
+
+  const rdf::TripleStore& store_;
+  const Plan& plan_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+  std::vector<rdf::TermId> bindings_;
+  util::WallTimer timer_;
+  uint64_t ops_ = 0;
+  uint64_t row_cap_ = 0;
+  uint64_t rows_emitted_ = 0;
+  bool stopped_ = false;
+};
+
+/// Orders cells for ORDER BY / DISTINCT: nulls < numbers < terms.
+int OrderCells(const rdf::TripleStore& store, const Cell& a, const Cell& b) {
+  if (a.kind != b.kind) {
+    return static_cast<int>(a.kind) < static_cast<int>(b.kind) ? -1 : 1;
+  }
+  switch (a.kind) {
+    case Cell::Kind::kNull:
+      return 0;
+    case Cell::Kind::kNumber:
+      return a.number < b.number ? -1 : (a.number > b.number ? 1 : 0);
+    case Cell::Kind::kTerm: {
+      CellCompare cc = CompareCells(store, a, b);
+      if (cc.comparable) return cc.cmp;
+      return a.term < b.term ? -1 : (a.term > b.term ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query,
+                                  const ExecOptions& options,
+                                  ExecStats* stats) {
+  util::WallTimer total_timer;
+
+  // ASK: rewrite into an early-exiting LIMIT-1 existence probe and wrap
+  // the answer as a one-cell boolean table (column "ask", 1 or 0).
+  if (query.is_ask) {
+    SelectQuery probe = query;
+    probe.is_ask = false;
+    probe.distinct = false;
+    probe.select_all = false;
+    probe.items.clear();
+    probe.group_by.clear();
+    probe.having.clear();
+    probe.order_by.clear();
+    probe.limit = 1;
+    probe.offset = 0;
+    // Project the first variable mentioned in the BGP; a fully constant
+    // BGP degenerates to counting matches.
+    for (const TriplePatternAst& tp : query.patterns) {
+      for (const TermOrVar* pos : {&tp.s, &tp.p, &tp.o}) {
+        if (IsVar(*pos)) {
+          SelectItem item;
+          item.var = AsVar(*pos);
+          probe.items.push_back(std::move(item));
+          break;
+        }
+      }
+      if (!probe.items.empty()) break;
+    }
+    if (probe.items.empty()) {
+      SelectItem item;
+      item.is_aggregate = true;
+      item.func = AggFunc::kCount;
+      item.count_star = true;
+      item.alias = "n";
+      probe.items.push_back(std::move(item));
+      probe.limit.reset();
+    }
+    RE2X_ASSIGN_OR_RETURN(ResultTable sub,
+                          Execute(store, probe, options, stats));
+    bool answer = false;
+    if (!sub.rows().empty()) {
+      answer = sub.columns()[0] == "n"
+                   ? sub.NumericValue(sub.at(0, 0)) > 0
+                   : true;
+    }
+    ResultTable out(&store, {"ask"});
+    out.AddRow({Cell::OfNumber(answer ? 1.0 : 0.0)});
+    return out;
+  }
+
+  // --- validate & derive output columns ------------------------------------
+  const bool aggregating = query.has_aggregates() || !query.group_by.empty();
+  std::vector<SelectItem> items = query.items;
+  util::WallTimer plan_timer;
+  RE2X_ASSIGN_OR_RETURN(Plan plan,
+                        PlanQuery(store, query, options.plan));
+  if (stats) stats->plan_millis = plan_timer.ElapsedMillis();
+
+  if (query.select_all) {
+    if (aggregating) {
+      return util::Status::InvalidArgument(
+          "SELECT * cannot be combined with aggregation");
+    }
+    // All user variables (skip internal `__` path vars), ordered by slot.
+    std::vector<std::pair<int, std::string>> vars;
+    for (const auto& [name, slot] : plan.var_slots) {
+      if (name.rfind("__", 0) == 0) continue;
+      vars.emplace_back(slot, name);
+    }
+    std::sort(vars.begin(), vars.end());
+    items.clear();
+    for (auto& [slot, name] : vars) {
+      SelectItem it;
+      it.var = Variable{name};
+      items.push_back(std::move(it));
+    }
+  }
+  if (items.empty()) {
+    return util::Status::InvalidArgument("query projects no columns");
+  }
+  if (aggregating) {
+    for (const SelectItem& it : items) {
+      if (it.is_aggregate) continue;
+      bool in_group = false;
+      for (const Variable& g : query.group_by) {
+        if (g.name == it.var.name) {
+          in_group = true;
+          break;
+        }
+      }
+      if (!in_group) {
+        return util::Status::InvalidArgument(
+            "projected variable ?" + it.var.name +
+            " must appear in GROUP BY when aggregating");
+      }
+    }
+  }
+
+  std::vector<std::string> columns;
+  columns.reserve(items.size());
+  for (const SelectItem& it : items) columns.push_back(it.OutputName());
+  ResultTable table(&store, columns);
+
+  if (plan.impossible) {
+    if (stats) stats->exec_millis = total_timer.ElapsedMillis();
+    return table;  // provably empty
+  }
+
+  // Slots needed for projection.
+  std::vector<int> item_slots(items.size(), -1);
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (!items[i].is_aggregate || !items[i].count_star) {
+      item_slots[i] = plan.SlotOf(items[i].var.name);
+    }
+  }
+
+  JoinRunner runner(store, plan, options, stats);
+
+  if (!aggregating) {
+    // LIMIT can stop the join early when no later operator needs the full
+    // row set (this is what makes ReOLAP's LIMIT-1 validation probes
+    // cheap).
+    uint64_t row_cap = 0;
+    if (query.limit.has_value() && !query.distinct &&
+        query.order_by.empty() && query.having.empty()) {
+      row_cap = query.offset + *query.limit;
+    }
+    util::Status st = runner.Run(
+        [&](const std::vector<rdf::TermId>& bindings) {
+          Row row(items.size());
+          for (size_t i = 0; i < items.size(); ++i) {
+            int slot = item_slots[i];
+            row[i] = (slot >= 0 && bindings[slot] != rdf::kInvalidTermId)
+                         ? Cell::OfTerm(bindings[slot])
+                         : Cell::Null();
+          }
+          table.AddRow(std::move(row));
+        },
+        row_cap);
+    RE2X_RETURN_IF_ERROR(st);
+  } else {
+    // Group keys = group_by slots (in declared order).
+    std::vector<int> group_slots;
+    group_slots.reserve(query.group_by.size());
+    for (const Variable& g : query.group_by) {
+      group_slots.push_back(plan.SlotOf(g.name));
+    }
+    struct Group {
+      std::vector<AggState> aggs;
+    };
+    std::unordered_map<std::vector<rdf::TermId>, Group, VecHash> groups;
+    size_t n_aggs = 0;
+    for (const SelectItem& it : items) n_aggs += it.is_aggregate ? 1 : 0;
+
+    util::Status st =
+        runner.Run([&](const std::vector<rdf::TermId>& bindings) {
+          std::vector<rdf::TermId> key(group_slots.size());
+          for (size_t i = 0; i < group_slots.size(); ++i) {
+            key[i] = group_slots[i] >= 0 ? bindings[group_slots[i]]
+                                         : rdf::kInvalidTermId;
+          }
+          Group& g = groups[key];
+          if (g.aggs.empty()) g.aggs.resize(n_aggs);
+          size_t agg_idx = 0;
+          for (size_t i = 0; i < items.size(); ++i) {
+            if (!items[i].is_aggregate) continue;
+            AggState& state = g.aggs[agg_idx++];
+            if (items[i].count_star) {
+              state.Update(0.0);  // COUNT(*): value irrelevant
+            } else {
+              int slot = item_slots[i];
+              if (slot >= 0 && bindings[slot] != rdf::kInvalidTermId) {
+                if (items[i].distinct_agg) {
+                  state.UpdateDistinct(bindings[slot]);
+                } else {
+                  state.Update(store.term(bindings[slot]).AsDouble());
+                }
+              }
+            }
+          }
+          if (n_aggs == 0) {
+            // Pure GROUP BY without aggregates: the group itself is a row;
+            // ensure the group exists (done by groups[key] above).
+          }
+        });
+    RE2X_RETURN_IF_ERROR(st);
+
+    for (const auto& [key, group] : groups) {
+      Row row(items.size());
+      size_t agg_idx = 0;
+      size_t key_pos;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].is_aggregate) {
+          const AggState& state = group.aggs[agg_idx];
+          row[i] = Cell::OfNumber(
+              items[i].distinct_agg
+                  ? static_cast<double>(state.distinct_terms.size())
+                  : state.Finish(items[i].func));
+          ++agg_idx;
+          continue;
+        }
+        // Find this variable's position in the group key.
+        key_pos = 0;
+        for (size_t gi = 0; gi < query.group_by.size(); ++gi) {
+          if (query.group_by[gi].name == items[i].var.name) {
+            key_pos = gi;
+            break;
+          }
+        }
+        row[i] = key[key_pos] != rdf::kInvalidTermId ? Cell::OfTerm(key[key_pos])
+                                                     : Cell::Null();
+      }
+      table.AddRow(std::move(row));
+    }
+  }
+
+  // --- HAVING ---------------------------------------------------------------
+  if (!query.having.empty()) {
+    std::vector<Row>& rows = table.mutable_rows();
+    std::vector<Row> kept;
+    kept.reserve(rows.size());
+    for (Row& row : rows) {
+      auto lookup = [&](const std::string& name) -> Cell {
+        int idx = table.ColumnIndex(name);
+        return idx < 0 ? Cell::Null() : row[idx];
+      };
+      bool pass = true;
+      for (const ExprPtr& h : query.having) {
+        if (EvalExpr(store, *h, lookup) != Ebv::kTrue) {
+          pass = false;
+          break;
+        }
+      }
+      if (pass) kept.push_back(std::move(row));
+    }
+    rows.swap(kept);
+  }
+
+  // --- DISTINCT ---------------------------------------------------------------
+  if (query.distinct) {
+    std::vector<Row>& rows = table.mutable_rows();
+    auto row_less = [&](const Row& a, const Row& b) {
+      for (size_t i = 0; i < a.size(); ++i) {
+        int c = OrderCells(store, a[i], b[i]);
+        if (c != 0) return c < 0;
+      }
+      return false;
+    };
+    std::sort(rows.begin(), rows.end(), row_less);
+    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  }
+
+  // --- ORDER BY ---------------------------------------------------------------
+  if (!query.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;  // column index, ascending
+    for (const OrderKey& k : query.order_by) {
+      int idx = table.ColumnIndex(k.column);
+      if (idx < 0) {
+        return util::Status::InvalidArgument("ORDER BY references unknown column ?" +
+                                             k.column);
+      }
+      keys.emplace_back(idx, k.ascending);
+    }
+    std::vector<Row>& rows = table.mutable_rows();
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (auto [idx, asc] : keys) {
+                         int c = OrderCells(store, a[idx], b[idx]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+
+  // --- OFFSET / LIMIT -----------------------------------------------------------
+  if (query.offset > 0 || query.limit.has_value()) {
+    std::vector<Row>& rows = table.mutable_rows();
+    size_t begin = std::min<size_t>(query.offset, rows.size());
+    size_t end = rows.size();
+    if (query.limit.has_value()) {
+      end = std::min<size_t>(begin + *query.limit, rows.size());
+    }
+    std::vector<Row> sliced(rows.begin() + begin, rows.begin() + end);
+    rows.swap(sliced);
+  }
+
+  if (stats) stats->exec_millis = total_timer.ElapsedMillis();
+  return table;
+}
+
+util::Result<ResultTable> ExecuteText(const rdf::TripleStore& store,
+                                      std::string_view sparql,
+                                      const ExecOptions& options,
+                                      ExecStats* stats) {
+  RE2X_ASSIGN_OR_RETURN(SelectQuery q, ParseQuery(sparql));
+  return Execute(store, q, options, stats);
+}
+
+}  // namespace re2xolap::sparql

@@ -1,0 +1,46 @@
+#ifndef RE2XOLAP_SPARQL_EXECUTOR_H_
+#define RE2XOLAP_SPARQL_EXECUTOR_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/plan.h"
+#include "sparql/result_table.h"
+#include "util/result.h"
+
+namespace re2xolap::sparql {
+
+/// Execution knobs.
+struct ExecOptions {
+  /// 0 = no timeout. The paper's experiments run the endpoint with a
+  /// 15-minute timeout; benches use much smaller values.
+  uint64_t timeout_millis = 0;
+  PlanOptions plan;
+};
+
+/// Lightweight run statistics, filled when a pointer is passed to Execute.
+struct ExecStats {
+  uint64_t intermediate_bindings = 0;  // bindings produced across all steps
+  uint64_t triples_scanned = 0;        // index entries inspected
+  double plan_millis = 0;
+  double exec_millis = 0;
+};
+
+/// Plans and executes `query` against `store`. Returns the materialized
+/// result table, or a Status on invalid queries / timeout.
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query,
+                                  const ExecOptions& options = {},
+                                  ExecStats* stats = nullptr);
+
+/// Convenience: parse + execute SPARQL text.
+util::Result<ResultTable> ExecuteText(const rdf::TripleStore& store,
+                                      std::string_view sparql,
+                                      const ExecOptions& options = {},
+                                      ExecStats* stats = nullptr);
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_EXECUTOR_H_

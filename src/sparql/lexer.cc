@@ -1,0 +1,218 @@
+#include "sparql/lexer.h"
+
+#include <cctype>
+
+namespace re2xolap::sparql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+util::Status LexError(size_t pos, const std::string& what) {
+  return util::Status::ParseError("lex error at offset " +
+                                  std::to_string(pos) + ": " + what);
+}
+
+}  // namespace
+
+util::Result<std::vector<Token>> Tokenize(std::string_view in) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](TokenKind k, std::string v, size_t pos) {
+    tokens.push_back(Token{k, std::move(v), pos});
+  };
+  while (i < in.size()) {
+    char c = in[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {  // comment to end of line
+      while (i < in.size() && in[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    switch (c) {
+      case '{':
+        push(TokenKind::kLBrace, "{", start);
+        ++i;
+        continue;
+      case '}':
+        push(TokenKind::kRBrace, "}", start);
+        ++i;
+        continue;
+      case '(':
+        push(TokenKind::kLParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenKind::kRParen, ")", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenKind::kComma, ",", start);
+        ++i;
+        continue;
+      case ';':
+        push(TokenKind::kSemicolon, ";", start);
+        ++i;
+        continue;
+      case '/':
+        push(TokenKind::kSlash, "/", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenKind::kStar, "*", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenKind::kEq, "=", start);
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    if (c == '^' && i + 1 < in.size() && in[i + 1] == '^') {
+      push(TokenKind::kCaretCaret, "^^", start);
+      i += 2;
+      continue;
+    }
+    if (c == '&' && i + 1 < in.size() && in[i + 1] == '&') {
+      push(TokenKind::kAndAnd, "&&", start);
+      i += 2;
+      continue;
+    }
+    if (c == '|' && i + 1 < in.size() && in[i + 1] == '|') {
+      push(TokenKind::kOrOr, "||", start);
+      i += 2;
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < in.size() && in[i + 1] == '=') {
+        push(TokenKind::kNe, "!=", start);
+        i += 2;
+      } else {
+        push(TokenKind::kBang, "!", start);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < in.size() && in[i + 1] == '=') {
+        push(TokenKind::kGe, ">=", start);
+        i += 2;
+      } else {
+        push(TokenKind::kGt, ">", start);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '<') {
+      if (i + 1 < in.size() && in[i + 1] == '=') {
+        push(TokenKind::kLe, "<=", start);
+        i += 2;
+        continue;
+      }
+      // IRI if a '>' occurs before any whitespace; else a '<' operator.
+      size_t j = i + 1;
+      bool is_iri = false;
+      while (j < in.size()) {
+        if (in[j] == '>') {
+          is_iri = true;
+          break;
+        }
+        if (std::isspace(static_cast<unsigned char>(in[j]))) break;
+        ++j;
+      }
+      if (is_iri) {
+        push(TokenKind::kIri, std::string(in.substr(i + 1, j - i - 1)), start);
+        i = j + 1;
+      } else {
+        push(TokenKind::kLt, "<", start);
+        ++i;
+      }
+      continue;
+    }
+    if (c == '?' || c == '$') {
+      size_t j = i + 1;
+      while (j < in.size() && IsIdentChar(in[j])) ++j;
+      if (j == i + 1) return LexError(start, "empty variable name");
+      push(TokenKind::kVariable, std::string(in.substr(i + 1, j - i - 1)),
+           start);
+      i = j;
+      continue;
+    }
+    if (c == '"') {
+      std::string value;
+      size_t j = i + 1;
+      while (j < in.size() && in[j] != '"') {
+        if (in[j] == '\\' && j + 1 < in.size()) ++j;
+        value += in[j];
+        ++j;
+      }
+      if (j >= in.size()) return LexError(start, "unterminated string");
+      push(TokenKind::kString, std::move(value), start);
+      i = j + 1;
+      continue;
+    }
+    if (IsDigit(c) || (c == '.' && i + 1 < in.size() && IsDigit(in[i + 1])) ||
+        (c == '-' && i + 1 < in.size() &&
+         (IsDigit(in[i + 1]) || in[i + 1] == '.'))) {
+      size_t j = i;
+      if (in[j] == '-') ++j;
+      bool is_double = false;
+      while (j < in.size() && (IsDigit(in[j]) || in[j] == '.' ||
+                               in[j] == 'e' || in[j] == 'E' ||
+                               ((in[j] == '+' || in[j] == '-') && j > i &&
+                                (in[j - 1] == 'e' || in[j - 1] == 'E')))) {
+        if (in[j] == '.' || in[j] == 'e' || in[j] == 'E') {
+          // A '.' directly followed by a non-digit is the statement
+          // terminator, not part of the number.
+          if (in[j] == '.' && (j + 1 >= in.size() || !IsDigit(in[j + 1]))) {
+            break;
+          }
+          is_double = true;
+        }
+        ++j;
+      }
+      push(is_double ? TokenKind::kDouble : TokenKind::kInteger,
+           std::string(in.substr(i, j - i)), start);
+      i = j;
+      continue;
+    }
+    if (c == '.') {
+      push(TokenKind::kDot, ".", start);
+      ++i;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < in.size() && IsIdentChar(in[j])) ++j;
+      // "ns:local" is a prefixed name.
+      if (j < in.size() && in[j] == ':') {
+        size_t k = j + 1;
+        while (k < in.size() && (IsIdentChar(in[k]) || in[k] == '.')) ++k;
+        // Trailing '.' belongs to the statement, not the local name.
+        while (k > j + 1 && in[k - 1] == '.') --k;
+        push(TokenKind::kPrefixedName, std::string(in.substr(i, k - i)),
+             start);
+        i = k;
+      } else {
+        push(TokenKind::kIdent, std::string(in.substr(i, j - i)), start);
+        i = j;
+      }
+      continue;
+    }
+    return LexError(start, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back(Token{TokenKind::kEof, "", in.size()});
+  return tokens;
+}
+
+}  // namespace re2xolap::sparql

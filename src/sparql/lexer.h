@@ -1,0 +1,56 @@
+#ifndef RE2XOLAP_SPARQL_LEXER_H_
+#define RE2XOLAP_SPARQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace re2xolap::sparql {
+
+enum class TokenKind : uint8_t {
+  kEof,
+  kIri,        // <...> (value = IRI without brackets)
+  kPrefixedName,  // ns:local (value = raw text)
+  kVariable,   // ?name (value = name)
+  kString,     // "..." (value = unescaped content)
+  kInteger,    // 123
+  kDouble,     // 1.5, .5, 1e3
+  kIdent,      // bare word: keywords SELECT/WHERE/... and xsd:... handled as kPrefixedName
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kDot,        // .
+  kComma,      // ,
+  kSemicolon,  // ;
+  kSlash,      // /
+  kStar,       // *
+  kEq,         // =
+  kNe,         // !=
+  kLt,         // <  (only in expression context; lexer resolves by lookahead)
+  kLe,         // <=
+  kGt,         // >
+  kGe,         // >=
+  kAndAnd,     // &&
+  kOrOr,       // ||
+  kBang,       // !
+  kCaretCaret, // ^^
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string value;  // semantic payload, see TokenKind comments
+  size_t position = 0;  // byte offset in the input, for error messages
+};
+
+/// Tokenizes a SPARQL query string. `<` followed by a non-space, non-'='
+/// run terminated by `>` is treated as an IRI; otherwise as a comparison
+/// operator.
+util::Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_LEXER_H_

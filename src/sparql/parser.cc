@@ -1,0 +1,594 @@
+#include "sparql/parser.h"
+
+#include <map>
+
+#include "sparql/lexer.h"
+#include "util/string_utils.h"
+
+namespace re2xolap::sparql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  util::Result<SelectQuery> Parse() {
+    RE2X_RETURN_IF_ERROR(ParsePrologue());
+    RE2X_RETURN_IF_ERROR(ParseSelectClause());
+    RE2X_RETURN_IF_ERROR(ParseWhereClause());
+    RE2X_RETURN_IF_ERROR(ParseSolutionModifiers());
+    if (!AtEof()) {
+      return Error("unexpected trailing input '" + Peek().value + "'");
+    }
+    return std::move(query_);
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+
+  bool CheckKeyword(std::string_view kw) const {
+    return Peek().kind == TokenKind::kIdent &&
+           util::ToLower(Peek().value) == util::ToLower(std::string(kw));
+  }
+  bool MatchKeyword(std::string_view kw) {
+    if (!CheckKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  bool Match(TokenKind k) {
+    if (Peek().kind != k) return false;
+    Advance();
+    return true;
+  }
+
+  util::Status Error(const std::string& what) const {
+    return util::Status::ParseError("parse error at offset " +
+                                    std::to_string(Peek().position) + ": " +
+                                    what);
+  }
+
+  util::Status Expect(TokenKind k, const char* what) {
+    if (!Match(k)) return Error(std::string("expected ") + what);
+    return util::Status::OK();
+  }
+
+  // --- prologue -----------------------------------------------------------
+
+  util::Status ParsePrologue() {
+    while (MatchKeyword("PREFIX")) {
+      if (Peek().kind != TokenKind::kPrefixedName &&
+          Peek().kind != TokenKind::kIdent) {
+        return Error("expected prefix name after PREFIX");
+      }
+      std::string ns = Advance().value;
+      if (!ns.empty() && ns.back() == ':') ns.pop_back();
+      // kPrefixedName includes the colon inside (e.g. "ns:"), kIdent does not.
+      size_t colon = ns.find(':');
+      if (colon != std::string::npos) ns = ns.substr(0, colon);
+      if (Peek().kind != TokenKind::kIri) {
+        return Error("expected <iri> after PREFIX " + ns + ":");
+      }
+      prefixes_[ns] = Advance().value;
+    }
+    return util::Status::OK();
+  }
+
+  // Expands "ns:local" using declared prefixes; undeclared prefixes keep the
+  // raw text as the IRI (common for synthetic vocabularies in tests).
+  rdf::Term ExpandPrefixed(const std::string& raw) const {
+    size_t colon = raw.find(':');
+    std::string ns = raw.substr(0, colon);
+    std::string local = raw.substr(colon + 1);
+    auto it = prefixes_.find(ns);
+    if (it != prefixes_.end()) return rdf::Term::Iri(it->second + local);
+    return rdf::Term::Iri(raw);
+  }
+
+  // --- select -------------------------------------------------------------
+
+  util::Status ParseSelectClause() {
+    if (MatchKeyword("ASK")) {
+      query_.is_ask = true;
+      return util::Status::OK();
+    }
+    if (!MatchKeyword("SELECT")) return Error("expected SELECT or ASK");
+    if (MatchKeyword("DISTINCT")) query_.distinct = true;
+    if (Match(TokenKind::kStar)) {
+      query_.select_all = true;
+      return util::Status::OK();
+    }
+    bool any = false;
+    while (true) {
+      if (Peek().kind == TokenKind::kVariable) {
+        SelectItem item;
+        item.var = Variable{Advance().value};
+        query_.items.push_back(std::move(item));
+        any = true;
+        continue;
+      }
+      // Aggregate: either bare `SUM(?v)` or parenthesized
+      // `(SUM(?v) AS ?alias)`.
+      bool parenthesized = false;
+      size_t saved = pos_;
+      if (Peek().kind == TokenKind::kLParen) {
+        Advance();
+        parenthesized = true;
+      }
+      AggFunc func;
+      if (!PeekAggFunc(&func)) {
+        if (parenthesized) pos_ = saved;
+        break;
+      }
+      Advance();  // function name
+      RE2X_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after aggregate"));
+      SelectItem item;
+      item.is_aggregate = true;
+      item.func = func;
+      if (MatchKeyword("DISTINCT")) {
+        if (func != AggFunc::kCount) {
+          return Error("DISTINCT aggregates are only supported for COUNT");
+        }
+        item.distinct_agg = true;
+      }
+      if (Match(TokenKind::kStar)) {
+        if (func != AggFunc::kCount) {
+          return Error("'*' argument only valid for COUNT");
+        }
+        item.count_star = true;
+      } else if (Peek().kind == TokenKind::kVariable) {
+        item.var = Variable{Advance().value};
+      } else {
+        return Error("expected variable or * in aggregate");
+      }
+      RE2X_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after aggregate"));
+      if (MatchKeyword("AS")) {
+        if (Peek().kind != TokenKind::kVariable) {
+          return Error("expected ?alias after AS");
+        }
+        item.alias = Advance().value;
+      }
+      if (parenthesized) {
+        RE2X_RETURN_IF_ERROR(
+            Expect(TokenKind::kRParen, "')' closing select item"));
+      }
+      query_.items.push_back(std::move(item));
+      any = true;
+    }
+    if (!any) return Error("SELECT clause has no items");
+    return util::Status::OK();
+  }
+
+  bool PeekAggFunc(AggFunc* out) const {
+    if (Peek().kind != TokenKind::kIdent) return false;
+    std::string up = util::ToLower(Peek().value);
+    if (up == "sum") *out = AggFunc::kSum;
+    else if (up == "min") *out = AggFunc::kMin;
+    else if (up == "max") *out = AggFunc::kMax;
+    else if (up == "avg") *out = AggFunc::kAvg;
+    else if (up == "count") *out = AggFunc::kCount;
+    else return false;
+    return true;
+  }
+
+  // --- where --------------------------------------------------------------
+
+  util::Status ParseWhereClause() {
+    MatchKeyword("WHERE");  // WHERE keyword is optional in SPARQL
+    RE2X_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{'"));
+    while (!Match(TokenKind::kRBrace)) {
+      if (AtEof()) return Error("unterminated WHERE block");
+      if (MatchKeyword("FILTER")) {
+        ExprPtr e;
+        RE2X_RETURN_IF_ERROR(ParseExpr(&e));
+        query_.filters.push_back(std::move(e));
+        Match(TokenKind::kDot);  // optional separator
+        continue;
+      }
+      if (MatchKeyword("VALUES")) {
+        // VALUES ?var { t1 t2 ... } — sugar for FILTER (?var IN (...)).
+        if (Peek().kind != TokenKind::kVariable) {
+          return Error("expected variable after VALUES");
+        }
+        std::string var = Advance().value;
+        RE2X_RETURN_IF_ERROR(Expect(TokenKind::kLBrace, "'{' after VALUES"));
+        std::vector<rdf::Term> values;
+        while (!Match(TokenKind::kRBrace)) {
+          if (AtEof()) return Error("unterminated VALUES block");
+          rdf::Term t;
+          RE2X_RETURN_IF_ERROR(ParseConstantTerm(&t));
+          values.push_back(std::move(t));
+        }
+        if (values.empty()) return Error("empty VALUES block");
+        query_.filters.push_back(Expr::In(std::move(var), std::move(values)));
+        Match(TokenKind::kDot);
+        continue;
+      }
+      if (MatchKeyword("OPTIONAL")) {
+        RE2X_RETURN_IF_ERROR(
+            Expect(TokenKind::kLBrace, "'{' after OPTIONAL"));
+        // Redirect triple parsing into the new block.
+        size_t mandatory_count = query_.patterns.size();
+        while (!Match(TokenKind::kRBrace)) {
+          if (AtEof()) return Error("unterminated OPTIONAL block");
+          RE2X_RETURN_IF_ERROR(ParseTripleBlock());
+        }
+        std::vector<TriplePatternAst> block(
+            query_.patterns.begin() + static_cast<long>(mandatory_count),
+            query_.patterns.end());
+        query_.patterns.resize(mandatory_count);
+        if (block.empty()) return Error("empty OPTIONAL block");
+        query_.optional_blocks.push_back(std::move(block));
+        Match(TokenKind::kDot);
+        continue;
+      }
+      RE2X_RETURN_IF_ERROR(ParseTripleBlock());
+    }
+    return util::Status::OK();
+  }
+
+  // subject (predicate-path object (';' predicate-path object)*) '.'
+  util::Status ParseTripleBlock() {
+    TermOrVar subject;
+    RE2X_RETURN_IF_ERROR(ParseTermOrVar(&subject, /*object_pos=*/false));
+    while (true) {
+      RE2X_RETURN_IF_ERROR(ParsePredicateObject(subject));
+      if (Match(TokenKind::kSemicolon)) continue;
+      break;
+    }
+    Match(TokenKind::kDot);  // '.' optional before '}'
+    return util::Status::OK();
+  }
+
+  // predicate-path object; expands p1/p2/... with fresh path variables.
+  util::Status ParsePredicateObject(const TermOrVar& subject) {
+    std::vector<TermOrVar> path;
+    while (true) {
+      TermOrVar p;
+      RE2X_RETURN_IF_ERROR(ParseTermOrVar(&p, /*object_pos=*/false));
+      path.push_back(std::move(p));
+      if (!Match(TokenKind::kSlash)) break;
+    }
+    TermOrVar object;
+    RE2X_RETURN_IF_ERROR(ParseTermOrVar(&object, /*object_pos=*/true));
+
+    TermOrVar current = subject;
+    for (size_t i = 0; i < path.size(); ++i) {
+      TermOrVar next =
+          (i + 1 == path.size())
+              ? object
+              : TermOrVar(Variable{"__p" + std::to_string(path_counter_++)});
+      query_.patterns.push_back(TriplePatternAst{current, path[i], next});
+      current = next;
+    }
+    return util::Status::OK();
+  }
+
+  util::Status ParseTermOrVar(TermOrVar* out, bool object_pos) {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+        *out = Variable{Advance().value};
+        return util::Status::OK();
+      case TokenKind::kIri:
+        *out = rdf::Term::Iri(Advance().value);
+        return util::Status::OK();
+      case TokenKind::kPrefixedName: {
+        std::string raw = Advance().value;
+        // "a" shorthand is an kIdent, prefixed names may be rdf:type etc.
+        *out = ExpandPrefixed(raw);
+        return util::Status::OK();
+      }
+      case TokenKind::kIdent:
+        if (util::ToLower(t.value) == "a") {
+          Advance();
+          *out = rdf::Term::Iri(
+              "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+          return util::Status::OK();
+        }
+        return Error("unexpected identifier '" + t.value + "' in pattern");
+      case TokenKind::kString:
+      case TokenKind::kInteger:
+      case TokenKind::kDouble: {
+        if (!object_pos) {
+          return Error("literals are only allowed in object position");
+        }
+        rdf::Term lit;
+        RE2X_RETURN_IF_ERROR(ParseLiteral(&lit));
+        *out = std::move(lit);
+        return util::Status::OK();
+      }
+      default:
+        return Error("expected term or variable, got '" + t.value + "'");
+    }
+  }
+
+  // A literal token possibly followed by ^^datatype.
+  util::Status ParseLiteral(rdf::Term* out) {
+    const Token t = Advance();
+    if (t.kind == TokenKind::kInteger) {
+      *out = rdf::Term(rdf::TermKind::kLiteral, t.value,
+                       rdf::LiteralType::kInteger);
+      return util::Status::OK();
+    }
+    if (t.kind == TokenKind::kDouble) {
+      *out = rdf::Term(rdf::TermKind::kLiteral, t.value,
+                       rdf::LiteralType::kDouble);
+      return util::Status::OK();
+    }
+    // String, optionally typed.
+    rdf::LiteralType lt = rdf::LiteralType::kString;
+    if (Match(TokenKind::kCaretCaret)) {
+      std::string dt;
+      if (Peek().kind == TokenKind::kIri ||
+          Peek().kind == TokenKind::kPrefixedName) {
+        dt = Advance().value;
+      } else {
+        return Error("expected datatype after ^^");
+      }
+      std::string low = util::ToLower(dt);
+      if (util::EndsWith(low, "integer") || util::EndsWith(low, "int") ||
+          util::EndsWith(low, "long")) {
+        lt = rdf::LiteralType::kInteger;
+      } else if (util::EndsWith(low, "double") ||
+                 util::EndsWith(low, "decimal") ||
+                 util::EndsWith(low, "float")) {
+        lt = rdf::LiteralType::kDouble;
+      } else if (util::EndsWith(low, "boolean")) {
+        lt = rdf::LiteralType::kBoolean;
+      } else if (util::EndsWith(low, "date")) {
+        lt = rdf::LiteralType::kDate;
+      } else {
+        lt = rdf::LiteralType::kOther;
+      }
+    }
+    *out = rdf::Term(rdf::TermKind::kLiteral, t.value, lt);
+    return util::Status::OK();
+  }
+
+  // --- expressions (precedence: || < && < ! < comparison < primary) --------
+
+  util::Status ParseExpr(ExprPtr* out) { return ParseOr(out); }
+
+  util::Status ParseOr(ExprPtr* out) {
+    ExprPtr lhs;
+    RE2X_RETURN_IF_ERROR(ParseAnd(&lhs));
+    while (Match(TokenKind::kOrOr)) {
+      ExprPtr rhs;
+      RE2X_RETURN_IF_ERROR(ParseAnd(&rhs));
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    *out = std::move(lhs);
+    return util::Status::OK();
+  }
+
+  util::Status ParseAnd(ExprPtr* out) {
+    ExprPtr lhs;
+    RE2X_RETURN_IF_ERROR(ParseNot(&lhs));
+    while (Match(TokenKind::kAndAnd)) {
+      ExprPtr rhs;
+      RE2X_RETURN_IF_ERROR(ParseNot(&rhs));
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    *out = std::move(lhs);
+    return util::Status::OK();
+  }
+
+  util::Status ParseNot(ExprPtr* out) {
+    if (Match(TokenKind::kBang)) {
+      ExprPtr inner;
+      RE2X_RETURN_IF_ERROR(ParseNot(&inner));
+      *out = Expr::Not(std::move(inner));
+      return util::Status::OK();
+    }
+    return ParseComparison(out);
+  }
+
+  util::Status ParseComparison(ExprPtr* out) {
+    ExprPtr lhs;
+    RE2X_RETURN_IF_ERROR(ParsePrimary(&lhs));
+    // `?v IN (a, b, c)`
+    if (MatchKeyword("IN")) {
+      if (lhs->kind != ExprKind::kVariable) {
+        return Error("IN requires a variable on the left");
+      }
+      RE2X_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after IN"));
+      std::vector<rdf::Term> values;
+      if (!Match(TokenKind::kRParen)) {
+        while (true) {
+          rdf::Term t;
+          RE2X_RETURN_IF_ERROR(ParseConstantTerm(&t));
+          values.push_back(std::move(t));
+          if (Match(TokenKind::kComma)) continue;
+          RE2X_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')' after IN list"));
+          break;
+        }
+      }
+      *out = Expr::In(lhs->var.name, std::move(values));
+      return util::Status::OK();
+    }
+    CompareOp op;
+    bool has_op = true;
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        op = CompareOp::kEq;
+        break;
+      case TokenKind::kNe:
+        op = CompareOp::kNe;
+        break;
+      case TokenKind::kLt:
+        op = CompareOp::kLt;
+        break;
+      case TokenKind::kLe:
+        op = CompareOp::kLe;
+        break;
+      case TokenKind::kGt:
+        op = CompareOp::kGt;
+        break;
+      case TokenKind::kGe:
+        op = CompareOp::kGe;
+        break;
+      default:
+        has_op = false;
+        break;
+    }
+    if (!has_op) {
+      *out = std::move(lhs);
+      return util::Status::OK();
+    }
+    Advance();
+    ExprPtr rhs;
+    RE2X_RETURN_IF_ERROR(ParsePrimary(&rhs));
+    *out = Expr::Compare(op, std::move(lhs), std::move(rhs));
+    return util::Status::OK();
+  }
+
+  util::Status ParsePrimary(ExprPtr* out) {
+    if (Match(TokenKind::kLParen)) {
+      RE2X_RETURN_IF_ERROR(ParseExpr(out));
+      return Expect(TokenKind::kRParen, "')'");
+    }
+    if (CheckKeyword("BOUND")) {
+      Advance();
+      RE2X_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after BOUND"));
+      if (Peek().kind != TokenKind::kVariable) {
+        return Error("expected variable in BOUND");
+      }
+      auto e = std::make_shared<Expr>();
+      e->kind = ExprKind::kBound;
+      e->var = Variable{Advance().value};
+      RE2X_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      *out = std::move(e);
+      return util::Status::OK();
+    }
+    if (Peek().kind == TokenKind::kVariable) {
+      *out = Expr::Var(Advance().value);
+      return util::Status::OK();
+    }
+    rdf::Term t;
+    RE2X_RETURN_IF_ERROR(ParseConstantTerm(&t));
+    *out = Expr::Constant(std::move(t));
+    return util::Status::OK();
+  }
+
+  util::Status ParseConstantTerm(rdf::Term* out) {
+    switch (Peek().kind) {
+      case TokenKind::kIri:
+        *out = rdf::Term::Iri(Advance().value);
+        return util::Status::OK();
+      case TokenKind::kPrefixedName:
+        *out = ExpandPrefixed(Advance().value);
+        return util::Status::OK();
+      case TokenKind::kString:
+      case TokenKind::kInteger:
+      case TokenKind::kDouble:
+        return ParseLiteral(out);
+      case TokenKind::kIdent: {
+        std::string low = util::ToLower(Peek().value);
+        if (low == "true" || low == "false") {
+          *out = rdf::Term::BooleanLiteral(low == "true");
+          Advance();
+          return util::Status::OK();
+        }
+        return Error("unexpected identifier '" + Peek().value +
+                     "' in expression");
+      }
+      default:
+        return Error("expected constant, got '" + Peek().value + "'");
+    }
+  }
+
+  // --- solution modifiers ---------------------------------------------------
+
+  util::Status ParseSolutionModifiers() {
+    while (true) {
+      if (MatchKeyword("GROUP")) {
+        if (!MatchKeyword("BY")) return Error("expected BY after GROUP");
+        bool any = false;
+        while (Peek().kind == TokenKind::kVariable) {
+          query_.group_by.push_back(Variable{Advance().value});
+          any = true;
+        }
+        if (!any) return Error("GROUP BY requires at least one variable");
+        continue;
+      }
+      if (MatchKeyword("HAVING")) {
+        ExprPtr e;
+        RE2X_RETURN_IF_ERROR(ParseExpr(&e));
+        query_.having.push_back(std::move(e));
+        continue;
+      }
+      if (MatchKeyword("ORDER")) {
+        if (!MatchKeyword("BY")) return Error("expected BY after ORDER");
+        bool any = false;
+        while (true) {
+          bool asc = true;
+          bool has_dir = false;
+          if (MatchKeyword("ASC")) {
+            has_dir = true;
+          } else if (MatchKeyword("DESC")) {
+            asc = false;
+            has_dir = true;
+          }
+          if (has_dir) {
+            RE2X_RETURN_IF_ERROR(
+                Expect(TokenKind::kLParen, "'(' after ASC/DESC"));
+            if (Peek().kind != TokenKind::kVariable) {
+              return Error("expected variable in ORDER BY");
+            }
+            query_.order_by.push_back(OrderKey{Advance().value, asc});
+            RE2X_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+            any = true;
+            continue;
+          }
+          if (Peek().kind == TokenKind::kVariable) {
+            query_.order_by.push_back(OrderKey{Advance().value, true});
+            any = true;
+            continue;
+          }
+          break;
+        }
+        if (!any) return Error("ORDER BY requires at least one key");
+        continue;
+      }
+      if (MatchKeyword("LIMIT")) {
+        if (Peek().kind != TokenKind::kInteger) {
+          return Error("expected integer after LIMIT");
+        }
+        query_.limit = std::stoull(Advance().value);
+        continue;
+      }
+      if (MatchKeyword("OFFSET")) {
+        if (Peek().kind != TokenKind::kInteger) {
+          return Error("expected integer after OFFSET");
+        }
+        query_.offset = std::stoull(Advance().value);
+        continue;
+      }
+      break;
+    }
+    return util::Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  SelectQuery query_;
+  std::map<std::string, std::string> prefixes_;
+  int path_counter_ = 0;
+};
+
+}  // namespace
+
+util::Result<SelectQuery> ParseQuery(std::string_view text) {
+  auto tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Parse();
+}
+
+}  // namespace re2xolap::sparql

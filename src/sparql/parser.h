@@ -1,0 +1,26 @@
+#ifndef RE2XOLAP_SPARQL_PARSER_H_
+#define RE2XOLAP_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "sparql/ast.h"
+#include "util/result.h"
+
+namespace re2xolap::sparql {
+
+/// Parses the SPARQL subset used by the system:
+///
+///   [PREFIX ns: <iri>]*
+///   SELECT [DISTINCT] (?var | (AGG(?v|*) AS ?alias))+ | *
+///   WHERE { triple-block (FILTER expr)* }
+///   [GROUP BY ?var+] [ORDER BY [ASC|DESC](?col)+] [LIMIT n] [OFFSET n]
+///
+/// Triple blocks support `;` predicate-object lists and `/` property
+/// paths on predicates (desugared into fresh `__p<N>` variables).
+/// FILTER expressions support comparisons, && || !, IN lists and
+/// parentheses. Aggregates: SUM, MIN, MAX, AVG, COUNT (incl. COUNT(*)).
+util::Result<SelectQuery> ParseQuery(std::string_view text);
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_PARSER_H_

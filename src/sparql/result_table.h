@@ -1,0 +1,90 @@
+#ifndef RE2XOLAP_SPARQL_RESULT_TABLE_H_
+#define RE2XOLAP_SPARQL_RESULT_TABLE_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "rdf/triple_store.h"
+
+namespace re2xolap::sparql {
+
+/// One cell of a query result: an RDF term (by id), a computed number
+/// (aggregate output), or null (unbound).
+struct Cell {
+  enum class Kind : uint8_t { kNull, kTerm, kNumber };
+  Kind kind = Kind::kNull;
+  rdf::TermId term = rdf::kInvalidTermId;
+  double number = 0.0;
+
+  static Cell Null() { return Cell{}; }
+  static Cell OfTerm(rdf::TermId id) {
+    return Cell{Kind::kTerm, id, 0.0};
+  }
+  static Cell OfNumber(double v) {
+    return Cell{Kind::kNumber, rdf::kInvalidTermId, v};
+  }
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_term() const { return kind == Kind::kTerm; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  friend bool operator==(const Cell& a, const Cell& b) {
+    if (a.kind != b.kind) return false;
+    switch (a.kind) {
+      case Kind::kNull:
+        return true;
+      case Kind::kTerm:
+        return a.term == b.term;
+      case Kind::kNumber:
+        return a.number == b.number;
+    }
+    return false;
+  }
+};
+
+using Row = std::vector<Cell>;
+
+/// A materialized query result: named columns + rows of cells. Holds a
+/// pointer to the store so term cells can be rendered; the store must
+/// outlive the table.
+class ResultTable {
+ public:
+  ResultTable() = default;
+  ResultTable(const rdf::TripleStore* store, std::vector<std::string> columns)
+      : store_(store), columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+  size_t row_count() const { return rows_.size(); }
+  size_t column_count() const { return columns_.size(); }
+  const rdf::TripleStore* store() const { return store_; }
+
+  void AddRow(Row row) { rows_.push_back(std::move(row)); }
+
+  /// Index of a column by name; -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  const Cell& at(size_t row, size_t col) const { return rows_[row][col]; }
+
+  /// Numeric view of a cell: number cells directly, term cells via the
+  /// literal's numeric value, null as 0.
+  double NumericValue(const Cell& cell) const;
+
+  /// Human-readable rendering of a cell ("Germany", "8030", "" for null).
+  std::string CellToString(const Cell& cell) const;
+
+  /// Pretty-prints as an aligned ASCII table (Table 2 style).
+  void Print(std::ostream& os, size_t max_rows = 50) const;
+
+ private:
+  const rdf::TripleStore* store_ = nullptr;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_RESULT_TABLE_H_

@@ -1,0 +1,79 @@
+#ifndef RE2XOLAP_UTIL_RESULT_H_
+#define RE2XOLAP_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace re2xolap::util {
+
+/// Holds either a value of type T or an error Status. Analogous to
+/// arrow::Result / absl::StatusOr. Accessing the value of an errored
+/// Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — allows `return value;` in functions returning
+  /// Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status — allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace re2xolap::util
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error status. `lhs` must be a declaration or assignable expression.
+#define RE2X_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  RE2X_ASSIGN_OR_RETURN_IMPL_(                         \
+      RE2X_CONCAT_(_re2x_result_, __LINE__), lhs, rexpr)
+
+#define RE2X_CONCAT_INNER_(x, y) x##y
+#define RE2X_CONCAT_(x, y) RE2X_CONCAT_INNER_(x, y)
+
+#define RE2X_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // RE2XOLAP_UTIL_RESULT_H_

@@ -1,0 +1,32 @@
+#ifndef RE2XOLAP_UTIL_TABLE_PRINTER_H_
+#define RE2XOLAP_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace re2xolap::util {
+
+/// Accumulates rows of strings and pretty-prints them as an aligned ASCII
+/// table. Benchmarks use this to print the paper's tables/figure series.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one row; the row is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the aligned table to `os`.
+  void Print(std::ostream& os) const;
+
+  size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace re2xolap::util
+
+#endif  // RE2XOLAP_UTIL_TABLE_PRINTER_H_

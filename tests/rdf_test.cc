@@ -1,0 +1,285 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "rdf/dictionary.h"
+#include "rdf/ntriples.h"
+#include "rdf/term.h"
+#include "rdf/text_index.h"
+#include "rdf/triple_store.h"
+
+namespace re2xolap::rdf {
+namespace {
+
+// --- Term ---------------------------------------------------------------------
+
+TEST(TermTest, Factories) {
+  EXPECT_TRUE(Term::Iri("http://x/a").is_iri());
+  EXPECT_TRUE(Term::StringLiteral("hi").is_literal());
+  EXPECT_TRUE(Term::Blank("b0").is_blank());
+  EXPECT_TRUE(Term::IntegerLiteral(4).is_numeric_literal());
+  EXPECT_TRUE(Term::DoubleLiteral(1.5).is_numeric_literal());
+  EXPECT_FALSE(Term::StringLiteral("4").is_numeric_literal());
+}
+
+TEST(TermTest, AsDouble) {
+  EXPECT_DOUBLE_EQ(Term::IntegerLiteral(42).AsDouble(), 42.0);
+  EXPECT_DOUBLE_EQ(Term::DoubleLiteral(2.25).AsDouble(), 2.25);
+  EXPECT_DOUBLE_EQ(Term::StringLiteral("42").AsDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(Term::Iri("http://x").AsDouble(), 0.0);
+}
+
+TEST(TermTest, EqualityDistinguishesKindAndType) {
+  EXPECT_EQ(Term::Iri("a"), Term::Iri("a"));
+  EXPECT_FALSE(Term::Iri("a") == Term::StringLiteral("a"));
+  EXPECT_FALSE(Term::StringLiteral("4") == Term::IntegerLiteral(4));
+}
+
+TEST(TermTest, ToStringForms) {
+  EXPECT_EQ(Term::Iri("http://x/a").ToString(), "<http://x/a>");
+  EXPECT_EQ(Term::StringLiteral("hi").ToString(), "\"hi\"");
+  EXPECT_EQ(Term::IntegerLiteral(3).ToString(), "\"3\"^^xsd:integer");
+  EXPECT_EQ(Term::Blank("b").ToString(), "_:b");
+}
+
+// --- Dictionary ------------------------------------------------------------------
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  Dictionary d;
+  TermId a = d.Intern(Term::Iri("http://x/a"));
+  TermId b = d.Intern(Term::Iri("http://x/b"));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern(Term::Iri("http://x/a")), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupMissingReturnsInvalid) {
+  Dictionary d;
+  EXPECT_EQ(d.Lookup(Term::Iri("http://none")), kInvalidTermId);
+}
+
+TEST(DictionaryTest, RoundTrip) {
+  Dictionary d;
+  Term t = Term::StringLiteral("Germany");
+  TermId id = d.Intern(t);
+  EXPECT_TRUE(d.IsValid(id));
+  EXPECT_EQ(d.term(id), t);
+}
+
+TEST(DictionaryTest, ForEachVisitsAllInIdOrder) {
+  Dictionary d;
+  d.Intern(Term::Iri("a"));
+  d.Intern(Term::Iri("b"));
+  std::vector<TermId> ids;
+  d.ForEach([&](TermId id, const Term&) { ids.push_back(id); });
+  EXPECT_EQ(ids, (std::vector<TermId>{1, 2}));
+}
+
+// --- TripleStore -------------------------------------------------------------------
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // s1 -p1-> o1 ; s1 -p1-> o2 ; s1 -p2-> o1 ; s2 -p1-> o1
+    s1 = store.Intern(Term::Iri("s1"));
+    s2 = store.Intern(Term::Iri("s2"));
+    p1 = store.Intern(Term::Iri("p1"));
+    p2 = store.Intern(Term::Iri("p2"));
+    o1 = store.Intern(Term::Iri("o1"));
+    o2 = store.Intern(Term::Iri("o2"));
+    store.AddEncoded({s1, p1, o1});
+    store.AddEncoded({s1, p1, o2});
+    store.AddEncoded({s1, p2, o1});
+    store.AddEncoded({s2, p1, o1});
+    store.Freeze();
+  }
+  TripleStore store;
+  TermId s1, s2, p1, p2, o1, o2;
+};
+
+TEST_F(TripleStoreTest, MatchAllPatternShapes) {
+  EXPECT_EQ(store.Match({}).size(), 4u);                       // ???
+  EXPECT_EQ(store.Match({s1, 0, 0}).size(), 3u);               // s??
+  EXPECT_EQ(store.Match({0, p1, 0}).size(), 3u);               // ?p?
+  EXPECT_EQ(store.Match({0, 0, o1}).size(), 3u);               // ??o
+  EXPECT_EQ(store.Match({s1, p1, 0}).size(), 2u);              // sp?
+  EXPECT_EQ(store.Match({s1, 0, o1}).size(), 2u);              // s?o
+  EXPECT_EQ(store.Match({0, p1, o1}).size(), 2u);              // ?po
+  EXPECT_EQ(store.Match({s1, p1, o1}).size(), 1u);             // spo
+  EXPECT_EQ(store.Match({s2, p2, 0}).size(), 0u);              // no match
+}
+
+TEST_F(TripleStoreTest, MatchedTriplesActuallyMatch) {
+  for (const EncodedTriple& t : store.Match({s1, 0, 0})) {
+    EXPECT_EQ(t.s, s1);
+  }
+  for (const EncodedTriple& t : store.Match({0, p1, o1})) {
+    EXPECT_EQ(t.p, p1);
+    EXPECT_EQ(t.o, o1);
+  }
+}
+
+TEST_F(TripleStoreTest, DuplicatesRemovedOnFreeze) {
+  TripleStore s;
+  TermId a = s.Intern(Term::Iri("a"));
+  TermId b = s.Intern(Term::Iri("b"));
+  s.AddEncoded({a, b, a});
+  s.AddEncoded({a, b, a});
+  s.Freeze();
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST_F(TripleStoreTest, PredicateStats) {
+  PredicateStats st = store.predicate_stats(p1);
+  EXPECT_EQ(st.triple_count, 3u);
+  EXPECT_EQ(st.distinct_subjects, 2u);  // s1, s2
+  EXPECT_EQ(st.distinct_objects, 2u);   // o1, o2
+  EXPECT_EQ(store.predicate_stats(o1).triple_count, 0u);
+}
+
+TEST_F(TripleStoreTest, PredicatesOfSubjectAndObject) {
+  EXPECT_EQ(store.PredicatesOfSubject(s1), (std::vector<TermId>{p1, p2}));
+  EXPECT_EQ(store.PredicatesOfSubject(s2), (std::vector<TermId>{p1}));
+  EXPECT_EQ(store.PredicatesOfObject(o1), (std::vector<TermId>{p1, p2}));
+  EXPECT_EQ(store.PredicatesOfObject(o2), (std::vector<TermId>{p1}));
+}
+
+TEST_F(TripleStoreTest, AllPredicates) {
+  EXPECT_EQ(store.AllPredicates(), (std::vector<TermId>{p1, p2}));
+}
+
+TEST_F(TripleStoreTest, RefreezeAfterAdd) {
+  TripleStore s;
+  s.Add(Term::Iri("x"), Term::Iri("p"), Term::Iri("y"));
+  s.Freeze();
+  EXPECT_EQ(s.size(), 1u);
+  s.Add(Term::Iri("x"), Term::Iri("p"), Term::Iri("z"));
+  EXPECT_FALSE(s.frozen());
+  s.Freeze();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.Match({s.Lookup(Term::Iri("x")), 0, 0}).size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MemoryUsagePositive) {
+  EXPECT_GT(store.MemoryUsage(), 0u);
+}
+
+// --- TextIndex ------------------------------------------------------------------------
+
+class TextIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto add = [&](const std::string& subj, const std::string& text) {
+      store.Add(Term::Iri(subj), Term::Iri("label"),
+                Term::StringLiteral(text));
+    };
+    add("m/1", "Germany");
+    add("m/2", "October 2014");
+    add("m/3", "November 2014");
+    add("m/4", "germany");  // different literal, same lowercase
+    add("m/5", "East Germany");
+    store.Add(Term::Iri("m/6"), Term::Iri("count"), Term::IntegerLiteral(7));
+    store.Freeze();
+    index = std::make_unique<TextIndex>(store);
+  }
+  TripleStore store;
+  std::unique_ptr<TextIndex> index;
+};
+
+TEST_F(TextIndexTest, ExactMatchIsCaseInsensitive) {
+  EXPECT_EQ(index->ExactMatch("Germany").size(), 2u);  // "Germany", "germany"
+  EXPECT_EQ(index->ExactMatch("GERMANY").size(), 2u);
+  EXPECT_TRUE(index->ExactMatch("France").empty());
+}
+
+TEST_F(TextIndexTest, KeywordMatchRequiresAllTokens) {
+  EXPECT_EQ(index->KeywordMatch("2014").size(), 2u);
+  EXPECT_EQ(index->KeywordMatch("october 2014").size(), 1u);
+  EXPECT_TRUE(index->KeywordMatch("october 2015").empty());
+  EXPECT_EQ(index->KeywordMatch("germany").size(), 3u);  // incl. East Germany
+}
+
+TEST_F(TextIndexTest, MatchPrefersExact) {
+  // "Germany" has exact matches, so "East Germany" is not returned.
+  EXPECT_EQ(index->Match("Germany").size(), 2u);
+  // No exact match for "East": falls back to keyword search.
+  EXPECT_EQ(index->Match("East").size(), 1u);
+}
+
+TEST_F(TextIndexTest, LimitCapsResults) {
+  EXPECT_EQ(index->KeywordMatch("germany", 2).size(), 2u);
+  EXPECT_EQ(index->Match("Germany", 1).size(), 1u);
+}
+
+TEST_F(TextIndexTest, OnlyStringLiteralsIndexed) {
+  EXPECT_EQ(index->indexed_literal_count(), 5u);
+  EXPECT_TRUE(index->Match("7").empty());
+}
+
+TEST_F(TextIndexTest, EmptyQueryMatchesNothing) {
+  EXPECT_TRUE(index->KeywordMatch("").empty());
+  EXPECT_TRUE(index->KeywordMatch("...").empty());
+}
+
+// --- N-Triples I/O -----------------------------------------------------------------------
+
+TEST(NTriplesTest, RoundTrip) {
+  TripleStore store;
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+            Term::Iri("http://x/o"));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/label"),
+            Term::StringLiteral("hello world"));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/count"),
+            Term::IntegerLiteral(42));
+  store.Freeze();
+
+  std::ostringstream os;
+  WriteNTriples(store, os);
+
+  TripleStore back;
+  ASSERT_TRUE(ParseNTriples(os.str(), &back).ok());
+  back.Freeze();
+  EXPECT_EQ(back.size(), store.size());
+  EXPECT_NE(back.Lookup(Term::StringLiteral("hello world")), kInvalidTermId);
+  EXPECT_NE(back.Lookup(Term::IntegerLiteral(42)), kInvalidTermId);
+}
+
+TEST(NTriplesTest, ParsesCommentsAndBlankLines) {
+  TripleStore store;
+  std::string text =
+      "# a comment\n"
+      "\n"
+      "<http://x/s> <http://x/p> <http://x/o> .\n"
+      "<http://x/s> <http://x/p> \"lit\" .\n";
+  ASSERT_TRUE(ParseNTriples(text, &store).ok());
+  store.Freeze();
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(NTriplesTest, RejectsMalformedInput) {
+  TripleStore store;
+  EXPECT_TRUE(ParseNTriples("<a> <b>\n", &store).IsParseError());
+  EXPECT_TRUE(ParseNTriples("<a> <b> <c>\n", &store).IsParseError());
+  EXPECT_TRUE(ParseNTriples("\"lit\" <b> <c> .\n", &store).IsParseError());
+  EXPECT_TRUE(ParseNTriples("<a> \"lit\" <c> .\n", &store).IsParseError());
+}
+
+TEST(NTriplesTest, ParsesTypedLiterals) {
+  TripleStore store;
+  std::string text =
+      "<a> <p> \"5\"^^xsd:integer .\n"
+      "<a> <p> \"2.5\"^^xsd:double .\n"
+      "<a> <p> \"true\"^^xsd:boolean .\n"
+      "<a> <p> \"2014-10-01\"^^xsd:date .\n";
+  ASSERT_TRUE(ParseNTriples(text, &store).ok());
+  store.Freeze();
+  EXPECT_NE(store.Lookup(Term::IntegerLiteral(5)), kInvalidTermId);
+  EXPECT_NE(store.Lookup(Term(TermKind::kLiteral, "2.5",
+                              LiteralType::kDouble)),
+            kInvalidTermId);
+  EXPECT_NE(store.Lookup(Term::BooleanLiteral(true)), kInvalidTermId);
+  EXPECT_NE(store.Lookup(Term::DateLiteral("2014-10-01")), kInvalidTermId);
+}
+
+}  // namespace
+}  // namespace re2xolap::rdf

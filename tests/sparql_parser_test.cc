@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "sparql/lexer.h"
+#include "sparql/parser.h"
+
+namespace re2xolap::sparql {
+namespace {
+
+// --- Lexer --------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto r = Tokenize("SELECT ?x WHERE { ?x <http://p> \"v\" . }");
+  ASSERT_TRUE(r.ok());
+  const std::vector<Token>& t = *r;
+  EXPECT_EQ(t[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(t[0].value, "SELECT");
+  EXPECT_EQ(t[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(t[1].value, "x");
+  EXPECT_EQ(t[3].kind, TokenKind::kLBrace);
+  EXPECT_EQ(t[5].kind, TokenKind::kIri);
+  EXPECT_EQ(t[5].value, "http://p");
+  EXPECT_EQ(t[6].kind, TokenKind::kString);
+  EXPECT_EQ(t[6].value, "v");
+  EXPECT_EQ(t.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, DistinguishesIriFromLessThan) {
+  auto r = Tokenize("FILTER (?x < 5) . ?y <http://iri> ?z");
+  ASSERT_TRUE(r.ok());
+  bool saw_lt = false, saw_iri = false;
+  for (const Token& t : *r) {
+    if (t.kind == TokenKind::kLt) saw_lt = true;
+    if (t.kind == TokenKind::kIri) saw_iri = true;
+  }
+  EXPECT_TRUE(saw_lt);
+  EXPECT_TRUE(saw_iri);
+}
+
+TEST(LexerTest, Operators) {
+  auto r = Tokenize("= != < <= > >= && || ! ^^ /");
+  ASSERT_TRUE(r.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *r) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds,
+            (std::vector<TokenKind>{
+                TokenKind::kEq, TokenKind::kNe, TokenKind::kLt, TokenKind::kLe,
+                TokenKind::kGt, TokenKind::kGe, TokenKind::kAndAnd,
+                TokenKind::kOrOr, TokenKind::kBang, TokenKind::kCaretCaret,
+                TokenKind::kSlash, TokenKind::kEof}));
+}
+
+TEST(LexerTest, Numbers) {
+  auto r = Tokenize("42 -3 2.5 1e3 ?x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kInteger);
+  EXPECT_EQ((*r)[1].kind, TokenKind::kInteger);
+  EXPECT_EQ((*r)[1].value, "-3");
+  EXPECT_EQ((*r)[2].kind, TokenKind::kDouble);
+  EXPECT_EQ((*r)[3].kind, TokenKind::kDouble);
+}
+
+TEST(LexerTest, NumberFollowedByStatementDot) {
+  auto r = Tokenize("?x <p> 5 .");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[2].kind, TokenKind::kInteger);
+  EXPECT_EQ((*r)[2].value, "5");
+  EXPECT_EQ((*r)[3].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, PrefixedNames) {
+  auto r = Tokenize("xsd:integer prop:citizen");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].kind, TokenKind::kPrefixedName);
+  EXPECT_EQ((*r)[0].value, "xsd:integer");
+  EXPECT_EQ((*r)[1].value, "prop:citizen");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  auto r = Tokenize("SELECT # comment\n ?x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);  // SELECT, ?x, EOF
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+// --- Parser ---------------------------------------------------------------------
+
+TEST(ParserTest, FigureTwoQuery) {
+  // The paper's Figure 2 query (with explicit aliases).
+  auto r = ParseQuery(R"(
+    SELECT ?origin ?dest (SUM(?obsValue) AS ?total) WHERE {
+      ?obs <http://t/Country_Origin> / <http://t/In_Continent> ?origin .
+      ?obs <http://t/Country_Destination> ?dest .
+      ?obs <http://t/Num_Applicants> ?obsValue .
+    } GROUP BY ?origin ?dest
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const SelectQuery& q = *r;
+  ASSERT_EQ(q.items.size(), 3u);
+  EXPECT_FALSE(q.items[0].is_aggregate);
+  EXPECT_TRUE(q.items[2].is_aggregate);
+  EXPECT_EQ(q.items[2].func, AggFunc::kSum);
+  EXPECT_EQ(q.items[2].alias, "total");
+  // Property path desugared into 2 patterns; 4 patterns total.
+  EXPECT_EQ(q.patterns.size(), 4u);
+  EXPECT_EQ(q.group_by.size(), 2u);
+}
+
+TEST(ParserTest, BareAggregateWithoutParens) {
+  auto r = ParseQuery(
+      "SELECT ?d SUM(?v) WHERE { ?o <http://p> ?d . ?o <http://m> ?v } "
+      "GROUP BY ?d");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->items[1].is_aggregate);
+  EXPECT_EQ(r->items[1].OutputName(), "sum_v");
+}
+
+TEST(ParserTest, SelectStar) {
+  auto r = ParseQuery("SELECT * WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->select_all);
+}
+
+TEST(ParserTest, DistinctAndModifiers) {
+  auto r = ParseQuery(
+      "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) LIMIT 10 "
+      "OFFSET 5");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->distinct);
+  ASSERT_EQ(r->order_by.size(), 1u);
+  EXPECT_FALSE(r->order_by[0].ascending);
+  EXPECT_EQ(r->limit, 10u);
+  EXPECT_EQ(r->offset, 5u);
+}
+
+TEST(ParserTest, FilterExpressions) {
+  auto r = ParseQuery(R"(
+    SELECT ?s WHERE {
+      ?s <http://p> ?v .
+      FILTER (?v > 10 && ?v <= 100 || !(?v = 50))
+      FILTER (?s IN (<http://a>, <http://b>))
+    }
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->filters.size(), 2u);
+  EXPECT_EQ(r->filters[0]->kind, ExprKind::kOr);
+  EXPECT_EQ(r->filters[1]->kind, ExprKind::kIn);
+  EXPECT_EQ(r->filters[1]->in_list.size(), 2u);
+}
+
+TEST(ParserTest, Having) {
+  auto r = ParseQuery(
+      "SELECT ?d (SUM(?v) AS ?t) WHERE { ?o <http://p> ?d . ?o <http://m> ?v "
+      "} GROUP BY ?d HAVING (?t >= 100)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->having.size(), 1u);
+  EXPECT_EQ(r->having[0]->kind, ExprKind::kCompare);
+}
+
+TEST(ParserTest, PrefixDeclarations) {
+  auto r = ParseQuery(R"(
+    PREFIX ex: <http://example.org/>
+    SELECT ?s WHERE { ?s ex:knows ?o }
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->patterns.size(), 1u);
+  EXPECT_EQ(AsTerm(r->patterns[0].p).value, "http://example.org/knows");
+}
+
+TEST(ParserTest, SemicolonPredicateLists) {
+  auto r = ParseQuery(
+      "SELECT ?a ?b WHERE { ?s <http://p1> ?a ; <http://p2> ?b . }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->patterns.size(), 2u);
+  // Both share the subject variable.
+  EXPECT_EQ(AsVar(r->patterns[0].s).name, AsVar(r->patterns[1].s).name);
+}
+
+TEST(ParserTest, CountStar) {
+  auto r = ParseQuery(
+      "SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->items[0].count_star);
+  EXPECT_EQ(r->items[0].OutputName(), "n");
+}
+
+TEST(ParserTest, RdfTypeShorthand) {
+  auto r = ParseQuery("SELECT ?s WHERE { ?s a <http://C> }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(AsTerm(r->patterns[0].p).value,
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(ParserTest, TypedLiteralObjects) {
+  auto r = ParseQuery(
+      "SELECT ?s WHERE { ?s <http://p> \"5\"^^xsd:integer }");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const rdf::Term& o = AsTerm(r->patterns[0].o);
+  EXPECT_EQ(o.literal_type, rdf::LiteralType::kInteger);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x { ?x ?p ?o ").ok());  // unterminated
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { \"lit\" ?p ?o }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?o } GROUP BY").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?o } LIMIT ?x").ok());
+  EXPECT_FALSE(ParseQuery("SELECT SUM(*) WHERE { ?x ?p ?o }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?x WHERE { ?x ?p ?o } nonsense").ok());
+}
+
+TEST(ParserTest, RoundTripThroughToSparql) {
+  auto r = ParseQuery(R"(
+    SELECT ?d (SUM(?v) AS ?t) WHERE {
+      ?o <http://t/dim> ?d .
+      ?o <http://t/m> ?v .
+      FILTER (?v > 3)
+    } GROUP BY ?d HAVING (?t < 100) ORDER BY DESC(?t) LIMIT 5
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  std::string text = ToSparql(*r);
+  auto r2 = ParseQuery(text);
+  ASSERT_TRUE(r2.ok()) << "reparse failed: " << r2.status().ToString()
+                       << "\ntext was:\n"
+                       << text;
+  EXPECT_EQ(ToSparql(*r2), text);
+}
+
+}  // namespace
+}  // namespace re2xolap::sparql
+
+namespace re2xolap::sparql {
+namespace {
+
+TEST(ValuesTest, DesugarsToInFilter) {
+  auto r = ParseQuery(R"(
+    SELECT ?s WHERE {
+      ?s <http://p> ?o .
+      VALUES ?o { <http://a> <http://b> "lit" 5 }
+    })");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->filters.size(), 1u);
+  EXPECT_EQ(r->filters[0]->kind, ExprKind::kIn);
+  EXPECT_EQ(r->filters[0]->var.name, "o");
+  EXPECT_EQ(r->filters[0]->in_list.size(), 4u);
+}
+
+TEST(ValuesTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { VALUES ?s { } }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { VALUES { <http://a> } }").ok());
+  EXPECT_FALSE(ParseQuery("SELECT ?s WHERE { VALUES ?s { <http://a> ").ok());
+}
+
+}  // namespace
+}  // namespace re2xolap::sparql

@@ -1,0 +1,104 @@
+#ifndef RE2XOLAP_TESTS_TEST_DATA_H_
+#define RE2XOLAP_TESTS_TEST_DATA_H_
+
+#include <memory>
+#include <string>
+
+#include "rdf/triple_store.h"
+
+namespace re2xolap::testing {
+
+/// Builds the tiny, fully hand-written asylum KG mirroring the paper's
+/// Figure 1, for precise assertions:
+///
+///   obs/0: Syria   -> Germany, Oct 2014, age 18-34, 403 applicants
+///   obs/1: Syria   -> Germany, Nov 2014, age 18-34, 500 applicants
+///   obs/2: Syria   -> France,  Oct 2014, age 18-34, 120 applicants
+///   obs/3: China   -> Germany, Oct 2014, age 35-49,  80 applicants
+///   obs/4: Nigeria -> Germany, Jan 2015, age 18-34,  60 applicants
+///
+/// Hierarchies: country-origin -> continent (Syria,China -> Asia;
+/// Nigeria -> Africa), month -> year (Oct/Nov 2014 -> 2014, Jan 2015 ->
+/// 2015). Destination countries have no hierarchy. All members carry
+/// rdfs:label.
+inline constexpr char kBase[] = "http://test/";
+inline constexpr char kObsClass[] = "http://test/Observation";
+inline constexpr char kTypeIri[] =
+    "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+inline constexpr char kLabelIri[] =
+    "http://www.w3.org/2000/01/rdf-schema#label";
+
+inline std::unique_ptr<rdf::TripleStore> BuildFigure1Store() {
+  using rdf::Term;
+  auto store = std::make_unique<rdf::TripleStore>();
+  auto iri = [](const std::string& local) {
+    return Term::Iri(std::string(kBase) + local);
+  };
+  const Term type = Term::Iri(kTypeIri);
+  const Term label = Term::Iri(kLabelIri);
+  const Term obs_class = Term::Iri(kObsClass);
+  const Term p_origin = iri("countryOrigin");
+  const Term p_dest = iri("countryDestination");
+  const Term p_month = iri("refPeriod");
+  const Term p_age = iri("age");
+  const Term p_measure = iri("numApplicants");
+  const Term p_continent = iri("inContinent");
+  const Term p_year = iri("inYear");
+
+  // Dimension members + labels.
+  auto labeled = [&](const std::string& local, const std::string& text) {
+    Term t = iri(local);
+    store->Add(t, label, Term::StringLiteral(text));
+    return t;
+  };
+  Term syria = labeled("origin/syria", "Syria");
+  Term china = labeled("origin/china", "China");
+  Term nigeria = labeled("origin/nigeria", "Nigeria");
+  Term asia = labeled("continent/asia", "Asia");
+  Term africa = labeled("continent/africa", "Africa");
+  Term germany = labeled("dest/germany", "Germany");
+  Term france = labeled("dest/france", "France");
+  Term oct14 = labeled("month/2014-10", "October 2014");
+  Term nov14 = labeled("month/2014-11", "November 2014");
+  Term jan15 = labeled("month/2015-01", "January 2015");
+  Term y2014 = labeled("year/2014", "2014");
+  Term y2015 = labeled("year/2015", "2015");
+  Term age1834 = labeled("age/18-34", "18-34");
+  Term age3549 = labeled("age/35-49", "35-49");
+
+  // Hierarchies.
+  store->Add(syria, p_continent, asia);
+  store->Add(china, p_continent, asia);
+  store->Add(nigeria, p_continent, africa);
+  store->Add(oct14, p_year, y2014);
+  store->Add(nov14, p_year, y2014);
+  store->Add(jan15, p_year, y2015);
+
+  struct Obs {
+    Term origin, dest, month, age;
+    int64_t value;
+  };
+  const Obs observations[] = {
+      {syria, germany, oct14, age1834, 403},
+      {syria, germany, nov14, age1834, 500},
+      {syria, france, oct14, age1834, 120},
+      {china, germany, oct14, age3549, 80},
+      {nigeria, germany, jan15, age1834, 60},
+  };
+  int n = 0;
+  for (const Obs& o : observations) {
+    Term obs = iri("obs/" + std::to_string(n++));
+    store->Add(obs, type, obs_class);
+    store->Add(obs, p_origin, o.origin);
+    store->Add(obs, p_dest, o.dest);
+    store->Add(obs, p_month, o.month);
+    store->Add(obs, p_age, o.age);
+    store->Add(obs, p_measure, Term::IntegerLiteral(o.value));
+  }
+  store->Freeze();
+  return store;
+}
+
+}  // namespace re2xolap::testing
+
+#endif  // RE2XOLAP_TESTS_TEST_DATA_H_

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "core/virtual_schema_graph.h"
+#include "qb/datasets.h"
+#include "qb/generator.h"
+#include "tests/test_data.h"
+
+namespace re2xolap::core {
+namespace {
+
+using re2xolap::testing::BuildFigure1Store;
+using re2xolap::testing::kObsClass;
+
+class VsgFigure1Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store = BuildFigure1Store();
+    auto r = VirtualSchemaGraph::Build(*store, kObsClass);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    vsg = std::make_unique<VirtualSchemaGraph>(std::move(r).value());
+  }
+  std::unique_ptr<rdf::TripleStore> store;
+  std::unique_ptr<VirtualSchemaGraph> vsg;
+};
+
+TEST_F(VsgFigure1Test, DiscoversDimensions) {
+  // age, countryOrigin, countryDestination, refPeriod.
+  EXPECT_EQ(vsg->dimension_count(), 4u);
+}
+
+TEST_F(VsgFigure1Test, DiscoversMeasure) {
+  ASSERT_EQ(vsg->measure_count(), 1u);
+  EXPECT_EQ(store->term(vsg->measure_predicates()[0]).value,
+            "http://test/numApplicants");
+}
+
+TEST_F(VsgFigure1Test, DiscoversLevels) {
+  // Levels: age, origin-country, dest-country, month, continent, year = 6.
+  EXPECT_EQ(vsg->level_count(), 6u);
+}
+
+TEST_F(VsgFigure1Test, DiscoversHierarchyPaths) {
+  // Paths: age; origin; origin/continent; dest; month; month/year = 6.
+  EXPECT_EQ(vsg->level_paths().size(), 6u);
+  size_t depth2 = 0;
+  for (const LevelPath& p : vsg->level_paths()) {
+    if (p.predicates.size() == 2) ++depth2;
+  }
+  EXPECT_EQ(depth2, 2u);  // origin->continent and month->year
+}
+
+TEST_F(VsgFigure1Test, MembersAttachedToLevels) {
+  rdf::TermId syria = store->Lookup(rdf::Term::Iri("http://test/origin/syria"));
+  ASSERT_NE(syria, rdf::kInvalidTermId);
+  std::vector<int> nodes = vsg->NodesOfMember(syria);
+  ASSERT_EQ(nodes.size(), 1u);
+  EXPECT_TRUE(vsg->IsMemberOf(syria, nodes[0]));
+  EXPECT_EQ(vsg->node(nodes[0]).members.size(), 3u);  // Syria, China, Nigeria
+}
+
+TEST_F(VsgFigure1Test, TotalMembersCountsDistinctIris) {
+  // 3 origins + 2 continents + 2 dests + 3 months + 2 years + 2 ages = 14.
+  EXPECT_EQ(vsg->total_members(), 14u);
+}
+
+TEST_F(VsgFigure1Test, AttributePredicatesDiscovered) {
+  rdf::TermId label =
+      store->Lookup(rdf::Term::Iri(re2xolap::testing::kLabelIri));
+  bool found = false;
+  for (const VsgNode& n : vsg->nodes()) {
+    if (n.is_root) continue;
+    for (rdf::TermId p : n.attribute_predicates) {
+      if (p == label) found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(VsgFigure1Test, PathsToTargetsAreConsistent) {
+  for (const LevelPath& p : vsg->level_paths()) {
+    ASSERT_GE(p.target_node, 1);
+    EXPECT_FALSE(p.predicates.empty());
+    EXPECT_EQ(p.dimension_predicate(), p.predicates.front());
+    // A path's target must be reachable: check membership is non-empty.
+    EXPECT_FALSE(vsg->node(p.target_node).members.empty());
+  }
+}
+
+TEST_F(VsgFigure1Test, HierarchyCount) {
+  // Leaf paths: age; origin/continent; dest; month/year = 4.
+  EXPECT_EQ(vsg->hierarchy_count(), 4u);
+}
+
+TEST_F(VsgFigure1Test, MemoryUsagePositive) {
+  EXPECT_GT(vsg->MemoryUsage(), 0u);
+}
+
+TEST(VsgBuildTest, FailsOnUnknownClass) {
+  auto store = BuildFigure1Store();
+  auto r = VirtualSchemaGraph::Build(*store, "http://test/NoSuchClass");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(VsgBuildTest, StatsPopulated) {
+  auto store = BuildFigure1Store();
+  VsgBuildStats stats;
+  auto r = VirtualSchemaGraph::Build(*store, kObsClass, {}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.store_scans, 0u);
+  EXPECT_GT(stats.members_visited, 0u);
+  EXPECT_GE(stats.build_millis, 0.0);
+}
+
+TEST(VsgBuildTest, DepthCapStopsRecursion) {
+  // A chain a -> b -> c -> d as hierarchy under one dimension.
+  rdf::TripleStore store;
+  using rdf::Term;
+  Term type = Term::Iri(re2xolap::testing::kTypeIri);
+  Term cls = Term::Iri("http://t/Obs");
+  Term obs = Term::Iri("http://t/obs1");
+  store.Add(obs, type, cls);
+  store.Add(obs, Term::Iri("http://t/dim"), Term::Iri("http://t/a"));
+  store.Add(obs, Term::Iri("http://t/m"), Term::IntegerLiteral(1));
+  store.Add(Term::Iri("http://t/a"), Term::Iri("http://t/up"),
+            Term::Iri("http://t/b"));
+  store.Add(Term::Iri("http://t/b"), Term::Iri("http://t/up"),
+            Term::Iri("http://t/c"));
+  store.Add(Term::Iri("http://t/c"), Term::Iri("http://t/up"),
+            Term::Iri("http://t/d"));
+  store.Freeze();
+  VsgOptions opts;
+  opts.max_depth = 2;
+  auto r = VirtualSchemaGraph::Build(store, "http://t/Obs", opts);
+  ASSERT_TRUE(r.ok());
+  // Depth 2 => levels a and b only.
+  EXPECT_EQ(r->level_count(), 2u);
+}
+
+TEST(VsgBuildTest, HandlesHierarchyCycles) {
+  // a -> b -> a cycle must not hang or blow up.
+  rdf::TripleStore store;
+  using rdf::Term;
+  Term type = Term::Iri(re2xolap::testing::kTypeIri);
+  Term cls = Term::Iri("http://t/Obs");
+  for (int i = 0; i < 3; ++i) {
+    Term obs = Term::Iri("http://t/obs" + std::to_string(i));
+    store.Add(obs, type, cls);
+    store.Add(obs, Term::Iri("http://t/dim"), Term::Iri("http://t/a"));
+    store.Add(obs, Term::Iri("http://t/m"), Term::IntegerLiteral(i));
+  }
+  store.Add(Term::Iri("http://t/a"), Term::Iri("http://t/next"),
+            Term::Iri("http://t/b"));
+  store.Add(Term::Iri("http://t/b"), Term::Iri("http://t/next"),
+            Term::Iri("http://t/a"));
+  store.Freeze();
+  auto r = VirtualSchemaGraph::Build(store, "http://t/Obs");
+  ASSERT_TRUE(r.ok());
+  // Paths must not revisit nodes: a and a->b only.
+  EXPECT_EQ(r->level_paths().size(), 2u);
+}
+
+TEST(VsgBuildTest, PrettifyIriLocalName) {
+  EXPECT_EQ(PrettifyIriLocalName("http://x/countryOrigin"), "Country Origin");
+  EXPECT_EQ(PrettifyIriLocalName("http://x/in_continent"), "In Continent");
+  EXPECT_EQ(PrettifyIriLocalName("http://x#numApplicants"), "Num Applicants");
+  EXPECT_EQ(PrettifyIriLocalName("plain"), "Plain");
+}
+
+// --- against the synthetic datasets --------------------------------------------
+
+TEST(VsgDatasetTest, EurostatShapeMatchesTable3) {
+  auto ds = qb::Generate(qb::EurostatSpec(2000));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  auto r = VirtualSchemaGraph::Build(*ds->store,
+                                     ds->spec.observation_class);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->dimension_count(), 4u);
+  EXPECT_EQ(r->measure_count(), 1u);
+  EXPECT_EQ(r->level_count(), 10u);
+  EXPECT_EQ(r->hierarchy_count(), 7u);
+  // With few observations not every member is referenced; the spec's
+  // total is the upper bound and most members should be discovered.
+  EXPECT_LE(r->total_members(), 373u);
+  EXPECT_GT(r->total_members(), 300u);
+}
+
+TEST(VsgDatasetTest, ProductionShape) {
+  auto ds = qb::Generate(qb::ProductionSpec(5000));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  auto r =
+      VirtualSchemaGraph::Build(*ds->store, ds->spec.observation_class);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->dimension_count(), 7u);
+  EXPECT_EQ(r->level_count(), 10u);
+}
+
+}  // namespace
+}  // namespace re2xolap::core
