@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_textindex.dir/bench_ablation_textindex.cc.o"
+  "CMakeFiles/bench_ablation_textindex.dir/bench_ablation_textindex.cc.o.d"
+  "bench_ablation_textindex"
+  "bench_ablation_textindex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_textindex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

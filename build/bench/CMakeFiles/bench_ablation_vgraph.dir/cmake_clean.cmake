@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vgraph.dir/bench_ablation_vgraph.cc.o"
+  "CMakeFiles/bench_ablation_vgraph.dir/bench_ablation_vgraph.cc.o.d"
+  "bench_ablation_vgraph"
+  "bench_ablation_vgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

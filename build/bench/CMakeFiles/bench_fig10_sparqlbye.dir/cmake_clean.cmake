@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sparqlbye.dir/bench_fig10_sparqlbye.cc.o"
+  "CMakeFiles/bench_fig10_sparqlbye.dir/bench_fig10_sparqlbye.cc.o.d"
+  "bench_fig10_sparqlbye"
+  "bench_fig10_sparqlbye.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sparqlbye.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_reolap.dir/bench_fig7_reolap.cc.o"
+  "CMakeFiles/bench_fig7_reolap.dir/bench_fig7_reolap.cc.o.d"
+  "bench_fig7_reolap"
+  "bench_fig7_reolap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_reolap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

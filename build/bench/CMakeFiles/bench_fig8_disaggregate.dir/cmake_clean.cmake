@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_disaggregate.dir/bench_fig8_disaggregate.cc.o"
+  "CMakeFiles/bench_fig8_disaggregate.dir/bench_fig8_disaggregate.cc.o.d"
+  "bench_fig8_disaggregate"
+  "bench_fig8_disaggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_disaggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

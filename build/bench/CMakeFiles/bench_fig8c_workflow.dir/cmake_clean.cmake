@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8c_workflow.dir/bench_fig8c_workflow.cc.o"
+  "CMakeFiles/bench_fig8c_workflow.dir/bench_fig8c_workflow.cc.o.d"
+  "bench_fig8c_workflow"
+  "bench_fig8c_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8c_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_refinements.cc" "bench/CMakeFiles/bench_fig9_refinements.dir/bench_fig9_refinements.cc.o" "gcc" "bench/CMakeFiles/bench_fig9_refinements.dir/bench_fig9_refinements.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/re2x_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qb/CMakeFiles/re2x_qb.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparql/CMakeFiles/re2x_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/re2x_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/re2x_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_refinements.dir/bench_fig9_refinements.cc.o"
+  "CMakeFiles/bench_fig9_refinements.dir/bench_fig9_refinements.cc.o.d"
+  "bench_fig9_refinements"
+  "bench_fig9_refinements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_refinements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

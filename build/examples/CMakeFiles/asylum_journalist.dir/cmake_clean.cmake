@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asylum_journalist.dir/asylum_journalist.cpp.o"
+  "CMakeFiles/asylum_journalist.dir/asylum_journalist.cpp.o.d"
+  "asylum_journalist"
+  "asylum_journalist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asylum_journalist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for asylum_journalist.
+# This may be replaced when dependencies are built.

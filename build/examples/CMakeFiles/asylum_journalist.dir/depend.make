@@ -1,0 +1,2 @@
+# Empty dependencies file for asylum_journalist.
+# This may be replaced when dependencies are built.

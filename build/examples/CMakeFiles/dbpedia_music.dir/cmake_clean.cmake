@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbpedia_music.dir/dbpedia_music.cpp.o"
+  "CMakeFiles/dbpedia_music.dir/dbpedia_music.cpp.o.d"
+  "dbpedia_music"
+  "dbpedia_music.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbpedia_music.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for dbpedia_music.
+# This may be replaced when dependencies are built.

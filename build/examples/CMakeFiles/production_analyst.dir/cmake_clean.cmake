@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/production_analyst.dir/production_analyst.cpp.o"
+  "CMakeFiles/production_analyst.dir/production_analyst.cpp.o.d"
+  "production_analyst"
+  "production_analyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/production_analyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re2xolap_repl.dir/re2xolap_repl.cpp.o"
+  "CMakeFiles/re2xolap_repl.dir/re2xolap_repl.cpp.o.d"
+  "re2xolap_repl"
+  "re2xolap_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re2xolap_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for re2xolap_repl.
+# This may be replaced when dependencies are built.

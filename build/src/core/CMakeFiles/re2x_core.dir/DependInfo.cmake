@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analytical_view.cc" "src/core/CMakeFiles/re2x_core.dir/analytical_view.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/analytical_view.cc.o.d"
+  "/root/repo/src/core/describe.cc" "src/core/CMakeFiles/re2x_core.dir/describe.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/describe.cc.o.d"
+  "/root/repo/src/core/exref.cc" "src/core/CMakeFiles/re2x_core.dir/exref.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/exref.cc.o.d"
+  "/root/repo/src/core/profile.cc" "src/core/CMakeFiles/re2x_core.dir/profile.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/profile.cc.o.d"
+  "/root/repo/src/core/qb4olap.cc" "src/core/CMakeFiles/re2x_core.dir/qb4olap.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/qb4olap.cc.o.d"
+  "/root/repo/src/core/reolap.cc" "src/core/CMakeFiles/re2x_core.dir/reolap.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/reolap.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/re2x_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/session.cc.o.d"
+  "/root/repo/src/core/sparqlbye_baseline.cc" "src/core/CMakeFiles/re2x_core.dir/sparqlbye_baseline.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/sparqlbye_baseline.cc.o.d"
+  "/root/repo/src/core/virtual_schema_graph.cc" "src/core/CMakeFiles/re2x_core.dir/virtual_schema_graph.cc.o" "gcc" "src/core/CMakeFiles/re2x_core.dir/virtual_schema_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparql/CMakeFiles/re2x_sparql.dir/DependInfo.cmake"
+  "/root/repo/build/src/rdf/CMakeFiles/re2x_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/re2x_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

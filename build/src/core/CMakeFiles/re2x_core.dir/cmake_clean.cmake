@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re2x_core.dir/analytical_view.cc.o"
+  "CMakeFiles/re2x_core.dir/analytical_view.cc.o.d"
+  "CMakeFiles/re2x_core.dir/describe.cc.o"
+  "CMakeFiles/re2x_core.dir/describe.cc.o.d"
+  "CMakeFiles/re2x_core.dir/exref.cc.o"
+  "CMakeFiles/re2x_core.dir/exref.cc.o.d"
+  "CMakeFiles/re2x_core.dir/profile.cc.o"
+  "CMakeFiles/re2x_core.dir/profile.cc.o.d"
+  "CMakeFiles/re2x_core.dir/qb4olap.cc.o"
+  "CMakeFiles/re2x_core.dir/qb4olap.cc.o.d"
+  "CMakeFiles/re2x_core.dir/reolap.cc.o"
+  "CMakeFiles/re2x_core.dir/reolap.cc.o.d"
+  "CMakeFiles/re2x_core.dir/session.cc.o"
+  "CMakeFiles/re2x_core.dir/session.cc.o.d"
+  "CMakeFiles/re2x_core.dir/sparqlbye_baseline.cc.o"
+  "CMakeFiles/re2x_core.dir/sparqlbye_baseline.cc.o.d"
+  "CMakeFiles/re2x_core.dir/virtual_schema_graph.cc.o"
+  "CMakeFiles/re2x_core.dir/virtual_schema_graph.cc.o.d"
+  "libre2x_core.a"
+  "libre2x_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re2x_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re2x_qb.dir/datasets.cc.o"
+  "CMakeFiles/re2x_qb.dir/datasets.cc.o.d"
+  "CMakeFiles/re2x_qb.dir/generator.cc.o"
+  "CMakeFiles/re2x_qb.dir/generator.cc.o.d"
+  "libre2x_qb.a"
+  "libre2x_qb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re2x_qb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

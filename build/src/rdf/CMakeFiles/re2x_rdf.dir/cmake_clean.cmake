@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re2x_rdf.dir/dictionary.cc.o"
+  "CMakeFiles/re2x_rdf.dir/dictionary.cc.o.d"
+  "CMakeFiles/re2x_rdf.dir/ntriples.cc.o"
+  "CMakeFiles/re2x_rdf.dir/ntriples.cc.o.d"
+  "CMakeFiles/re2x_rdf.dir/term.cc.o"
+  "CMakeFiles/re2x_rdf.dir/term.cc.o.d"
+  "CMakeFiles/re2x_rdf.dir/text_index.cc.o"
+  "CMakeFiles/re2x_rdf.dir/text_index.cc.o.d"
+  "CMakeFiles/re2x_rdf.dir/triple_store.cc.o"
+  "CMakeFiles/re2x_rdf.dir/triple_store.cc.o.d"
+  "libre2x_rdf.a"
+  "libre2x_rdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re2x_rdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparql/ast.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/ast.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/ast.cc.o.d"
+  "/root/repo/src/sparql/csv.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/csv.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/csv.cc.o.d"
+  "/root/repo/src/sparql/executor.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/executor.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/executor.cc.o.d"
+  "/root/repo/src/sparql/lexer.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/lexer.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/lexer.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/parser.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/parser.cc.o.d"
+  "/root/repo/src/sparql/planner.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/planner.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/planner.cc.o.d"
+  "/root/repo/src/sparql/result_table.cc" "src/sparql/CMakeFiles/re2x_sparql.dir/result_table.cc.o" "gcc" "src/sparql/CMakeFiles/re2x_sparql.dir/result_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rdf/CMakeFiles/re2x_rdf.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/re2x_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

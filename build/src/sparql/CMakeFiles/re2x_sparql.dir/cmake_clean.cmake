@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re2x_sparql.dir/ast.cc.o"
+  "CMakeFiles/re2x_sparql.dir/ast.cc.o.d"
+  "CMakeFiles/re2x_sparql.dir/csv.cc.o"
+  "CMakeFiles/re2x_sparql.dir/csv.cc.o.d"
+  "CMakeFiles/re2x_sparql.dir/executor.cc.o"
+  "CMakeFiles/re2x_sparql.dir/executor.cc.o.d"
+  "CMakeFiles/re2x_sparql.dir/lexer.cc.o"
+  "CMakeFiles/re2x_sparql.dir/lexer.cc.o.d"
+  "CMakeFiles/re2x_sparql.dir/parser.cc.o"
+  "CMakeFiles/re2x_sparql.dir/parser.cc.o.d"
+  "CMakeFiles/re2x_sparql.dir/planner.cc.o"
+  "CMakeFiles/re2x_sparql.dir/planner.cc.o.d"
+  "CMakeFiles/re2x_sparql.dir/result_table.cc.o"
+  "CMakeFiles/re2x_sparql.dir/result_table.cc.o.d"
+  "libre2x_sparql.a"
+  "libre2x_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re2x_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

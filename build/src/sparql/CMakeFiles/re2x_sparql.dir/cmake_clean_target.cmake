@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libre2x_sparql.a"
+)

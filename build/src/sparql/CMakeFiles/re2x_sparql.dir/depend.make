@@ -1,0 +1,2 @@
+# Empty dependencies file for re2x_sparql.
+# This may be replaced when dependencies are built.

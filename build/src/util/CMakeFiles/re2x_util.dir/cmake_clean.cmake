@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/re2x_util.dir/status.cc.o"
+  "CMakeFiles/re2x_util.dir/status.cc.o.d"
+  "CMakeFiles/re2x_util.dir/string_utils.cc.o"
+  "CMakeFiles/re2x_util.dir/string_utils.cc.o.d"
+  "CMakeFiles/re2x_util.dir/table_printer.cc.o"
+  "CMakeFiles/re2x_util.dir/table_printer.cc.o.d"
+  "libre2x_util.a"
+  "libre2x_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/re2x_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exref_test.dir/exref_test.cc.o"
+  "CMakeFiles/exref_test.dir/exref_test.cc.o.d"
+  "exref_test"
+  "exref_test.pdb"
+  "exref_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exref_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reolap_test.dir/reolap_test.cc.o"
+  "CMakeFiles/reolap_test.dir/reolap_test.cc.o.d"
+  "reolap_test"
+  "reolap_test.pdb"
+  "reolap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reolap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

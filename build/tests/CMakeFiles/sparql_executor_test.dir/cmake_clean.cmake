@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparql_executor_test.dir/sparql_executor_test.cc.o"
+  "CMakeFiles/sparql_executor_test.dir/sparql_executor_test.cc.o.d"
+  "sparql_executor_test"
+  "sparql_executor_test.pdb"
+  "sparql_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparql_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

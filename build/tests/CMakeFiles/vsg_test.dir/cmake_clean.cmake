@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vsg_test.dir/vsg_test.cc.o"
+  "CMakeFiles/vsg_test.dir/vsg_test.cc.o.d"
+  "vsg_test"
+  "vsg_test.pdb"
+  "vsg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

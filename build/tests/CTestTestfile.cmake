@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/rdf_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sparql_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/generator_test[1]_include.cmake")
+include("/root/repo/build/tests/vsg_test[1]_include.cmake")
+include("/root/repo/build/tests/reolap_test[1]_include.cmake")
+include("/root/repo/build/tests/exref_test[1]_include.cmake")
+include("/root/repo/build/tests/session_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_test[1]_include.cmake")
+include("/root/repo/build/tests/describe_test[1]_include.cmake")
