@@ -13,8 +13,10 @@
 // Override the default scale with the RE2X_BENCH_OBS environment variable.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -172,6 +174,67 @@ inline const std::vector<std::string>& AllDatasets() {
       new std::vector<std::string>{"Eurostat", "Production", "DBpedia"};
   return *kNames;
 }
+
+/// Minimal machine-readable perf snapshot writer: accumulates flat JSON
+/// records and writes `{"bench": <name>, "records": [...]}` to a file, so
+/// the perf trajectory is diffable across PRs without parsing tables.
+class JsonBenchLog {
+ public:
+  explicit JsonBenchLog(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  class Record {
+   public:
+    Record& Str(const std::string& key, const std::string& value) {
+      Add(key, "\"" + value + "\"");
+      return *this;
+    }
+    Record& Num(const std::string& key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", value);
+      Add(key, buf);
+      return *this;
+    }
+    Record& Int(const std::string& key, long long value) {
+      Add(key, std::to_string(value));
+      return *this;
+    }
+    Record& Bool(const std::string& key, bool value) {
+      Add(key, value ? "true" : "false");
+      return *this;
+    }
+
+   private:
+    friend class JsonBenchLog;
+    void Add(const std::string& key, const std::string& raw) {
+      if (!fields_.empty()) fields_ += ", ";
+      fields_ += "\"" + key + "\": " + raw;
+    }
+    std::string fields_;
+  };
+
+  Record& AddRecord() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes the log to `path`; prints a one-line confirmation.
+  void Write(const std::string& path) const {
+    std::ofstream out(path);
+    out << "{\"bench\": \"" << bench_name_ << "\", \"records\": [\n";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      out << "  {" << records_[i].fields_ << "}"
+          << (i + 1 < records_.size() ? ",\n" : "\n");
+    }
+    out << "]}\n";
+    std::cout << "wrote " << path << " (" << records_.size()
+              << " records)\n";
+  }
+
+ private:
+  std::string bench_name_;
+  std::vector<Record> records_;
+};
 
 }  // namespace re2xolap::bench
 

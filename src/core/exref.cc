@@ -83,10 +83,60 @@ std::vector<size_t> ExampleRowIndexes(const ExploreState& state,
 
 // --- Disaggregate ------------------------------------------------------------
 
+namespace {
+
+/// Builds the one refined state Disaggregate derives for `candidate`.
+ExploreState DisaggregateOne(const rdf::TripleStore& store,
+                             const ExploreState& state,
+                             const LevelPath& candidate) {
+  ExploreState next = state;
+  std::string var =
+      "d" + std::to_string(next.extra_columns.size()) + "_" +
+      IriLocalName(store.term(candidate.predicates.front()).value);
+  if (candidate.predicates.size() > 1) {
+    var += "_" + IriLocalName(store.term(candidate.predicates.back()).value);
+  }
+  sparql::TermOrVar current = sparql::Variable{"obs"};
+  for (size_t s = 0; s < candidate.predicates.size(); ++s) {
+    sparql::TermOrVar nxt =
+        (s + 1 == candidate.predicates.size())
+            ? sparql::TermOrVar(sparql::Variable{var})
+            : sparql::TermOrVar(
+                  sparql::Variable{"h" + std::to_string(next.fresh_vars++)});
+    next.query.patterns.push_back(sparql::TriplePatternAst{
+        current, store.term(candidate.predicates[s]), nxt});
+    current = nxt;
+  }
+  next.query.group_by.push_back(sparql::Variable{var});
+  sparql::SelectItem item;
+  item.var = sparql::Variable{var};
+  // Insert the new group column before the aggregate columns, keeping
+  // the conventional dims-then-measures order.
+  size_t insert_at = 0;
+  while (insert_at < next.query.items.size() &&
+         !next.query.items[insert_at].is_aggregate) {
+    ++insert_at;
+  }
+  next.query.items.insert(
+      next.query.items.begin() + static_cast<long>(insert_at), item);
+  next.extra_columns.push_back(var);
+  next.paths.push_back(&candidate);
+  std::string what = PathDescription(store, candidate);
+  next.description = "Disaggregate by \"" + what + "\"";
+  next.trail.push_back("Disaggregate(" + what + ")");
+  return next;
+}
+
+}  // namespace
+
 std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
                                        const rdf::TripleStore& store,
-                                       const ExploreState& state) {
-  std::vector<ExploreState> out;
+                                       const ExploreState& state,
+                                       util::ThreadPool* pool) {
+  // Filter the valid candidate paths first (cheap pointer checks), then
+  // derive the refined states — each from `state` alone, so the per-path
+  // constructions are independent and land in order-preserving slots.
+  std::vector<const LevelPath*> valid;
   for (const LevelPath& candidate : vsg.level_paths()) {
     bool invalid = false;
     for (const LevelPath* present : state.paths) {
@@ -96,44 +146,38 @@ std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
         break;
       }
     }
-    if (invalid) continue;
+    if (!invalid) valid.push_back(&candidate);
+  }
+  std::vector<ExploreState> out(valid.size());
+  auto build_one = [&](size_t i) {
+    out[i] = DisaggregateOne(store, state, *valid[i]);
+  };
+  if (pool != nullptr && valid.size() > 1) {
+    pool->ParallelFor(valid.size(), build_one);
+  } else {
+    for (size_t i = 0; i < valid.size(); ++i) build_one(i);
+  }
+  return out;
+}
 
-    ExploreState next = state;
-    std::string var =
-        "d" + std::to_string(next.extra_columns.size()) + "_" +
-        IriLocalName(store.term(candidate.predicates.front()).value);
-    if (candidate.predicates.size() > 1) {
-      var += "_" + IriLocalName(store.term(candidate.predicates.back()).value);
-    }
-    sparql::TermOrVar current = sparql::Variable{"obs"};
-    for (size_t s = 0; s < candidate.predicates.size(); ++s) {
-      sparql::TermOrVar nxt =
-          (s + 1 == candidate.predicates.size())
-              ? sparql::TermOrVar(sparql::Variable{var})
-              : sparql::TermOrVar(
-                    sparql::Variable{"h" + std::to_string(next.fresh_vars++)});
-      next.query.patterns.push_back(sparql::TriplePatternAst{
-          current, store.term(candidate.predicates[s]), nxt});
-      current = nxt;
-    }
-    next.query.group_by.push_back(sparql::Variable{var});
-    sparql::SelectItem item;
-    item.var = sparql::Variable{var};
-    // Insert the new group column before the aggregate columns, keeping
-    // the conventional dims-then-measures order.
-    size_t insert_at = 0;
-    while (insert_at < next.query.items.size() &&
-           !next.query.items[insert_at].is_aggregate) {
-      ++insert_at;
-    }
-    next.query.items.insert(
-        next.query.items.begin() + static_cast<long>(insert_at), item);
-    next.extra_columns.push_back(var);
-    next.paths.push_back(&candidate);
-    std::string what = PathDescription(store, candidate);
-    next.description = "Disaggregate by \"" + what + "\"";
-    next.trail.push_back("Disaggregate(" + what + ")");
-    out.push_back(std::move(next));
+std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
+    const rdf::TripleStore& store, const std::vector<ExploreState>& states,
+    const sparql::ExecOptions& exec, util::ThreadPool* pool,
+    std::vector<sparql::ExecStats>* stats) {
+  std::vector<util::Result<sparql::ResultTable>> out;
+  out.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.emplace_back(util::Status::Internal("not evaluated"));
+  }
+  if (stats != nullptr) stats->assign(states.size(), sparql::ExecStats{});
+  auto eval_one = [&](size_t i) {
+    out[i] = sparql::Execute(store, states[i].query, exec,
+                             stats != nullptr ? &(*stats)[i] : nullptr);
+  };
+  if (pool != nullptr && states.size() > 1) {
+    pool->ParallelFor(states.size(), eval_one);
+  } else {
+    for (size_t i = 0; i < states.size(); ++i) eval_one(i);
   }
   return out;
 }

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "core/reolap.h"
+#include "sparql/executor.h"
 #include "sparql/result_table.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace re2xolap::core {
 
@@ -48,10 +50,26 @@ std::vector<size_t> ExampleRowIndexes(const ExploreState& state,
 /// Enumerates, purely on the virtual graph, every level path not yet in the
 /// query that does not re-aggregate at a coarser level of an existing path
 /// (a candidate extending a present path upward is discarded). One refined
-/// state per valid path. Cost O(|L|), no store access.
+/// state per valid path. Cost O(|L|), no store access. Each refined state
+/// is derived from `state` independently, so when `pool` is non-null the
+/// per-path state construction fans out across it (the output order — one
+/// state per valid path in vsg.level_paths() order — is unchanged).
 std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
                                        const rdf::TripleStore& store,
-                                       const ExploreState& state);
+                                       const ExploreState& state,
+                                       util::ThreadPool* pool = nullptr);
+
+/// Executes every state's query against the frozen store, fanning the
+/// evaluations across `pool` (serial when null). Result i corresponds to
+/// states[i]; per-query ExecStats land in `stats` (resized to match) when
+/// non-null, so the aggregation is race-free by construction. This is the
+/// ExRef counterpart of ReOLAP's parallel validation: after a refinement
+/// step produces N candidate queries, their (read-only) evaluations are
+/// independent probes against the store.
+std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
+    const rdf::TripleStore& store, const std::vector<ExploreState>& states,
+    const sparql::ExecOptions& exec = {}, util::ThreadPool* pool = nullptr,
+    std::vector<sparql::ExecStats>* stats = nullptr);
 
 /// --- Problem 2b: example-driven Subset ------------------------------------
 

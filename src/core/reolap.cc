@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "core/describe.h"
@@ -17,6 +18,23 @@ namespace {
 std::string IriLocalName(const std::string& iri) {
   size_t cut = iri.find_last_of("/#");
   return cut == std::string::npos ? iri : iri.substr(cut + 1);
+}
+
+/// Resolves the effective validation parallelism of `options`.
+size_t EffectiveThreads(const ReolapOptions& options) {
+  return options.num_threads == 0 ? util::ThreadPool::DefaultThreads()
+                                  : options.num_threads;
+}
+
+/// Returns the pool to fan work onto: the caller-supplied one, a freshly
+/// created local pool (owned by `local`), or nullptr for serial runs.
+util::ThreadPool* ResolvePool(const ReolapOptions& options,
+                              std::unique_ptr<util::ThreadPool>* local) {
+  if (options.pool != nullptr) return options.pool;
+  size_t threads = EffectiveThreads(options);
+  if (threads <= 1) return nullptr;
+  *local = std::make_unique<util::ThreadPool>(threads);
+  return local->get();
 }
 
 /// Column/variable name for the group-by variable of an interpretation:
@@ -202,14 +220,25 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
   if (example_tuple.empty()) {
     return util::Status::InvalidArgument("example tuple is empty");
   }
+  std::unique_ptr<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = ResolvePool(options, &local_pool);
+  if (stats) stats->threads_used = EffectiveThreads(options);
   util::WallTimer timer;
 
-  // Lines 2–7 of Algorithm 1: interpretations per value.
-  std::vector<std::vector<Interpretation>> dims;
-  dims.reserve(example_tuple.size());
-  for (const std::string& value : example_tuple) {
-    dims.push_back(MatchValue(value, options));
-    if (dims.back().empty()) {
+  // Lines 2–7 of Algorithm 1: interpretations per value. Each value's
+  // MATCHES() is independent and read-only, so values fan out across the
+  // pool into per-index slots (order-preserving).
+  std::vector<std::vector<Interpretation>> dims(example_tuple.size());
+  auto match_one = [&](size_t i) {
+    dims[i] = MatchValue(example_tuple[i], options);
+  };
+  if (pool != nullptr && example_tuple.size() > 1) {
+    pool->ParallelFor(dims.size(), match_one);
+  } else {
+    for (size_t i = 0; i < dims.size(); ++i) match_one(i);
+  }
+  for (const auto& d : dims) {
+    if (d.empty()) {
       // Some value cannot be mapped to any dimension member: no query can
       // subsume the tuple.
       if (stats) stats->match_millis = timer.ElapsedMillis();
@@ -222,62 +251,93 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
     for (const auto& d : dims) space *= d.size();
     stats->interpretations_considered = space;
   }
-  timer.Restart();
 
   // Lines 8–11: combine interpretations. Within one combination every value
   // must map to a distinct dimension (distinct root predicates): a single
   // result tuple carries one member per dimension.
+  //
+  // The probe fan-out works in blocks to stay deterministic: the odometer
+  // enumerates the next block of deduplicated combinations in serial
+  // order, the block's LIMIT-1 probes run concurrently into per-index
+  // verdict slots, and the verdicts are then consumed back in serial
+  // order — so the output candidates, their ordering, and the stats
+  // counters are byte-identical for every thread count (the only
+  // difference is up to one block of extra probes past the max_queries
+  // cut-off, whose verdicts are discarded uncounted).
   std::vector<CandidateQuery> out;
   std::vector<Interpretation> combo(example_tuple.size());
   std::set<std::vector<std::pair<rdf::TermId, const LevelPath*>>> emitted;
 
-  // Iterative cartesian product.
+  const size_t block_size =
+      pool == nullptr ? 1 : std::max<size_t>(4 * (pool->size() + 1), 16);
+  std::vector<std::vector<Interpretation>> pending;
   std::vector<size_t> idx(example_tuple.size(), 0);
+  bool exhausted = false, capped = false;
   double combine_ms = 0, validate_ms = 0;
-  while (true) {
-    bool ok = true;
-    std::set<rdf::TermId> used_dims;
-    for (size_t i = 0; i < idx.size() && ok; ++i) {
-      combo[i] = dims[i][idx[i]];
-      rdf::TermId dim_pred = combo[i].path->dimension_predicate();
-      if (!used_dims.insert(dim_pred).second) ok = false;
-    }
-    if (ok) {
-      // The same (member, path) multiset may arise from different matched
-      // literals; dedupe by the combo signature.
-      std::vector<std::pair<rdf::TermId, const LevelPath*>> sig;
-      sig.reserve(combo.size());
-      for (const Interpretation& in : combo) {
-        sig.emplace_back(in.member, in.path);
+  while (!exhausted && !capped) {
+    // Enumerate the next block of unique, distinct-dimension combos.
+    timer.Restart();
+    pending.clear();
+    while (!exhausted && pending.size() < block_size) {
+      bool ok = true;
+      std::set<rdf::TermId> used_dims;
+      for (size_t i = 0; i < idx.size() && ok; ++i) {
+        combo[i] = dims[i][idx[i]];
+        rdf::TermId dim_pred = combo[i].path->dimension_predicate();
+        if (!used_dims.insert(dim_pred).second) ok = false;
       }
-      if (emitted.insert(sig).second) {
-        if (stats) ++stats->combinations_checked;
-        combine_ms += timer.ElapsedMillis();
-        timer.Restart();
-        bool valid = true;
-        if (options.validate) {
-          valid = ValidateCombo(combo, options.validation_timeout_millis);
+      if (ok) {
+        // The same (member, path) multiset may arise from different
+        // matched literals; dedupe by the combo signature.
+        std::vector<std::pair<rdf::TermId, const LevelPath*>> sig;
+        sig.reserve(combo.size());
+        for (const Interpretation& in : combo) {
+          sig.emplace_back(in.member, in.path);
         }
-        validate_ms += timer.ElapsedMillis();
-        timer.Restart();
-        if (valid) {
-          if (stats) ++stats->validated_ok;
-          // Different members on the same path family produce the same
-          // query shape; the paper still treats them as one query per
-          // combination of *levels*. Dedupe output queries by path set.
-          out.push_back(BuildQuery(combo, options));
-          if (out.size() >= options.max_queries) break;
-        }
+        if (emitted.insert(sig).second) pending.push_back(combo);
+      }
+      // Advance the odometer.
+      size_t pos = 0;
+      while (pos < idx.size()) {
+        if (++idx[pos] < dims[pos].size()) break;
+        idx[pos] = 0;
+        ++pos;
+      }
+      if (pos == idx.size()) exhausted = true;
+    }
+    combine_ms += timer.ElapsedMillis();
+
+    // Probe the block concurrently; verdicts land in per-index slots.
+    timer.Restart();
+    std::vector<uint8_t> valid(pending.size(), 1);
+    if (options.validate && !pending.empty()) {
+      auto probe = [&](size_t i) {
+        valid[i] =
+            ValidateCombo(pending[i], options.validation_timeout_millis) ? 1
+                                                                         : 0;
+      };
+      if (pool != nullptr) {
+        pool->ParallelFor(pending.size(), probe);
+      } else {
+        for (size_t i = 0; i < pending.size(); ++i) probe(i);
       }
     }
-    // Advance the odometer.
-    size_t pos = 0;
-    while (pos < idx.size()) {
-      if (++idx[pos] < dims[pos].size()) break;
-      idx[pos] = 0;
-      ++pos;
+    validate_ms += timer.ElapsedMillis();
+
+    // Consume verdicts in serial candidate order.
+    timer.Restart();
+    for (size_t i = 0; i < pending.size() && !capped; ++i) {
+      if (stats) ++stats->combinations_checked;
+      if (valid[i]) {
+        if (stats) ++stats->validated_ok;
+        // Different members on the same path family produce the same
+        // query shape; the paper still treats them as one query per
+        // combination of *levels*. Dedupe output queries by path set.
+        out.push_back(BuildQuery(pending[i], options));
+        if (out.size() >= options.max_queries) capped = true;
+      }
     }
-    if (pos == idx.size()) break;
+    combine_ms += timer.ElapsedMillis();
   }
 
   // Queries over the same ordered set of level paths are duplicates from
@@ -314,25 +374,45 @@ util::Result<std::vector<CandidateQuery>> Reolap::SynthesizeMulti(
   }
   // Candidates from the first tuple; the remaining tuples then filter
   // them: every row must map onto the candidate's level paths and
-  // jointly validate (T_E ⊑ T for every tuple in T_E).
+  // jointly validate (T_E ⊑ T for every tuple in T_E). One pool serves
+  // both the nested Synthesize call and the per-candidate row checks.
+  std::unique_ptr<util::ThreadPool> local_pool;
+  util::ThreadPool* pool = ResolvePool(options, &local_pool);
+  ReolapOptions pooled_options = options;
+  pooled_options.pool = pool;
   RE2X_ASSIGN_OR_RETURN(std::vector<CandidateQuery> candidates,
-                        Synthesize(example_tuples[0], options, stats));
+                        Synthesize(example_tuples[0], pooled_options, stats));
   if (example_tuples.size() == 1) return candidates;
 
-  // Interpretations per (tuple >= 1, column), computed once.
+  // Interpretations per (tuple >= 1, column), computed once; the
+  // (tuple, column) MATCHES() lookups are independent and fan out.
   std::vector<std::vector<std::vector<Interpretation>>> interps(
       example_tuples.size());
-  for (size_t t = 1; t < example_tuples.size(); ++t) {
-    interps[t].resize(arity);
-    for (size_t j = 0; j < arity; ++j) {
-      interps[t][j] = MatchValue(example_tuples[t][j], options);
-    }
+  for (size_t t = 1; t < example_tuples.size(); ++t) interps[t].resize(arity);
+  auto match_one = [&](size_t flat) {
+    size_t t = 1 + flat / arity;
+    size_t j = flat % arity;
+    interps[t][j] = MatchValue(example_tuples[t][j], options);
+  };
+  const size_t n_lookups = (example_tuples.size() - 1) * arity;
+  if (pool != nullptr) {
+    pool->ParallelFor(n_lookups, match_one);
+  } else {
+    for (size_t flat = 0; flat < n_lookups; ++flat) match_one(flat);
   }
 
-  std::vector<CandidateQuery> kept;
-  for (CandidateQuery& cand : candidates) {
-    bool all_rows_ok = true;
+  // Each candidate's row filtering is independent of the others: verdicts
+  // (plus the validated extra rows) land in per-candidate slots and the
+  // surviving candidates are collected in serial order afterwards.
+  struct RowCheck {
+    bool keep = false;
     std::vector<std::vector<Interpretation>> extra_rows;
+  };
+  std::vector<RowCheck> checks(candidates.size());
+  auto check_one = [&](size_t c) {
+    const CandidateQuery& cand = candidates[c];
+    RowCheck& rc = checks[c];
+    bool all_rows_ok = true;
     for (size_t t = 1; t < example_tuples.size() && all_rows_ok; ++t) {
       // Per column: members of this tuple interpretable over the
       // candidate's path.
@@ -358,7 +438,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::SynthesizeMulti(
         for (size_t j = 0; j < arity; ++j) row[j] = per_column[j][idx[j]];
         if (!options.validate ||
             ValidateCombo(row, options.validation_timeout_millis)) {
-          extra_rows.push_back(std::move(row));
+          rc.extra_rows.push_back(std::move(row));
           row_ok = true;
           break;
         }
@@ -373,10 +453,19 @@ util::Result<std::vector<CandidateQuery>> Reolap::SynthesizeMulti(
       }
       if (!row_ok) all_rows_ok = false;
     }
-    if (all_rows_ok) {
-      cand.extra_rows = std::move(extra_rows);
-      kept.push_back(std::move(cand));
-    }
+    rc.keep = all_rows_ok;
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(candidates.size(), check_one);
+  } else {
+    for (size_t c = 0; c < candidates.size(); ++c) check_one(c);
+  }
+
+  std::vector<CandidateQuery> kept;
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    if (!checks[c].keep) continue;
+    candidates[c].extra_rows = std::move(checks[c].extra_rows);
+    kept.push_back(std::move(candidates[c]));
   }
   return kept;
 }

@@ -10,6 +10,7 @@
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
 #include "util/result.h"
+#include "util/thread_pool.h"
 
 namespace re2xolap::core {
 
@@ -57,13 +58,28 @@ struct ReolapOptions {
   /// When true, candidates are ordered by RankCandidates() before being
   /// returned (simpler + more focused interpretations first).
   bool rank_candidates = false;
+  /// Threads applied to the per-value MATCHES() lookups and the LIMIT-1
+  /// validation probes (the two store-touching phases). 0 = one thread
+  /// per hardware core; 1 = serial. The candidate list, ordering, and
+  /// ReolapStats counters are byte-identical for every thread count: the
+  /// probes are fanned out in blocks and their verdicts consumed in
+  /// serial candidate order.
+  size_t num_threads = 0;
+  /// Optional externally owned pool to run on (must have been built with
+  /// at least `num_threads` threads to reach that parallelism). When
+  /// null and the effective thread count exceeds 1, a pool local to the
+  /// Synthesize call is created.
+  util::ThreadPool* pool = nullptr;
 };
 
-/// Counters reported by the Figure 7 benches.
+/// Counters reported by the Figure 7 benches. Counters are aggregated on
+/// the synthesis thread only (worker threads report through per-index
+/// slots), so they are race-free and identical for every `num_threads`.
 struct ReolapStats {
   size_t interpretations_considered = 0;  // size of the cartesian space
   size_t combinations_checked = 0;
   size_t validated_ok = 0;
+  size_t threads_used = 1;  // effective validation parallelism
   double match_millis = 0;
   double combine_millis = 0;
   double validate_millis = 0;

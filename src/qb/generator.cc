@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace re2xolap::qb {
 
@@ -46,7 +47,8 @@ size_t HashedParent(size_t child, size_t parent_count, size_t salt) {
 
 }  // namespace
 
-util::Result<GeneratedDataset> Generate(DatasetSpec spec) {
+util::Result<GeneratedDataset> Generate(DatasetSpec spec,
+                                        util::ThreadPool* freeze_pool) {
   auto store = std::make_unique<rdf::TripleStore>();
   util::Rng rng(spec.seed);
 
@@ -175,7 +177,7 @@ util::Result<GeneratedDataset> Generate(DatasetSpec spec) {
     }
   }
 
-  store->Freeze();
+  store->Freeze(freeze_pool);
   GeneratedDataset out;
   out.store = std::move(store);
   out.spec = std::move(spec);

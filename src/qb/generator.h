@@ -35,8 +35,11 @@ struct GeneratedDataset {
 ///  - `spec.observations` observation nodes typed `observation_class`, each
 ///    linked to one (skewed-random) base member per dimension, one numeric
 ///    literal per measure, and the literal observation attributes.
-/// Fails on specs referencing undefined levels.
-util::Result<GeneratedDataset> Generate(DatasetSpec spec);
+/// Fails on specs referencing undefined levels. When `freeze_pool` is
+/// non-null the final TripleStore::Freeze() sorts its index permutations
+/// on that pool (same store bits, less wall time).
+util::Result<GeneratedDataset> Generate(
+    DatasetSpec spec, util::ThreadPool* freeze_pool = nullptr);
 
 }  // namespace re2xolap::qb
 

@@ -17,8 +17,13 @@ inline constexpr TermId kInvalidTermId = 0;
 
 /// Bidirectional Term <-> TermId mapping. Interning terms once lets the
 /// triple store and all query processing work on fixed-width integers.
-/// Not thread-safe for concurrent writes; concurrent reads are safe after
-/// loading finishes.
+///
+/// Concurrent-read contract: once loading finishes (in practice: once the
+/// owning TripleStore is Freeze()-d), Lookup()/term()/IsValid()/ForEach()
+/// are safe from any number of threads — they are const hash/vector reads
+/// with no lazy caches. Intern() mutates and must never overlap a read;
+/// query paths must use Lookup() only. The TripleStore wrapper asserts
+/// this in debug builds.
 class Dictionary {
  public:
   Dictionary() {

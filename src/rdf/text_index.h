@@ -19,6 +19,11 @@ namespace re2xolap::rdf {
 /// every query token appears among the literal's tokens (AND semantics).
 /// Exact (case-insensitive whole-string) lookup is also provided and is
 /// preferred by the matcher.
+///
+/// Concurrent-read contract: the index is immutable after construction —
+/// ExactMatch()/KeywordMatch()/Match() are const lookups over the postings
+/// maps with no lazy caches, so they are safe from any number of threads
+/// (the parallel ReOLAP matcher relies on this).
 class TextIndex {
  public:
   /// Builds the index over every string literal currently interned in

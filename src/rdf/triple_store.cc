@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace re2xolap::rdf {
 
 namespace {
@@ -53,17 +55,49 @@ void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
 
 void TripleStore::AddEncoded(EncodedTriple t) {
   assert(dict_.IsValid(t.s) && dict_.IsValid(t.p) && dict_.IsValid(t.o));
+  assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+         "TripleStore::Add() during concurrent reads of a frozen store");
   spo_.push_back(t);
   frozen_ = false;
 }
 
-void TripleStore::Freeze() {
-  BuildIndexes();
-  ComputeStats();
+void TripleStore::Freeze(util::ThreadPool* pool) {
+  assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+         "TripleStore::Freeze() during concurrent reads");
+  BuildIndexes(pool);
+  ComputeStats(pool);
   frozen_ = true;
 }
 
-void TripleStore::BuildIndexes() {
+void TripleStore::BuildIndexes(util::ThreadPool* pool) {
+  if (pool != nullptr && pool->size() > 0) {
+    // Each permutation sorts an independent copy of the raw triple list
+    // and deduplicates in place (duplicates are adjacent under any total
+    // order over (s,p,o)), so the three tasks share nothing.
+    pos_ = spo_;
+    osp_ = spo_;
+    auto sort_one = [this](size_t task) {
+      switch (task) {
+        case 0:
+          std::sort(spo_.begin(), spo_.end(), SpoLess());
+          spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+          spo_.shrink_to_fit();
+          break;
+        case 1:
+          std::sort(pos_.begin(), pos_.end(), PosLess());
+          pos_.erase(std::unique(pos_.begin(), pos_.end()), pos_.end());
+          pos_.shrink_to_fit();
+          break;
+        default:
+          std::sort(osp_.begin(), osp_.end(), OspLess());
+          osp_.erase(std::unique(osp_.begin(), osp_.end()), osp_.end());
+          osp_.shrink_to_fit();
+          break;
+      }
+    };
+    pool->ParallelFor(3, sort_one);
+    return;
+  }
   std::sort(spo_.begin(), spo_.end(), SpoLess());
   spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
   spo_.shrink_to_fit();
@@ -73,39 +107,55 @@ void TripleStore::BuildIndexes() {
   std::sort(osp_.begin(), osp_.end(), OspLess());
 }
 
-void TripleStore::ComputeStats() {
+void TripleStore::ComputeStats(util::ThreadPool* pool) {
   stats_.clear();
   // pos_ is sorted by (p, o, s): per-predicate runs are contiguous, and
   // within a run objects are grouped, enabling distinct-object counting in
   // one pass. Distinct subjects need a second pass over a scratch copy per
   // predicate run sorted by subject.
+  std::vector<std::pair<size_t, size_t>> runs;  // [begin, end) per predicate
   size_t i = 0;
   while (i < pos_.size()) {
-    TermId p = pos_[i].p;
     size_t j = i;
+    while (j < pos_.size() && pos_[j].p == pos_[i].p) ++j;
+    runs.emplace_back(i, j);
+    i = j;
+  }
+  std::vector<PredicateStats> per_run(runs.size());
+  auto stat_one = [this, &runs, &per_run](size_t r) {
+    auto [begin, end] = runs[r];
     PredicateStats st;
     TermId prev_o = kInvalidTermId;
     std::vector<TermId> subjects;
-    while (j < pos_.size() && pos_[j].p == p) {
+    subjects.reserve(end - begin);
+    for (size_t k = begin; k < end; ++k) {
       ++st.triple_count;
-      if (pos_[j].o != prev_o) {
+      if (pos_[k].o != prev_o) {
         ++st.distinct_objects;
-        prev_o = pos_[j].o;
+        prev_o = pos_[k].o;
       }
-      subjects.push_back(pos_[j].s);
-      ++j;
+      subjects.push_back(pos_[k].s);
     }
     std::sort(subjects.begin(), subjects.end());
     st.distinct_subjects = static_cast<uint64_t>(
         std::unique(subjects.begin(), subjects.end()) - subjects.begin());
-    stats_.emplace(p, st);
-    i = j;
+    per_run[r] = st;
+  };
+  if (pool != nullptr && pool->size() > 0) {
+    pool->ParallelFor(runs.size(), stat_one);
+  } else {
+    for (size_t r = 0; r < runs.size(); ++r) stat_one(r);
+  }
+  stats_.reserve(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    stats_.emplace(pos_[runs[r].first].p, per_run[r]);
   }
 }
 
 std::span<const EncodedTriple> TripleStore::Match(
     const TriplePattern& q) const {
   assert(frozen_ && "TripleStore::Freeze() must be called before Match()");
+  ReadGuard guard(this);
   const bool bs = q.s != kInvalidTermId;
   const bool bp = q.p != kInvalidTermId;
   const bool bo = q.o != kInvalidTermId;

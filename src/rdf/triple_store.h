@@ -1,6 +1,8 @@
 #ifndef RE2XOLAP_RDF_TRIPLE_STORE_H_
 #define RE2XOLAP_RDF_TRIPLE_STORE_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -10,6 +12,10 @@
 #include "rdf/triple.h"
 #include "util/result.h"
 #include "util/status.h"
+
+namespace re2xolap::util {
+class ThreadPool;
+}
 
 namespace re2xolap::rdf {
 
@@ -29,6 +35,15 @@ struct PredicateStats {
 /// Further Add() calls invalidate the indexes; Freeze() rebuilds them.
 /// This mirrors the paper's setting: the KG is loaded/bootstrapped once and
 /// then queried read-only.
+///
+/// Concurrent-read contract: after Freeze() returns, every const member
+/// (Match, CountMatches, Exists, Lookup, term, predicate_stats, ...) is
+/// safe to call from any number of threads simultaneously — the read paths
+/// are pure binary searches / hash lookups over immutable vectors and keep
+/// no lazy caches or other hidden mutable state. The contract is voided by
+/// any concurrent mutation: Add(), AddEncoded(), Intern(), and Freeze()
+/// must never overlap a read. Debug builds enforce this with an active-
+/// reader counter asserted inside the mutators (see ReadGuard below).
 class TripleStore {
  public:
   TripleStore() = default;
@@ -46,7 +61,10 @@ class TripleStore {
 
   /// Sorts and deduplicates the three index permutations and computes
   /// predicate statistics. Must be called after loading, before querying.
-  void Freeze();
+  /// When `pool` is non-null the three permutation sorts run as concurrent
+  /// tasks and the per-predicate statistics fan out across the pool; the
+  /// resulting store is bit-identical to a serial Freeze().
+  void Freeze(util::ThreadPool* pool = nullptr);
 
   bool frozen() const { return frozen_; }
 
@@ -55,8 +73,14 @@ class TripleStore {
   Dictionary& dictionary() { return dict_; }
   const Dictionary& dictionary() const { return dict_; }
 
-  /// Interns (or finds) a term id.
-  TermId Intern(const Term& t) { return dict_.Intern(t); }
+  /// Interns (or finds) a term id. Mutates the dictionary: must not be
+  /// called while other threads read a frozen store (query paths use the
+  /// read-only Lookup() instead).
+  TermId Intern(const Term& t) {
+    assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+           "TripleStore::Intern() during concurrent reads of a frozen store");
+    return dict_.Intern(t);
+  }
   /// Finds an existing term id; kInvalidTermId when absent.
   TermId Lookup(const Term& t) const { return dict_.Lookup(t); }
   const Term& term(TermId id) const { return dict_.term(id); }
@@ -95,9 +119,29 @@ class TripleStore {
   size_t MemoryUsage() const;
 
  private:
+  /// Debug-only witness that a read is in flight: Match() holds one for
+  /// the duration of the index lookup, and the mutators assert the count
+  /// is zero. This catches "Add()/Intern() raced a query" bugs in tests
+  /// without imposing any cost on release builds.
+  class ReadGuard {
+   public:
+#ifndef NDEBUG
+    explicit ReadGuard(const TripleStore* s) : store_(s) {
+      store_->active_readers_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ~ReadGuard() {
+      store_->active_readers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+   private:
+    const TripleStore* store_;
+#else
+    explicit ReadGuard(const TripleStore*) {}
+#endif
+  };
+
   /// Reorders [first,last) of spo_ range helpers.
-  void BuildIndexes();
-  void ComputeStats();
+  void BuildIndexes(util::ThreadPool* pool);
+  void ComputeStats(util::ThreadPool* pool);
 
   Dictionary dict_;
   // The three permutations each store full (s,p,o) triples sorted by a
@@ -107,6 +151,7 @@ class TripleStore {
   std::vector<EncodedTriple> osp_;  // sorted by (o, s, p)
   std::unordered_map<TermId, PredicateStats> stats_;
   bool frozen_ = false;
+  mutable std::atomic<int> active_readers_{0};
 };
 
 }  // namespace re2xolap::rdf

@@ -1,0 +1,118 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace re2xolap::util {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads <= 1) return;  // inline execution, no workers
+  workers_.reserve(num_threads - 1);
+  // The calling thread participates in ParallelFor, so T requested
+  // threads need T-1 workers.
+  for (size_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                             CancellationToken* token) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) {
+      if (token && token->cancelled()) return;
+      fn(i);
+    }
+    return;
+  }
+
+  // Shared loop state: an atomic claim counter plus first-exception
+  // capture. Helpers (including the calling thread) pull indexes until
+  // the range is exhausted, an exception is captured, or the token fires.
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;
+    std::mutex error_mu;
+    std::atomic<size_t> active_helpers{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto drain = [state, n, &fn, token]() {
+    for (;;) {
+      if (state->failed.load(std::memory_order_acquire)) return;
+      if (token && token->cancelled()) return;
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->error) state->error = std::current_exception();
+        state->failed.store(true, std::memory_order_release);
+        return;
+      }
+    }
+  };
+
+  // Enqueue one helper per worker (capped at n-1: the caller covers the
+  // rest). Helpers capture `state` by value so a helper scheduled after
+  // the caller already returned-by-exception still has valid state; the
+  // caller nonetheless waits for all of them to finish, because `fn` may
+  // reference caller-owned data.
+  size_t helpers = std::min(workers_.size(), n - 1);
+  state->active_helpers.store(helpers, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state, drain] {
+        drain();
+        if (state->active_helpers.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          std::lock_guard<std::mutex> lock(state->done_mu);
+          state->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  drain();
+
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&state] {
+    return state->active_helpers.load(std::memory_order_acquire) == 0;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+size_t ThreadPool::DefaultThreads() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+}  // namespace re2xolap::util

@@ -1,0 +1,84 @@
+#ifndef RE2XOLAP_UTIL_THREAD_POOL_H_
+#define RE2XOLAP_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace re2xolap::util {
+
+/// Cooperative cancellation flag shared between a caller and the tasks it
+/// fans out. Tasks poll cancelled() at convenient boundaries; the flag
+/// never interrupts a task preemptively.
+class CancellationToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Fixed-size worker pool for fanning independent, read-only work items
+/// across cores (ReOLAP validation probes, ExRef refinement evaluation,
+/// index sorting). Sized once at construction; a pool of size 0 or 1 runs
+/// everything inline on the calling thread, so callers never need a
+/// serial code path of their own.
+///
+/// Thread-safety contract: tasks submitted to the pool must only touch
+/// shared state that is safe for concurrent reads (e.g. a TripleStore
+/// after Freeze()) or state partitioned per task index. ParallelFor makes
+/// no ordering guarantee between iterations; callers wanting deterministic
+/// output should write results into per-index slots.
+class ThreadPool {
+ public:
+  /// `num_threads` = 0 or 1 creates no workers (serial inline execution).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means inline execution).
+  size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n). Blocks until every iteration finished.
+  /// Iterations are claimed atomically one index at a time, so uneven
+  /// per-item costs balance across workers. The calling thread
+  /// participates, so a pool of size T applies T+1-way parallelism to the
+  /// loop (and exactly 1-way when the pool is empty).
+  ///
+  /// If any iteration throws, the first exception (in completion order) is
+  /// rethrown on the calling thread after all claimed iterations drain;
+  /// remaining unclaimed iterations are skipped.
+  ///
+  /// If `token` is non-null and becomes cancelled, unclaimed iterations
+  /// are skipped (already-running ones finish normally); no exception is
+  /// raised for cancellation.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
+                   CancellationToken* token = nullptr);
+
+  /// Convenience: a process-wide default number of workers. Returns
+  /// hardware_concurrency (at least 1).
+  static size_t DefaultThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace re2xolap::util
+
+#endif  // RE2XOLAP_UTIL_THREAD_POOL_H_
