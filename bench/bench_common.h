@@ -23,6 +23,7 @@
 #include "core/reolap.h"
 #include "core/session.h"
 #include "core/virtual_schema_graph.h"
+#include "obs/metrics.h"
 #include "qb/datasets.h"
 #include "qb/generator.h"
 #include "rdf/text_index.h"
@@ -218,7 +219,11 @@ class JsonBenchLog {
     return records_.back();
   }
 
-  /// Writes the log to `path`; prints a one-line confirmation.
+  /// Writes the log to `path`; prints a one-line confirmation. Besides
+  /// the records, the file carries a snapshot of the process-wide metrics
+  /// registry (counters / gauges / latency histograms) under a "metrics"
+  /// key, so every BENCH_*.json records what the run actually did —
+  /// existing consumers that only read "bench"/"records" are unaffected.
   void Write(const std::string& path) const {
     std::ofstream out(path);
     out << "{\"bench\": \"" << bench_name_ << "\", \"records\": [\n";
@@ -226,7 +231,8 @@ class JsonBenchLog {
       out << "  {" << records_[i].fields_ << "}"
           << (i + 1 < records_.size() ? ",\n" : "\n");
     }
-    out << "]}\n";
+    out << "],\n\"metrics\": " << obs::MetricsRegistry::Global().ToJson()
+        << "}\n";
     std::cout << "wrote " << path << " (" << records_.size()
               << " records)\n";
   }

@@ -8,6 +8,7 @@
 //   pick <n>                choose a candidate query / refinement
 //   show [n]                execute the current query, print first n rows
 //   sparql                  print the current query as SPARQL text
+//   explain                 run the current query with per-operator profiling
 //   refine dis|topk|perc|sim|cluster   propose refinements
 //   neg <value>             exclude a negative example
 //   back                    undo the last refinement
@@ -26,6 +27,7 @@
 #include "core/profile.h"
 #include "core/session.h"
 #include "sparql/csv.h"
+#include "sparql/explain.h"
 #include "qb/datasets.h"
 #include "qb/generator.h"
 #include "rdf/text_index.h"
@@ -47,8 +49,8 @@ std::vector<std::string> ParseValues(const std::string& rest) {
 void PrintHelp() {
   std::cout <<
       "  profile | find <v1> [| <v2>] | pick <n> | show [n] | sparql |\n"
-      "  refine dis|topk|perc|sim|cluster | neg <value> | export <file> |\n"
-      "  back | stats | quit\n";
+      "  explain | refine dis|topk|perc|sim|cluster | neg <value> |\n"
+      "  export <file> | back | stats | quit\n";
 }
 
 }  // namespace
@@ -160,6 +162,19 @@ int main(int argc, char** argv) {
       std::cout << sparql::ToSparql(session.current().query) << "\n";
       continue;
     }
+    if (cmd == "explain") {
+      if (!session.has_state()) {
+        std::cout << "no current query\n";
+        continue;
+      }
+      auto r = sparql::ExplainAnalyze(*ds->store, session.current().query);
+      if (!r.ok()) {
+        std::cout << "error: " << r.status() << "\n";
+        continue;
+      }
+      std::cout << r->report;
+      continue;
+    }
     if (cmd == "refine") {
       core::RefinementKind kind;
       if (rest == "dis") kind = core::RefinementKind::kDisaggregate;
@@ -235,7 +250,20 @@ int main(int argc, char** argv) {
       const core::ExplorationStats& st = session.stats();
       std::cout << "  interactions:      " << st.interactions << "\n"
                 << "  exploration paths: " << st.cumulative_paths << "\n"
-                << "  tuples accessed:   " << st.cumulative_tuples << "\n";
+                << "  tuples accessed:   " << st.cumulative_tuples << "\n"
+                << "  exec time (ms):    " << st.cumulative_exec_millis
+                << "\n"
+                << "  triples scanned:   " << st.cumulative_triples_scanned
+                << "\n"
+                << "  intermediates:     "
+                << st.cumulative_intermediate_bindings << "\n";
+      if (!st.interaction_latency_millis.empty()) {
+        std::cout << "  latency (ms):     ";
+        for (double ms : st.interaction_latency_millis) {
+          std::cout << " " << ms;
+        }
+        std::cout << "\n";
+      }
       continue;
     }
     std::cout << "unknown command '" << cmd << "' (try: help)\n";

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "core/describe.h"
+#include "obs/trace.h"
 #include "util/string_utils.h"
 
 namespace re2xolap::core {
@@ -133,6 +134,7 @@ std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
                                        const rdf::TripleStore& store,
                                        const ExploreState& state,
                                        util::ThreadPool* pool) {
+  obs::Span span("exref.disaggregate");
   // Filter the valid candidate paths first (cheap pointer checks), then
   // derive the refined states — each from `state` alone, so the per-path
   // constructions are independent and land in order-preserving slots.
@@ -164,6 +166,8 @@ std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
     const rdf::TripleStore& store, const std::vector<ExploreState>& states,
     const sparql::ExecOptions& exec, util::ThreadPool* pool,
     std::vector<sparql::ExecStats>* stats) {
+  obs::Span span("exref.evaluate_states");
+  span.SetAttr("states", static_cast<uint64_t>(states.size()));
   std::vector<util::Result<sparql::ResultTable>> out;
   out.reserve(states.size());
   for (size_t i = 0; i < states.size(); ++i) {

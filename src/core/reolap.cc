@@ -7,6 +7,8 @@
 
 #include "core/describe.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparql/executor.h"
 #include "util/string_utils.h"
 #include "util/timer.h"
@@ -185,6 +187,10 @@ CandidateQuery Reolap::BuildQuery(const std::vector<Interpretation>& combo,
 
 bool Reolap::ValidateCombo(const std::vector<Interpretation>& combo,
                            uint64_t timeout_millis) const {
+  obs::Span span("reolap.probe");
+  static obs::Counter& probes_total =
+      obs::MetricsRegistry::Global().GetCounter("reolap.probes");
+  probes_total.Inc();
   // Probe: SELECT ?obs WHERE { <paths pinned to the members> } LIMIT 1.
   using sparql::TriplePatternAst;
   using sparql::Variable;
@@ -223,19 +229,24 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
   std::unique_ptr<util::ThreadPool> local_pool;
   util::ThreadPool* pool = ResolvePool(options, &local_pool);
   if (stats) stats->threads_used = EffectiveThreads(options);
+  obs::Span synth_span("reolap.synthesize");
+  synth_span.SetAttr("values", static_cast<uint64_t>(example_tuple.size()));
   util::WallTimer timer;
 
   // Lines 2–7 of Algorithm 1: interpretations per value. Each value's
   // MATCHES() is independent and read-only, so values fan out across the
   // pool into per-index slots (order-preserving).
   std::vector<std::vector<Interpretation>> dims(example_tuple.size());
-  auto match_one = [&](size_t i) {
-    dims[i] = MatchValue(example_tuple[i], options);
-  };
-  if (pool != nullptr && example_tuple.size() > 1) {
-    pool->ParallelFor(dims.size(), match_one);
-  } else {
-    for (size_t i = 0; i < dims.size(); ++i) match_one(i);
+  {
+    obs::Span match_span("reolap.match");
+    auto match_one = [&](size_t i) {
+      dims[i] = MatchValue(example_tuple[i], options);
+    };
+    if (pool != nullptr && example_tuple.size() > 1) {
+      pool->ParallelFor(dims.size(), match_one);
+    } else {
+      for (size_t i = 0; i < dims.size(); ++i) match_one(i);
+    }
   }
   for (const auto& d : dims) {
     if (d.empty()) {
@@ -274,6 +285,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
   std::vector<size_t> idx(example_tuple.size(), 0);
   bool exhausted = false, capped = false;
   double combine_ms = 0, validate_ms = 0;
+  obs::Span combine_span("reolap.combine_validate");
   while (!exhausted && !capped) {
     // Enumerate the next block of unique, distinct-dimension combos.
     timer.Restart();
@@ -339,6 +351,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
     }
     combine_ms += timer.ElapsedMillis();
   }
+  combine_span.End();
 
   // Queries over the same ordered set of level paths are duplicates from
   // the user's perspective (identical SPARQL text); keep the first.
@@ -356,6 +369,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
     stats->validate_millis = validate_ms;
   }
   if (options.rank_candidates) RankCandidates(*vsg_, &unique);
+  synth_span.SetAttr("candidates", static_cast<uint64_t>(unique.size()));
   return unique;
 }
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/timer.h"
+
 namespace re2xolap::core {
 
 const char* RefinementKindName(RefinementKind kind) {
@@ -22,9 +26,19 @@ const char* RefinementKindName(RefinementKind kind) {
   return "?";
 }
 
+void Session::RecordInteraction(double millis) {
+  stats_.interaction_latency_millis.push_back(millis);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("session.interaction.millis")
+      .Observe(millis);
+}
+
 util::Result<std::vector<CandidateQuery>> Session::Start(
     const std::vector<std::string>& example_tuple,
     const ReolapOptions& options) {
+  util::WallTimer timer;
+  obs::Span span("session.start");
+  span.SetAttr("examples", static_cast<uint64_t>(example_tuple.size()));
   RE2X_ASSIGN_OR_RETURN(candidates_, reolap_.Synthesize(example_tuple, options));
   history_.clear();
   pending_refinements_.clear();
@@ -32,6 +46,8 @@ util::Result<std::vector<CandidateQuery>> Session::Start(
   ++stats_.interactions;
   stats_.frontier = std::max<size_t>(1, candidates_.size());
   stats_.cumulative_paths += candidates_.size();
+  span.SetAttr("candidates", static_cast<uint64_t>(candidates_.size()));
+  RecordInteraction(timer.ElapsedMillis());
   return candidates_;
 }
 
@@ -51,10 +67,17 @@ util::Result<const sparql::ResultTable*> Session::Execute() {
     return util::Status::InvalidArgument("no current query; call Start/Pick");
   }
   if (!results_.has_value()) {
+    obs::Span span("session.execute");
+    last_exec_ = sparql::ExecStats{};
     RE2X_ASSIGN_OR_RETURN(
         sparql::ResultTable table,
-        sparql::Execute(*store_, history_.back().query, exec_options_));
+        sparql::Execute(*store_, history_.back().query, exec_options_,
+                        &last_exec_));
     stats_.cumulative_tuples += table.row_count();
+    stats_.cumulative_exec_millis += last_exec_.exec_millis;
+    stats_.cumulative_triples_scanned += last_exec_.triples_scanned;
+    stats_.cumulative_intermediate_bindings += last_exec_.intermediate_bindings;
+    span.SetAttr("rows", static_cast<uint64_t>(table.row_count()));
     results_ = std::move(table);
   }
   return &*results_;
@@ -67,6 +90,9 @@ util::Result<std::vector<ExploreState>> Session::Refine(
   if (history_.empty()) {
     return util::Status::InvalidArgument("no current query; call Start/Pick");
   }
+  util::WallTimer timer;
+  obs::Span span("session.refine");
+  span.SetAttr("kind", RefinementKindName(kind));
   const ExploreState& state = history_.back();
   std::vector<ExploreState> refinements;
   switch (kind) {
@@ -106,6 +132,8 @@ util::Result<std::vector<ExploreState>> Session::Refine(
   // refinements: the reachable-path frontier multiplies.
   if (!refinements.empty()) stats_.frontier *= refinements.size();
   stats_.cumulative_paths += stats_.frontier;
+  span.SetAttr("refinements", static_cast<uint64_t>(refinements.size()));
+  RecordInteraction(timer.ElapsedMillis());
   return refinements;
 }
 
@@ -124,6 +152,9 @@ util::Result<std::vector<std::string>> Session::ExcludeNegative(
   if (history_.empty()) {
     return util::Status::InvalidArgument("no current query; call Start/Pick");
   }
+  util::WallTimer timer;
+  obs::Span span("session.exclude_negative");
+  span.SetAttr("values", static_cast<uint64_t>(negative_values.size()));
   RE2X_ASSIGN_OR_RETURN(
       NegativeResult result,
       ExcludeNegativeExamples(reolap_, history_.back(), negative_values));
@@ -132,6 +163,7 @@ util::Result<std::vector<std::string>> Session::ExcludeNegative(
   InvalidateResults();
   ++stats_.interactions;
   ++stats_.cumulative_paths;
+  RecordInteraction(timer.ElapsedMillis());
   return result.unmatched_values;
 }
 
@@ -139,6 +171,9 @@ util::Status Session::Slice(size_t example_index) {
   if (history_.empty()) {
     return util::Status::InvalidArgument("no current query; call Start/Pick");
   }
+  util::WallTimer timer;
+  obs::Span span("session.slice");
+  span.SetAttr("example", static_cast<uint64_t>(example_index));
   RE2X_ASSIGN_OR_RETURN(ExploreState next,
                         SliceToExample(*store_, history_.back(),
                                        example_index));
@@ -147,6 +182,7 @@ util::Status Session::Slice(size_t example_index) {
   InvalidateResults();
   ++stats_.interactions;
   ++stats_.cumulative_paths;
+  RecordInteraction(timer.ElapsedMillis());
   return util::Status::OK();
 }
 

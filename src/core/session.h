@@ -1,6 +1,7 @@
 #ifndef RE2XOLAP_CORE_SESSION_H_
 #define RE2XOLAP_CORE_SESSION_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -39,6 +40,17 @@ struct ExplorationStats {
   size_t cumulative_tuples = 0;
   /// Current frontier: product of the branching factors so far.
   size_t frontier = 1;
+  /// Wall time spent inside sparql::Execute for this session's queries
+  /// (cache hits cost nothing and add nothing).
+  double cumulative_exec_millis = 0;
+  /// Index entries inspected by this session's queries, accumulated.
+  uint64_t cumulative_triples_scanned = 0;
+  /// Bindings produced across all plan steps, accumulated.
+  uint64_t cumulative_intermediate_bindings = 0;
+  /// Wall time of each interaction (Start/Refine/ExcludeNegative/Slice),
+  /// in order; always the same length as `interactions`. Query execution
+  /// triggered inside an interaction is included in its latency.
+  std::vector<double> interaction_latency_millis;
 };
 
 /// An interactive Re2xOLAP exploration session (paper Algorithm 2):
@@ -106,8 +118,17 @@ class Session {
   const ExplorationStats& stats() const { return stats_; }
   const Reolap& reolap() const { return reolap_; }
 
+  /// Execution statistics (incl. the per-operator profile tree) of the
+  /// most recent cache-missing Execute(). Zeroed until the first query
+  /// runs.
+  const sparql::ExecStats& last_exec_stats() const { return last_exec_; }
+
  private:
   void InvalidateResults() { results_.reset(); }
+
+  /// Appends one interaction latency to the stats and the session
+  /// histogram.
+  void RecordInteraction(double millis);
 
   const rdf::TripleStore* store_;
   const VirtualSchemaGraph* vsg_;
@@ -120,6 +141,7 @@ class Session {
   std::vector<ExploreState> history_;
   std::optional<sparql::ResultTable> results_;
   ExplorationStats stats_;
+  sparql::ExecStats last_exec_;
 };
 
 }  // namespace re2xolap::core

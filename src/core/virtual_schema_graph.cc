@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace re2xolap::core {
@@ -55,6 +56,7 @@ std::string PrettifyIriLocalName(const std::string& iri) {
 util::Result<VirtualSchemaGraph> VirtualSchemaGraph::Build(
     const rdf::TripleStore& store, const std::string& observation_class_iri,
     const VsgOptions& options, VsgBuildStats* stats) {
+  obs::Span span("vsg.build");
   util::WallTimer timer;
   if (!store.frozen()) {
     return util::Status::InvalidArgument(

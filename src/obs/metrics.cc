@@ -1,0 +1,276 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "obs/trace.h"  // JsonEscape
+
+namespace re2xolap::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+}  // namespace
+
+// --- AtomicDouble -----------------------------------------------------------
+
+void AtomicDouble::Add(double v) {
+  uint64_t old = bits_.load(std::memory_order_relaxed);
+  for (;;) {
+    uint64_t next = std::bit_cast<uint64_t>(std::bit_cast<double>(old) + v);
+    if (bits_.compare_exchange_weak(old, next, std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicDouble::StoreMax(double v) {
+  uint64_t old = bits_.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old) < v) {
+    if (bits_.compare_exchange_weak(old, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicDouble::StoreMin(double v) {
+  uint64_t old = bits_.load(std::memory_order_relaxed);
+  while (std::bit_cast<double>(old) > v) {
+    if (bits_.compare_exchange_weak(old, std::bit_cast<uint64_t>(v),
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+void AtomicDouble::Set(double v) {
+  bits_.store(std::bit_cast<uint64_t>(v), std::memory_order_relaxed);
+}
+
+double AtomicDouble::value() const {
+  return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+}
+
+// --- Histogram --------------------------------------------------------------
+
+int Histogram::BucketOf(double v) {
+  if (!(v > 0)) return 0;  // non-positive and NaN go to the underflow bucket
+  int idx = static_cast<int>(std::floor(std::log2(v) * kSubBuckets)) -
+            kMinExp * kSubBuckets + 1;
+  if (idx < 1) return 0;
+  if (idx >= kNumBuckets) return kNumBuckets - 1;
+  return idx;
+}
+
+double Histogram::BucketUpperBound(int b) {
+  if (b <= 0) return std::exp2(static_cast<double>(kMinExp));
+  if (b >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::exp2(static_cast<double>(b + kMinExp * kSubBuckets) /
+                   kSubBuckets);
+}
+
+void Histogram::Observe(double v) {
+  buckets_[static_cast<size_t>(BucketOf(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(v);
+  min_.StoreMin(v);
+  max_.StoreMax(v);
+}
+
+double Histogram::Percentile(double q) const {
+  uint64_t total = count();
+  if (total == 0) return 0.0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // 1-based rank of the requested quantile under nearest-rank semantics.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * total));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+    if (cum >= rank) {
+      double estimate;
+      if (b == 0) {
+        estimate = 0.0;
+      } else if (b == kNumBuckets - 1) {
+        estimate = max();
+      } else {
+        // Geometric midpoint of the bucket: lower * 2^(1/(2*kSubBuckets)).
+        double lower = std::exp2(
+            static_cast<double>(b - 1 + kMinExp * kSubBuckets) / kSubBuckets);
+        estimate = lower * std::exp2(0.5 / kSubBuckets);
+      }
+      // Clamp into the observed range for sane tails.
+      return std::min(std::max(estimate, min()), max());
+    }
+  }
+  return max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.Reset();
+  min_.Set(std::numeric_limits<double>::infinity());
+  max_.Set(-std::numeric_limits<double>::infinity());
+}
+
+HistogramSnapshot SnapshotOf(const Histogram& h) {
+  HistogramSnapshot s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.Percentile(0.50);
+  s.p90 = h.Percentile(0.90);
+  s.p95 = h.Percentile(0.95);
+  s.p99 = h.Percentile(0.99);
+  return s;
+}
+
+// --- MetricsRegistry --------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // leaked singleton
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::WriteJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ", ") << "\"" << JsonEscape(name)
+       << "\": " << c->value();
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ", ") << "\"" << JsonEscape(name)
+       << "\": " << FormatDouble(g->value());
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s = SnapshotOf(*h);
+    os << (first ? "" : ", ") << "\"" << JsonEscape(name) << "\": {\"count\": "
+       << s.count << ", \"sum\": " << FormatDouble(s.sum)
+       << ", \"min\": " << FormatDouble(s.min)
+       << ", \"max\": " << FormatDouble(s.max)
+       << ", \"p50\": " << FormatDouble(s.p50)
+       << ", \"p90\": " << FormatDouble(s.p90)
+       << ", \"p95\": " << FormatDouble(s.p95)
+       << ", \"p99\": " << FormatDouble(s.p99) << "}";
+    first = false;
+  }
+  os << "}}";
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::ostringstream os;
+  WriteJson(os);
+  return os.str();
+}
+
+void MetricsRegistry::WritePrometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " gauge\n"
+       << p << " " << FormatDouble(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::string p = PrometheusName(name);
+    os << "# TYPE " << p << " histogram\n";
+    uint64_t cum = 0;
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      uint64_t n = h->bucket_count(b);
+      if (n == 0) continue;  // sparse export: only occupied buckets
+      cum += n;
+      double ub = Histogram::BucketUpperBound(b);
+      os << p << "_bucket{le=\"";
+      if (std::isinf(ub)) {
+        os << "+Inf";
+      } else {
+        os << FormatDouble(ub);
+      }
+      os << "\"} " << cum << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+    os << p << "_sum " << FormatDouble(h->sum()) << "\n";
+    os << p << "_count " << h->count() << "\n";
+  }
+}
+
+std::string MetricsRegistry::ToPrometheus() const {
+  std::ostringstream os;
+  WritePrometheus(os);
+  return os.str();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+}  // namespace re2xolap::obs

@@ -1,0 +1,153 @@
+#ifndef RE2XOLAP_OBS_METRICS_H_
+#define RE2XOLAP_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace re2xolap::obs {
+
+/// Lock-free accumulator for a double (sum / min / max) built on a CAS
+/// loop over the bit pattern. Suitable for low-contention metric updates.
+class AtomicDouble {
+ public:
+  void Add(double v);
+  void StoreMax(double v);
+  void StoreMin(double v);
+  void Set(double v);
+  double value() const;
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<uint64_t> bits_{0};  // bit pattern of +0.0
+};
+
+/// Monotone counter. All operations are relaxed atomics.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous value (last write wins).
+class Gauge {
+ public:
+  void Set(double v) { v_.Set(v); }
+  double value() const { return v_.value(); }
+  void Reset() { v_.Reset(); }
+
+ private:
+  AtomicDouble v_;
+};
+
+/// Log-bucketed latency/size histogram: 4 buckets per power of two
+/// (relative bucket width 2^(1/4) ≈ 1.19), covering 2^-20 .. 2^30 — for
+/// millisecond values that is ~1 ns to ~12 days — plus underflow and
+/// overflow buckets. Observe() is a handful of relaxed atomics; quantile
+/// estimates use the geometric midpoint of the selected bucket, so the
+/// relative error is bounded by 2^(1/8)-1 ≈ 9%.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;   // buckets per doubling
+  static constexpr int kMinExp = -20;     // smallest power of two covered
+  static constexpr int kMaxExp = 30;      // largest power of two covered
+  static constexpr int kNumBuckets =
+      (kMaxExp - kMinExp) * kSubBuckets + 2;  // + underflow + overflow
+
+  Histogram() { Reset(); }
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.value(); }
+  double min() const { return count() ? min_.value() : 0.0; }
+  double max() const { return count() ? max_.value() : 0.0; }
+
+  /// Estimated value at quantile `q` in [0, 1] (0 when empty). Estimates
+  /// are clamped into [min(), max()].
+  double Percentile(double q) const;
+
+  /// Cumulative count of observations <= the upper bound of bucket `b`
+  /// plus that upper bound itself; used by the Prometheus exporter.
+  uint64_t bucket_count(int b) const {
+    return buckets_[b].load(std::memory_order_relaxed);
+  }
+  static double BucketUpperBound(int b);
+
+  void Reset();
+
+ private:
+  static int BucketOf(double v);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  AtomicDouble sum_;
+  AtomicDouble min_;
+  AtomicDouble max_;
+};
+
+/// Point-in-time summary of one histogram (embedded in bench JSON logs).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0, min = 0, max = 0;
+  double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
+};
+
+HistogramSnapshot SnapshotOf(const Histogram& h);
+
+/// Process-global registry of named metrics. Lookup interns the metric on
+/// first use and returns a stable reference, so hot paths can cache the
+/// pointer:
+///
+///   static obs::Counter& probes =
+///       obs::MetricsRegistry::Global().GetCounter("reolap.probes");
+///   probes.Inc();
+///
+/// Naming convention: lowercase dotted paths, `<subsystem>.<what>[.unit]`
+/// (e.g. "sparql.exec.millis", "reolap.probes"). The Prometheus exporter
+/// rewrites non-alphanumeric characters to '_'.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// JSON object: {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, min, max, p50, p90, p95, p99}}}.
+  void WriteJson(std::ostream& os) const;
+  std::string ToJson() const;
+
+  /// Prometheus text exposition format (counter / gauge / histogram
+  /// families, names sanitized to [a-zA-Z0-9_:]).
+  void WritePrometheus(std::ostream& os) const;
+  std::string ToPrometheus() const;
+
+  /// Zeroes every registered metric (registrations and references remain
+  /// valid). Intended for tests and bench runs.
+  void Reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // std::map: sorted exports, node-stable values.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace re2xolap::obs
+
+#endif  // RE2XOLAP_OBS_METRICS_H_

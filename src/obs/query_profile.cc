@@ -1,0 +1,36 @@
+#include "obs/query_profile.h"
+
+namespace re2xolap::obs {
+
+uint64_t ProfileNode::TotalScanned() const {
+  uint64_t n = scanned;
+  for (const ProfileNode& c : children) n += c.TotalScanned();
+  return n;
+}
+
+uint64_t ProfileNode::TotalRowsOut() const {
+  uint64_t n = rows_out;
+  for (const ProfileNode& c : children) n += c.TotalRowsOut();
+  return n;
+}
+
+size_t ProfileNode::NodeCount() const {
+  size_t n = 1;
+  for (const ProfileNode& c : children) n += c.NodeCount();
+  return n;
+}
+
+namespace {
+void Visit(const ProfileNode& node, int depth,
+           const std::function<void(int, const ProfileNode&)>& fn) {
+  fn(depth, node);
+  for (const ProfileNode& c : node.children) Visit(c, depth + 1, fn);
+}
+}  // namespace
+
+void VisitProfile(const ProfileNode& root,
+                  const std::function<void(int, const ProfileNode&)>& fn) {
+  Visit(root, 0, fn);
+}
+
+}  // namespace re2xolap::obs

@@ -1,0 +1,58 @@
+#ifndef RE2XOLAP_OBS_QUERY_PROFILE_H_
+#define RE2XOLAP_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace re2xolap::obs {
+
+/// One operator of an executed query plan, annotated with observed
+/// cardinalities and wall time. The SPARQL executor fills a tree of these
+/// into ExecStats (root = the whole SELECT); ExplainAnalyze renders it.
+///
+/// Conventions:
+///  - rows_in:  tuples the operator was invoked on (0 when meaningless,
+///    e.g. the root or the planner node);
+///  - rows_out: tuples the operator produced / passed on;
+///  - scanned:  index entries inspected by the operator;
+///  - millis:   inclusive wall time (children included). Per-row operator
+///    timing is only collected when ExecOptions::profile is set; pipeline
+///    barriers (sort, aggregate finalize) are always timed.
+struct ProfileNode {
+  std::string label;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t scanned = 0;
+  double millis = 0;
+  bool timed = false;  // millis was actually measured for this node
+  std::vector<ProfileNode> children;
+
+  ProfileNode() = default;
+  explicit ProfileNode(std::string l) : label(std::move(l)) {}
+
+  /// Appends a child and returns a reference to it (stable until the next
+  /// sibling is added).
+  ProfileNode& AddChild(std::string child_label) {
+    children.emplace_back(std::move(child_label));
+    return children.back();
+  }
+
+  /// Sum of `scanned` over this node and all descendants.
+  uint64_t TotalScanned() const;
+
+  /// Sum of `rows_out` over this node and all descendants.
+  uint64_t TotalRowsOut() const;
+
+  /// Number of nodes in the tree (including this one).
+  size_t NodeCount() const;
+};
+
+/// Depth-first pre-order visit; `fn(depth, node)` with depth 0 at `root`.
+void VisitProfile(const ProfileNode& root,
+                  const std::function<void(int, const ProfileNode&)>& fn);
+
+}  // namespace re2xolap::obs
+
+#endif  // RE2XOLAP_OBS_QUERY_PROFILE_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace re2xolap::rdf {
@@ -64,9 +66,20 @@ void TripleStore::AddEncoded(EncodedTriple t) {
 void TripleStore::Freeze(util::ThreadPool* pool) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::Freeze() during concurrent reads");
-  BuildIndexes(pool);
-  ComputeStats(pool);
+  obs::Span span("store.freeze");
+  span.SetAttr("triples", static_cast<uint64_t>(spo_.size()));
+  {
+    obs::Span child("store.build_indexes");
+    BuildIndexes(pool);
+  }
+  {
+    obs::Span child("store.compute_stats");
+    ComputeStats(pool);
+  }
   frozen_ = true;
+  obs::MetricsRegistry::Global()
+      .GetGauge("store.triples")
+      .Set(static_cast<double>(spo_.size()));
 }
 
 void TripleStore::BuildIndexes(util::ThreadPool* pool) {

@@ -1,12 +1,15 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <map>
 #include <set>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sparql/parser.h"
 #include "util/timer.h"
 
@@ -276,29 +279,128 @@ struct VecHash {
   }
 };
 
+/// Per-operator observation slots for one join run. For mandatory steps
+/// `rows_out` counts successful (consistent + filter-passing) extensions;
+/// for OPTIONAL blocks `rows_out` counts rows passed downstream (matched
+/// extensions plus left-join fall-throughs) and `matched` only the
+/// extensions that bound new variables.
+struct StepProf {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t matched = 0;
+  uint64_t scanned = 0;
+  double micros = 0;  // inclusive wall time, timing mode only
+};
+
+/// Accumulates inclusive wall time into `*acc` over the guard's lifetime;
+/// a null target disables the clock reads entirely.
+class TimeGuard {
+ public:
+  explicit TimeGuard(double* acc) : acc_(acc) {
+    if (acc_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~TimeGuard() {
+    if (acc_ != nullptr) {
+      *acc_ += std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    }
+  }
+  TimeGuard(const TimeGuard&) = delete;
+  TimeGuard& operator=(const TimeGuard&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Short display form of a term for operator labels: IRIs by local name,
+/// literals quoted.
+std::string TermShortName(const rdf::TripleStore& store, rdf::TermId id) {
+  const rdf::Term& t = store.term(id);
+  if (t.is_iri()) {
+    size_t cut = t.value.find_last_of("/#");
+    return cut == std::string::npos ? t.value : t.value.substr(cut + 1);
+  }
+  return "\"" + t.value + "\"";
+}
+
+std::string PatternLabel(const rdf::TripleStore& store,
+                         const std::vector<std::string>& slot_names,
+                         const PhysicalPattern& pp, const char* prefix) {
+  auto pos = [&](rdf::TermId id, int slot) -> std::string {
+    if (id != rdf::kInvalidTermId) return TermShortName(store, id);
+    if (slot >= 0 && static_cast<size_t>(slot) < slot_names.size()) {
+      return "?" + slot_names[slot];
+    }
+    return "?_";
+  };
+  return std::string(prefix) + " (" + pos(pp.s_id, pp.s_slot) + " " +
+         pos(pp.p_id, pp.p_slot) + " " + pos(pp.o_id, pp.o_slot) + ")";
+}
+
 /// Join executor: index nested loop join over the planned steps with
 /// early filters and timeout checks.
 class JoinRunner {
  public:
   JoinRunner(const rdf::TripleStore& store, const Plan& plan,
              const ExecOptions& options, ExecStats* stats)
-      : store_(store), plan_(plan), options_(options), stats_(stats) {}
+      : store_(store),
+        plan_(plan),
+        options_(options),
+        stats_(stats),
+        profiling_(stats != nullptr),
+        timing_(stats != nullptr && options.profile) {}
 
   /// Runs the join; calls `on_row(bindings)` for every complete binding.
   /// When `row_cap` is non-zero the join stops early after producing that
   /// many rows (safe only when no later operator reorders/merges rows).
-  /// Returns non-OK on timeout.
+  /// Returns non-OK on timeout. The per-step counters are flushed into the
+  /// ExecStats sink on both the success and the error path.
   template <typename RowFn>
   util::Status Run(RowFn&& on_row, uint64_t row_cap = 0) {
     bindings_.assign(plan_.slot_count, rdf::kInvalidTermId);
     row_cap_ = row_cap;
     rows_emitted_ = 0;
+    emitted_ = 0;
     stopped_ = false;
+    if (profiling_) {
+      step_prof_.assign(plan_.steps.size(), StepProf{});
+      opt_prof_.assign(plan_.optionals.size(), StepProf{});
+    }
     timer_.Restart();
-    return Step(0, on_row);
+    util::Status st = Step(0, on_row);
+    FlushStats();
+    return st;
   }
 
+  const std::vector<StepProf>& step_prof() const { return step_prof_; }
+  const std::vector<StepProf>& opt_prof() const { return opt_prof_; }
+  uint64_t emitted() const { return emitted_; }
+  bool timing() const { return timing_; }
+
  private:
+  /// Rolls the per-step counters up into the ExecStats aggregates:
+  /// `triples_scanned` sums every index entry inspected; the
+  /// `intermediate_bindings` total counts bindings produced across all
+  /// steps — one per successful mandatory-step extension plus one per
+  /// matched OPTIONAL extension (fall-throughs bind nothing).
+  void FlushStats() {
+    if (!profiling_) return;
+    uint64_t scanned = 0;
+    uint64_t produced = 0;
+    for (const StepProf& sp : step_prof_) {
+      scanned += sp.scanned;
+      produced += sp.rows_out;
+    }
+    for (const StepProf& op : opt_prof_) {
+      scanned += op.scanned;
+      produced += op.matched;
+    }
+    stats_->triples_scanned += scanned;
+    stats_->intermediate_bindings += produced;
+  }
+
   util::Status CheckTimeout() {
     if (options_.timeout_millis == 0) return util::Status::OK();
     if (++ops_ % kTimeoutCheckInterval != 0) return util::Status::OK();
@@ -344,6 +446,8 @@ class JoinRunner {
       return OptionalStep(0, on_row);
     }
     if (stopped_) return util::Status::OK();
+    TimeGuard time_guard(timing_ ? &step_prof_[step].micros : nullptr);
+    if (profiling_) ++step_prof_[step].rows_in;
     const PhysicalPattern& pp = plan_.steps[step];
     rdf::TriplePattern q;
     auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
@@ -359,7 +463,7 @@ class JoinRunner {
 
     for (const rdf::EncodedTriple& t : store_.Match(q)) {
       if (stopped_) return util::Status::OK();
-      if (stats_) ++stats_->triples_scanned;
+      if (profiling_) ++step_prof_[step].scanned;
       RE2X_RETURN_IF_ERROR(CheckTimeout());
       // Bind unbound slots; verify repeated-variable consistency.
       int newly_bound[3];
@@ -381,6 +485,7 @@ class JoinRunner {
         bool pass = true;
         RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
         if (pass) {
+          if (profiling_) ++step_prof_[step].rows_out;
           util::Status st = Step(step + 1, on_row);
           if (!st.ok()) {
             for (int i = 0; i < n_new; ++i) {
@@ -411,18 +516,24 @@ class JoinRunner {
         });
         if (v != Ebv::kTrue) return util::Status::OK();
       }
-      if (stats_) ++stats_->intermediate_bindings;
+      ++emitted_;
       on_row(bindings_);
       if (row_cap_ != 0 && ++rows_emitted_ >= row_cap_) stopped_ = true;
       return CheckTimeout();
     }
+    TimeGuard time_guard(timing_ ? &opt_prof_[block].micros : nullptr);
+    if (profiling_) ++opt_prof_[block].rows_in;
     const PlannedOptional& po = plan_.optionals[block];
     if (po.never_matches || po.steps.empty()) {
+      if (profiling_) ++opt_prof_[block].rows_out;
       return OptionalStep(block + 1, on_row);
     }
     bool matched = false;
     RE2X_RETURN_IF_ERROR(OptionalPattern(block, 0, &matched, on_row));
-    if (!matched && !stopped_) return OptionalStep(block + 1, on_row);
+    if (!matched && !stopped_) {
+      if (profiling_) ++opt_prof_[block].rows_out;
+      return OptionalStep(block + 1, on_row);
+    }
     return util::Status::OK();
   }
 
@@ -432,6 +543,10 @@ class JoinRunner {
     const PlannedOptional& po = plan_.optionals[block];
     if (idx == po.steps.size()) {
       *matched = true;
+      if (profiling_) {
+        ++opt_prof_[block].matched;
+        ++opt_prof_[block].rows_out;
+      }
       return OptionalStep(block + 1, on_row);
     }
     const PhysicalPattern& pp = po.steps[idx];
@@ -448,7 +563,7 @@ class JoinRunner {
     q.o = fix(pp.o_id, pp.o_slot);
     for (const rdf::EncodedTriple& t : store_.Match(q)) {
       if (stopped_) return util::Status::OK();
-      if (stats_) ++stats_->triples_scanned;
+      if (profiling_) ++opt_prof_[block].scanned;
       RE2X_RETURN_IF_ERROR(CheckTimeout());
       int newly_bound[3];
       int n_new = 0;
@@ -485,11 +600,16 @@ class JoinRunner {
   const Plan& plan_;
   const ExecOptions& options_;
   ExecStats* stats_;
+  const bool profiling_;  // counters + operator tree (any stats sink)
+  const bool timing_;     // per-step wall times (ExecOptions::profile)
   std::vector<rdf::TermId> bindings_;
+  std::vector<StepProf> step_prof_;
+  std::vector<StepProf> opt_prof_;
   util::WallTimer timer_;
   uint64_t ops_ = 0;
   uint64_t row_cap_ = 0;
   uint64_t rows_emitted_ = 0;
+  uint64_t emitted_ = 0;
   bool stopped_ = false;
 };
 
@@ -519,6 +639,13 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
                                   const ExecOptions& options,
                                   ExecStats* stats) {
   util::WallTimer total_timer;
+  obs::Span exec_span("sparql.execute");
+  exec_span.SetAttr("patterns", static_cast<uint64_t>(query.patterns.size()));
+  static obs::Counter& queries_total =
+      obs::MetricsRegistry::Global().GetCounter("sparql.queries");
+  static obs::Histogram& exec_hist =
+      obs::MetricsRegistry::Global().GetHistogram("sparql.exec.millis");
+  queries_total.Inc();
 
   // ASK: rewrite into an early-exiting LIMIT-1 existence probe and wrap
   // the answer as a one-cell boolean table (column "ask", 1 or 0).
@@ -565,6 +692,17 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     }
     ResultTable out(&store, {"ask"});
     out.AddRow({Cell::OfNumber(answer ? 1.0 : 0.0)});
+    if (stats) {
+      // Wrap the probe's operator tree under an "ask" root.
+      const double ask_millis = total_timer.ElapsedMillis();
+      obs::ProfileNode root("ask");
+      root.rows_out = 1;
+      root.millis = ask_millis;
+      root.timed = true;
+      root.children.push_back(std::move(stats->profile));
+      stats->profile = std::move(root);
+      stats->exec_millis = ask_millis;
+    }
     return out;
   }
 
@@ -622,7 +760,18 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
   ResultTable table(&store, columns);
 
   if (plan.impossible) {
-    if (stats) stats->exec_millis = total_timer.ElapsedMillis();
+    if (stats) {
+      stats->exec_millis = total_timer.ElapsedMillis();
+      obs::ProfileNode root("select");
+      root.millis = stats->exec_millis;
+      root.timed = true;
+      obs::ProfileNode& pn =
+          root.AddChild("plan (impossible: constant term absent)");
+      pn.millis = stats->plan_millis;
+      pn.timed = true;
+      stats->profile = std::move(root);
+    }
+    exec_hist.Observe(total_timer.ElapsedMillis());
     return table;  // provably empty
   }
 
@@ -636,6 +785,20 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
 
   JoinRunner runner(store, plan, options, stats);
 
+  // Coarse per-operator observations for the profile tree: two clock
+  // reads per operator per query, collected whenever a stats sink is
+  // present (per-*binding* timing stays behind ExecOptions::profile).
+  double join_ms = 0;
+  double agg_ms = 0;
+  size_t group_count = 0;
+  struct PostOp {
+    const char* label;
+    uint64_t rows_in;
+    uint64_t rows_out;
+    double ms;
+  };
+  std::vector<PostOp> post_ops;
+
   if (!aggregating) {
     // LIMIT can stop the join early when no later operator needs the full
     // row set (this is what makes ReOLAP's LIMIT-1 validation probes
@@ -645,6 +808,7 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
         query.order_by.empty() && query.having.empty()) {
       row_cap = query.offset + *query.limit;
     }
+    util::WallTimer join_timer;
     util::Status st = runner.Run(
         [&](const std::vector<rdf::TermId>& bindings) {
           Row row(items.size());
@@ -657,6 +821,7 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
           table.AddRow(std::move(row));
         },
         row_cap);
+    join_ms = join_timer.ElapsedMillis();
     RE2X_RETURN_IF_ERROR(st);
   } else {
     // Group keys = group_by slots (in declared order).
@@ -672,6 +837,7 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     size_t n_aggs = 0;
     for (const SelectItem& it : items) n_aggs += it.is_aggregate ? 1 : 0;
 
+    util::WallTimer join_timer;
     util::Status st =
         runner.Run([&](const std::vector<rdf::TermId>& bindings) {
           std::vector<rdf::TermId> key(group_slots.size());
@@ -703,8 +869,11 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
             // ensure the group exists (done by groups[key] above).
           }
         });
+    join_ms = join_timer.ElapsedMillis();
     RE2X_RETURN_IF_ERROR(st);
 
+    group_count = groups.size();
+    util::WallTimer agg_timer;
     for (const auto& [key, group] : groups) {
       Row row(items.size());
       size_t agg_idx = 0;
@@ -732,11 +901,14 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
       }
       table.AddRow(std::move(row));
     }
+    agg_ms = agg_timer.ElapsedMillis();
   }
 
   // --- HAVING ---------------------------------------------------------------
   if (!query.having.empty()) {
+    util::WallTimer op_timer;
     std::vector<Row>& rows = table.mutable_rows();
+    const uint64_t rows_in = rows.size();
     std::vector<Row> kept;
     kept.reserve(rows.size());
     for (Row& row : rows) {
@@ -754,11 +926,15 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
       if (pass) kept.push_back(std::move(row));
     }
     rows.swap(kept);
+    post_ops.push_back(
+        {"having", rows_in, rows.size(), op_timer.ElapsedMillis()});
   }
 
   // --- DISTINCT ---------------------------------------------------------------
   if (query.distinct) {
+    util::WallTimer op_timer;
     std::vector<Row>& rows = table.mutable_rows();
+    const uint64_t rows_in = rows.size();
     auto row_less = [&](const Row& a, const Row& b) {
       for (size_t i = 0; i < a.size(); ++i) {
         int c = OrderCells(store, a[i], b[i]);
@@ -768,10 +944,13 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     };
     std::sort(rows.begin(), rows.end(), row_less);
     rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+    post_ops.push_back(
+        {"distinct", rows_in, rows.size(), op_timer.ElapsedMillis()});
   }
 
   // --- ORDER BY ---------------------------------------------------------------
   if (!query.order_by.empty()) {
+    util::WallTimer op_timer;
     std::vector<std::pair<int, bool>> keys;  // column index, ascending
     for (const OrderKey& k : query.order_by) {
       int idx = table.ColumnIndex(k.column);
@@ -790,11 +969,15 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
                        }
                        return false;
                      });
+    post_ops.push_back(
+        {"order-by", rows.size(), rows.size(), op_timer.ElapsedMillis()});
   }
 
   // --- OFFSET / LIMIT -----------------------------------------------------------
   if (query.offset > 0 || query.limit.has_value()) {
+    util::WallTimer op_timer;
     std::vector<Row>& rows = table.mutable_rows();
+    const uint64_t rows_in = rows.size();
     size_t begin = std::min<size_t>(query.offset, rows.size());
     size_t end = rows.size();
     if (query.limit.has_value()) {
@@ -802,9 +985,95 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     }
     std::vector<Row> sliced(rows.begin() + begin, rows.begin() + end);
     rows.swap(sliced);
+    post_ops.push_back(
+        {"limit/offset", rows_in, rows.size(), op_timer.ElapsedMillis()});
   }
 
-  if (stats) stats->exec_millis = total_timer.ElapsedMillis();
+  if (stats) {
+    stats->exec_millis = total_timer.ElapsedMillis();
+
+    // --- per-operator profile tree ---------------------------------------
+    std::vector<std::string> slot_names(plan.slot_count);
+    for (const auto& [name, slot] : plan.var_slots) {
+      if (slot >= 0 && static_cast<size_t>(slot) < slot_names.size()) {
+        slot_names[slot] = name;
+      }
+    }
+
+    obs::ProfileNode root("select");
+    root.rows_out = table.rows().size();
+    root.millis = stats->exec_millis;
+    root.timed = true;
+    {
+      obs::ProfileNode& pn = root.AddChild("plan");
+      pn.millis = stats->plan_millis;
+      pn.timed = true;
+    }
+
+    // The index nested-loop join renders as a chain: each mandatory step
+    // nests under the previous one, then the OPTIONAL blocks, innermost
+    // last — mirroring the recursion order at execution time.
+    obs::ProfileNode join("join (index nested loop)");
+    join.rows_out = runner.emitted();
+    join.millis = join_ms;
+    join.timed = true;
+    const bool timed_steps = runner.timing();
+    obs::ProfileNode* cur = &join;
+    for (size_t i = 0; i < plan.steps.size(); ++i) {
+      obs::ProfileNode& child =
+          cur->AddChild(PatternLabel(store, slot_names, plan.steps[i], "scan"));
+      const StepProf& sp = runner.step_prof()[i];
+      child.rows_in = sp.rows_in;
+      child.rows_out = sp.rows_out;
+      child.scanned = sp.scanned;
+      child.millis = sp.micros / 1000.0;
+      child.timed = timed_steps;
+      cur = &child;
+    }
+    for (size_t b = 0; b < plan.optionals.size(); ++b) {
+      const PlannedOptional& po = plan.optionals[b];
+      std::string label =
+          po.steps.empty()
+              ? "optional (empty)"
+              : PatternLabel(store, slot_names, po.steps[0], "optional");
+      if (po.steps.size() > 1) {
+        label += " +" + std::to_string(po.steps.size() - 1);
+      }
+      obs::ProfileNode& child = cur->AddChild(std::move(label));
+      const StepProf& op = runner.opt_prof()[b];
+      child.rows_in = op.rows_in;
+      child.rows_out = op.rows_out;
+      child.scanned = op.scanned;
+      child.millis = op.micros / 1000.0;
+      child.timed = timed_steps;
+      cur = &child;
+    }
+    root.children.push_back(std::move(join));
+
+    if (aggregating) {
+      std::string label = "aggregate";
+      if (!query.group_by.empty()) {
+        label += " (group by";
+        for (const Variable& g : query.group_by) label += " ?" + g.name;
+        label += ")";
+      }
+      obs::ProfileNode& agg = root.AddChild(std::move(label));
+      agg.rows_in = runner.emitted();
+      agg.rows_out = group_count;
+      agg.millis = agg_ms;
+      agg.timed = true;
+    }
+    for (const PostOp& op : post_ops) {
+      obs::ProfileNode& n = root.AddChild(op.label);
+      n.rows_in = op.rows_in;
+      n.rows_out = op.rows_out;
+      n.millis = op.ms;
+      n.timed = true;
+    }
+    stats->profile = std::move(root);
+  }
+  exec_span.SetAttr("rows", static_cast<uint64_t>(table.rows().size()));
+  exec_hist.Observe(total_timer.ElapsedMillis());
   return table;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string_view>
 
+#include "obs/query_profile.h"
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
 #include "sparql/plan.h"
@@ -17,15 +18,26 @@ struct ExecOptions {
   /// 0 = no timeout. The paper's experiments run the endpoint with a
   /// 15-minute timeout; benches use much smaller values.
   uint64_t timeout_millis = 0;
+  /// When true (and an ExecStats sink is passed), per-operator wall times
+  /// are measured for every join step — two clock reads per produced
+  /// binding, so leave it off outside EXPLAIN ANALYZE. Cardinality
+  /// counters and the operator tree are collected whenever a stats sink
+  /// is present, independent of this flag.
+  bool profile = false;
   PlanOptions plan;
 };
 
-/// Lightweight run statistics, filled when a pointer is passed to Execute.
+/// Run statistics, filled when a pointer is passed to Execute. The
+/// cardinality counters are maintained on every plan-step kind (mandatory
+/// join steps, OPTIONAL extensions, ASK probes); `profile` holds the
+/// per-operator breakdown of the same run (see obs::ProfileNode for the
+/// conventions, sparql/explain.h for the renderer).
 struct ExecStats {
   uint64_t intermediate_bindings = 0;  // bindings produced across all steps
   uint64_t triples_scanned = 0;        // index entries inspected
   double plan_millis = 0;
   double exec_millis = 0;
+  obs::ProfileNode profile;            // per-operator tree, root = the query
 };
 
 /// Plans and executes `query` against `store`. Returns the materialized

@@ -1,0 +1,60 @@
+#include "sparql/explain.h"
+
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "sparql/parser.h"
+#include "util/table_printer.h"
+
+namespace re2xolap::sparql {
+
+namespace {
+
+std::string FormatMillis(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", ms);
+  return buf;
+}
+
+}  // namespace
+
+std::string RenderProfile(const obs::ProfileNode& root, bool include_timing) {
+  util::TablePrinter tp({"operator", "rows in", "rows out", "scanned",
+                         "millis"});
+  obs::VisitProfile(root, [&](int depth, const obs::ProfileNode& node) {
+    std::string label(static_cast<size_t>(depth) * 2, ' ');
+    label += node.label;
+    std::string millis = "-";
+    if (node.timed) {
+      millis = include_timing ? FormatMillis(node.millis) : "*";
+    }
+    tp.AddRow({std::move(label), std::to_string(node.rows_in),
+               std::to_string(node.rows_out), std::to_string(node.scanned),
+               std::move(millis)});
+  });
+  std::ostringstream os;
+  tp.Print(os);
+  return os.str();
+}
+
+util::Result<ExplainResult> ExplainAnalyze(const rdf::TripleStore& store,
+                                           const SelectQuery& query,
+                                           const ExplainOptions& options) {
+  ExecOptions exec = options.exec;
+  exec.profile = true;
+  ExplainResult out;
+  RE2X_ASSIGN_OR_RETURN(out.table,
+                        Execute(store, query, exec, &out.stats));
+  out.report = RenderProfile(out.stats.profile, options.include_timing);
+  return out;
+}
+
+util::Result<ExplainResult> ExplainAnalyzeText(const rdf::TripleStore& store,
+                                               std::string_view sparql,
+                                               const ExplainOptions& options) {
+  RE2X_ASSIGN_OR_RETURN(SelectQuery q, ParseQuery(sparql));
+  return ExplainAnalyze(store, q, options);
+}
+
+}  // namespace re2xolap::sparql

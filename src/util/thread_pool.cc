@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace re2xolap::util {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -62,7 +64,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   };
   auto state = std::make_shared<LoopState>();
 
-  auto drain = [state, n, &fn, token]() {
+  // Propagate the caller's active trace span to the helpers, so spans
+  // opened inside `fn` on worker threads nest under it (the parallel fan
+  // stays attached to its parent in a captured trace).
+  const obs::SpanId parent_span =
+      obs::Tracer::Global().enabled() ? obs::CurrentSpan() : 0;
+
+  auto drain = [state, n, &fn, token, parent_span]() {
+    obs::ScopedSpanContext span_ctx(parent_span);
     for (;;) {
       if (state->failed.load(std::memory_order_acquire)) return;
       if (token && token->cancelled()) return;

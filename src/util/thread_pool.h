@@ -62,6 +62,10 @@ class ThreadPool {
   /// If `token` is non-null and becomes cancelled, unclaimed iterations
   /// are skipped (already-running ones finish normally); no exception is
   /// raised for cancellation.
+  ///
+  /// When tracing is enabled (obs::Tracer), the caller's active span is
+  /// propagated to the worker threads for the duration of the loop, so
+  /// spans opened inside `fn` nest under the caller's span.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    CancellationToken* token = nullptr);
 

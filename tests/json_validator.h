@@ -1,0 +1,214 @@
+#ifndef RE2XOLAP_TESTS_JSON_VALIDATOR_H_
+#define RE2XOLAP_TESTS_JSON_VALIDATOR_H_
+
+// Minimal recursive-descent JSON well-formedness checker for tests (no
+// DOM, no dependencies). Validates RFC 8259 syntax: one top-level value,
+// strings with escapes, numbers, objects, arrays, true/false/null.
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace re2xolap::testing {
+
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  /// True when the whole input is exactly one valid JSON value (plus
+  /// whitespace). On failure `error()` describes the first problem.
+  bool Validate() {
+    if (!ParseValue()) return false;
+    SkipWs();
+    if (p_ != end_) return Fail("trailing characters after value");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos());
+    }
+    return false;
+  }
+  size_t pos() const { return static_cast<size_t>(p_ - start_); }
+
+  void SkipWs() {
+    while (p_ != end_ &&
+           (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' || *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool ParseValue() {
+    SkipWs();
+    if (p_ == end_) return Fail("unexpected end of input");
+    switch (*p_) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"':
+        return ParseString();
+      case 't':
+        return ParseLiteral("true");
+      case 'f':
+        return ParseLiteral("false");
+      case 'n':
+        return ParseLiteral("null");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  bool ParseLiteral(std::string_view lit) {
+    for (char c : lit) {
+      if (p_ == end_ || *p_ != c) return Fail("bad literal");
+      ++p_;
+    }
+    return true;
+  }
+
+  bool ParseString() {
+    ++p_;  // opening quote
+    while (p_ != end_) {
+      unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c < 0x20) return Fail("unescaped control character in string");
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return Fail("dangling escape");
+        switch (*p_) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            ++p_;
+            break;
+          case 'u': {
+            ++p_;
+            for (int i = 0; i < 4; ++i) {
+              if (p_ == end_ ||
+                  !std::isxdigit(static_cast<unsigned char>(*p_))) {
+                return Fail("bad \\u escape");
+              }
+              ++p_;
+            }
+            break;
+          }
+          default:
+            return Fail("bad escape character");
+        }
+      } else {
+        ++p_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber() {
+    const char* begin = p_;
+    if (p_ != end_ && *p_ == '-') ++p_;
+    if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+      return Fail("bad number");
+    }
+    if (*p_ == '0') {
+      ++p_;
+    } else {
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && *p_ == '.') {
+      ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Fail("bad fraction");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    if (p_ != end_ && (*p_ == 'e' || *p_ == 'E')) {
+      ++p_;
+      if (p_ != end_ && (*p_ == '+' || *p_ == '-')) ++p_;
+      if (p_ == end_ || !std::isdigit(static_cast<unsigned char>(*p_))) {
+        return Fail("bad exponent");
+      }
+      while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    }
+    return p_ != begin;
+  }
+
+  bool ParseObject() {
+    ++p_;  // '{'
+    SkipWs();
+    if (p_ != end_ && *p_ == '}') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (p_ == end_ || *p_ != '"') return Fail("expected object key");
+      if (!ParseString()) return false;
+      SkipWs();
+      if (p_ == end_ || *p_ != ':') return Fail("expected ':'");
+      ++p_;
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated object");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == '}') {
+        ++p_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray() {
+    ++p_;  // '['
+    SkipWs();
+    if (p_ != end_ && *p_ == ']') {
+      ++p_;
+      return true;
+    }
+    for (;;) {
+      if (!ParseValue()) return false;
+      SkipWs();
+      if (p_ == end_) return Fail("unterminated array");
+      if (*p_ == ',') {
+        ++p_;
+        continue;
+      }
+      if (*p_ == ']') {
+        ++p_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+  const char* start_ = p_;
+  std::string error_;
+};
+
+inline bool IsValidJson(std::string_view text, std::string* error = nullptr) {
+  JsonValidator v(text);
+  bool ok = v.Validate();
+  if (!ok && error != nullptr) *error = v.error();
+  return ok;
+}
+
+}  // namespace re2xolap::testing
+
+#endif  // RE2XOLAP_TESTS_JSON_VALIDATOR_H_

@@ -2,6 +2,8 @@
 
 #include "core/session.h"
 #include "core/sparqlbye_baseline.h"
+#include "obs/trace.h"
+#include "tests/json_validator.h"
 #include "tests/test_data.h"
 
 namespace re2xolap::core {
@@ -169,6 +171,52 @@ TEST_F(BaselineTest, BaselineQueryExecutes) {
   auto r = sparql::Execute(*store, *q);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_GE(r->row_count(), 1u);
+}
+
+TEST_F(SessionTest, ObservabilityStatsAndCapturedTrace) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+
+  auto candidates = session->Start({"Germany", "2014"});
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_TRUE(session->PickCandidate(0).ok());
+  ASSERT_TRUE(session->Execute().ok());
+  auto dis = session->Refine(RefinementKind::kDisaggregate);
+  ASSERT_TRUE(dis.ok());
+  tracer.SetEnabled(false);
+
+  // Execution statistics flow from the executor into the session stats.
+  const ExplorationStats& st = session->stats();
+  EXPECT_EQ(st.interactions, 2u);  // Start + Refine
+  EXPECT_EQ(st.interaction_latency_millis.size(), st.interactions);
+  for (double ms : st.interaction_latency_millis) EXPECT_GT(ms, 0.0);
+  EXPECT_GT(st.cumulative_exec_millis, 0.0);
+  EXPECT_GT(st.cumulative_triples_scanned, 0u);
+  EXPECT_GT(st.cumulative_intermediate_bindings, 0u);
+  // The last executed query left its per-operator tree behind.
+  EXPECT_GT(session->last_exec_stats().profile.NodeCount(), 1u);
+
+  // The captured session trace is valid Chrome trace_event JSON and
+  // contains the interaction spans.
+  std::string json = tracer.ChromeTraceJson();
+  std::string error;
+  EXPECT_TRUE(re2xolap::testing::IsValidJson(json, &error)) << error;
+  EXPECT_NE(json.find("session.start"), std::string::npos);
+  EXPECT_NE(json.find("reolap.synthesize"), std::string::npos);
+  EXPECT_NE(json.find("session.execute"), std::string::npos);
+  EXPECT_NE(json.find("sparql.execute"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST_F(SessionTest, LatencyListTracksEveryInteractionKind) {
+  auto candidates = session->Start({"Germany", "2014"});
+  ASSERT_TRUE(candidates.ok());
+  ASSERT_TRUE(session->PickCandidate(0).ok());
+  ASSERT_TRUE(session->Slice(0).ok());
+  const ExplorationStats& st = session->stats();
+  EXPECT_EQ(st.interactions, 2u);  // Start + Slice
+  EXPECT_EQ(st.interaction_latency_millis.size(), st.interactions);
 }
 
 }  // namespace

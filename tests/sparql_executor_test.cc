@@ -235,6 +235,37 @@ TEST_F(ExecutorTest, StatsArePopulated) {
   EXPECT_GE(stats.exec_millis, 0.0);
 }
 
+TEST_F(ExecutorTest, JoinStatsCountEveryStep) {
+  // Two mandatory steps: whichever order the planner picks, each step
+  // scans 5 index entries and produces 5 extensions.
+  ExecStats stats;
+  auto r = ExecuteText(*store,
+                       "SELECT ?s ?c WHERE { ?s a <http://test/Observation> . "
+                       "?s <http://test/countryOrigin> ?c }",
+                       {}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count(), 5u);
+  EXPECT_EQ(stats.triples_scanned, 10u);
+  EXPECT_EQ(stats.intermediate_bindings, 10u);
+  // The per-operator tree carries the same totals.
+  EXPECT_EQ(stats.profile.TotalScanned(), stats.triples_scanned);
+}
+
+TEST_F(ExecutorTest, OptionalStepsContributeToStats) {
+  ExecStats stats;
+  auto r = ExecuteText(*store,
+                       "SELECT ?s ?y WHERE { "
+                       "?s <http://test/refPeriod> ?m . "
+                       "OPTIONAL { ?m <http://test/inYear> ?y . } }",
+                       {}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->row_count(), 5u);
+  // 5 refPeriod entries + 5 optional inYear lookups (one per month use).
+  EXPECT_EQ(stats.triples_scanned, 10u);
+  // 5 mandatory extensions + 5 matched optional extensions.
+  EXPECT_EQ(stats.intermediate_bindings, 10u);
+}
+
 TEST_F(ExecutorTest, PlannerReorderingMatchesUnordered) {
   const std::string q = R"(
     SELECT ?obs WHERE {
