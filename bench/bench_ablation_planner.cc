@@ -3,6 +3,10 @@
 // decisive for refinement latency (Section 7.1, Similarity discussion).
 // We execute the synthesized + disaggregated queries with and without
 // join-order optimization.
+//
+// Deliberately uses raw sparql::Execute, NOT engine::QueryEngine: this
+// ablation measures plan-and-run cost per option, and any plan/result
+// caching between the timed runs would poison that measurement.
 
 #include <iostream>
 

@@ -11,14 +11,17 @@
 
 #include "bench/bench_common.h"
 #include "core/sparqlbye_baseline.h"
-#include "sparql/executor.h"
+#include "engine/query_engine.h"
+#include "sparql/ast.h"
 
 int main() {
   using namespace re2xolap;
   using namespace re2xolap::bench;
 
   BenchEnv env = MakeEnv("Eurostat", 30000);
-  core::Reolap reolap(env.dataset.store.get(), env.vsg.get(), env.text.get());
+  engine::QueryEngine engine(env.store());
+  core::Reolap reolap(env.dataset.store.get(), env.vsg.get(), env.text.get(),
+                      &engine);
   core::SparqlByEBaseline baseline(env.dataset.store.get(), env.text.get());
 
   const std::vector<std::string> example = {"Asia", "2011"};
@@ -64,10 +67,10 @@ int main() {
       sparql::SelectQuery ordered = q.query;
       ordered.order_by.push_back(
           sparql::OrderKey{q.measure_columns[0], false});
-      auto table = sparql::Execute(env.store(), ordered);
+      auto table = engine.Execute(ordered);
       if (table.ok()) {
-        table->Print(std::cout, 8);
-        std::cout << "(" << table->row_count()
+        (*table)->Print(std::cout, 8);
+        std::cout << "(" << (*table)->row_count()
                   << " rows total; top rows by SUM as in the paper's "
                      "Table 2)\n";
       }

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "engine/query_engine.h"
 #include "sparql/executor.h"
 
 int main() {
@@ -31,8 +32,9 @@ int main() {
 
   for (const std::string& name : AllDatasets()) {
     BenchEnv env = MakeEnv(name, DefaultObservations(name));
+    engine::QueryEngine engine(env.store());
     core::Reolap reolap(env.dataset.store.get(), env.vsg.get(),
-                        env.text.get());
+                        env.text.get(), &engine);
     util::Rng rng(99);
     sparql::ExecOptions exec;
     exec.timeout_millis = kTimeoutMs;
@@ -53,13 +55,13 @@ int main() {
         core::ExploreState current = state;
         for (int depth = 0; depth <= 2 && ok; ++depth) {
           util::WallTimer timer;
-          auto table = sparql::Execute(env.store(), current.query, exec);
+          auto table = engine.Execute(current.query, exec);
           if (!table.ok()) {
             ok = false;
             break;
           }
           ms[depth] += timer.ElapsedMillis();
-          tuples[depth] += static_cast<double>(table->row_count());
+          tuples[depth] += static_cast<double>((*table)->row_count());
           if (depth < 2) {
             timer.Restart();
             auto refs =

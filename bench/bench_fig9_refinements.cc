@@ -16,6 +16,7 @@
 #include <iostream>
 
 #include "bench/bench_common.h"
+#include "engine/query_engine.h"
 #include "sparql/executor.h"
 
 int main() {
@@ -110,6 +111,8 @@ int main() {
             << util::ThreadPool::DefaultThreads() << ") ===\n\n";
   util::TablePrinter sweep({"Dataset", "Refinements", "Threads",
                             "Eval (ms)", "Speedup", "Rows(total)"});
+  util::TablePrinter ablation({"Dataset", "Engine cache", "Pass1 (ms)",
+                               "Pass2 (ms)", "Pass2 speedup vs off"});
   JsonBenchLog log("fig9_refinements");
 
   for (const std::string& name : AllDatasets()) {
@@ -161,8 +164,70 @@ int main() {
           .Int("result_rows", static_cast<long long>(rows))
           .Bool("identical_to_serial", rows == serial_rows);
     }
+
+    // --- Cache ablation: the same frontier evaluated twice --------------
+    // A session previews a refinement frontier, the user hits Back(), and
+    // the frontier is previewed again — the repeated-evaluation workload
+    // the engine's result cache targets. Pass 2 without the engine
+    // re-executes every query; pass 2 through the engine is pure cache
+    // hits.
+    double pass_ms_off[2] = {0, 0};
+    double pass_ms_on[2] = {0, 0};
+    for (int pass = 0; pass < 2; ++pass) {
+      util::WallTimer t;
+      auto tables = core::EvaluateStates(env.store(), states, exec);
+      pass_ms_off[pass] = t.ElapsedMillis();
+    }
+    // Frontier previews materialize large tables (every refinement over
+    // DBpedia's wide hierarchies); give the cache room for the whole
+    // frontier so admission limits don't mask the repeat-workload effect.
+    engine::EngineConfig engine_config;
+    engine_config.result_cache_bytes = 256u << 20;
+    engine::QueryEngine engine(env.store(), engine_config);
+    size_t rows_on = 0, rows_off = 0;
+    {
+      auto tables = core::EvaluateStates(env.store(), states, exec);
+      for (const auto& t : tables) {
+        if (t.ok()) rows_off += t->row_count();
+      }
+    }
+    for (int pass = 0; pass < 2; ++pass) {
+      util::WallTimer t;
+      auto tables = core::EvaluateStatesCached(engine, states, exec);
+      pass_ms_on[pass] = t.ElapsedMillis();
+      if (pass == 1) {
+        rows_on = 0;
+        for (const auto& t : tables) {
+          if (t.ok()) rows_on += (*t)->row_count();
+        }
+      }
+    }
+    const auto cache = engine.cache_stats();
+    for (bool on : {false, true}) {
+      const double* p = on ? pass_ms_on : pass_ms_off;
+      double speedup = p[1] > 0 ? pass_ms_off[1] / p[1] : 0.0;
+      ablation.AddRow({name, on ? "on" : "off", Ms(p[0]), Ms(p[1]),
+                       Ms(speedup)});
+      log.AddRecord()
+          .Str("dataset", name)
+          .Str("mode", "cache_ablation")
+          .Bool("engine_cache", on)
+          .Int("refinements", static_cast<long long>(states.size()))
+          .Num("pass1_eval_ms", p[0])
+          .Num("pass2_eval_ms", p[1])
+          .Num("pass2_speedup_vs_nocache", speedup)
+          .Int("result_cache_hits",
+               on ? static_cast<long long>(cache.result_hits) : 0)
+          .Bool("identical_rows", !on || rows_on == rows_off);
+    }
   }
   sweep.Print(std::cout);
+  std::cout << "\n=== Engine result-cache ablation (same frontier, two "
+               "passes) ===\n\n";
+  ablation.Print(std::cout);
+  std::cout << "\nExpectation: pass 2 through the engine is served from "
+               "the result cache (>=2x over the uncached pass 2; in "
+               "practice orders of magnitude).\n";
   log.Write("BENCH_refinements.json");
   std::cout << "\nShape check: all methods scale linearly with the tuple "
                "count and stay sub-second; per refinement produced, "

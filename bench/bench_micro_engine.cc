@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_common.h"
+#include "engine/query_engine.h"
 #include "sparql/executor.h"
 
 namespace {
@@ -82,6 +83,56 @@ void BM_ExecuteHierarchyJoin(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecuteHierarchyJoin);
+
+// Steady-state engine lookups: every iteration after the first is a
+// result-cache hit — the repeated-probe path ReOLAP validation and
+// frontier re-evaluation ride on.
+void BM_EngineCachedGroupBySum(benchmark::State& state) {
+  const std::string query = R"(
+    SELECT ?dest (SUM(?v) AS ?total) WHERE {
+      ?obs <http://example.org/eurostat/countryDestination> ?dest .
+      ?obs <http://example.org/eurostat/numApplicants> ?v .
+    } GROUP BY ?dest)";
+  engine::QueryEngine engine(Env().store());
+  for (auto _ : state) {
+    auto r = engine.ExecuteText(query);
+    benchmark::DoNotOptimize(r.ok() ? (*r)->row_count() : 0);
+  }
+}
+BENCHMARK(BM_EngineCachedGroupBySum);
+
+// Result cache disabled: isolates the plan cache (parse + execute every
+// iteration, planning amortized away after the first).
+void BM_EnginePlanCacheOnlyGroupBySum(benchmark::State& state) {
+  const std::string query = R"(
+    SELECT ?dest (SUM(?v) AS ?total) WHERE {
+      ?obs <http://example.org/eurostat/countryDestination> ?dest .
+      ?obs <http://example.org/eurostat/numApplicants> ?v .
+    } GROUP BY ?dest)";
+  engine::EngineConfig config;
+  config.result_cache_bytes = 0;
+  engine::QueryEngine engine(Env().store(), config);
+  for (auto _ : state) {
+    auto r = engine.ExecuteText(query);
+    benchmark::DoNotOptimize(r.ok() ? (*r)->row_count() : 0);
+  }
+}
+BENCHMARK(BM_EnginePlanCacheOnlyGroupBySum);
+
+void BM_EngineCachedHierarchyJoin(benchmark::State& state) {
+  const std::string query = R"(
+    SELECT ?cont (SUM(?v) AS ?total) WHERE {
+      ?obs <http://example.org/eurostat/countryOrigin> ?c .
+      ?c <http://example.org/eurostat/inContinent> ?cont .
+      ?obs <http://example.org/eurostat/numApplicants> ?v .
+    } GROUP BY ?cont)";
+  engine::QueryEngine engine(Env().store());
+  for (auto _ : state) {
+    auto r = engine.ExecuteText(query);
+    benchmark::DoNotOptimize(r.ok() ? (*r)->row_count() : 0);
+  }
+}
+BENCHMARK(BM_EngineCachedHierarchyJoin);
 
 void BM_ReolapSynthesizeSize1(benchmark::State& state) {
   core::Reolap reolap(Env().dataset.store.get(), Env().vsg.get(),

@@ -8,10 +8,11 @@
 
 #include "core/reolap.h"
 #include "core/virtual_schema_graph.h"
+#include "engine/query_engine.h"
 #include "rdf/ntriples.h"
 #include "rdf/text_index.h"
 #include "rdf/triple_store.h"
-#include "sparql/executor.h"
+#include "sparql/ast.h"
 
 namespace {
 
@@ -71,7 +72,10 @@ int main() {
             << vsg->total_members() << " members.\n\n";
 
   // 3. Reverse-engineer queries from the example <"Germany", "2014">.
-  core::Reolap reolap(&store, &*vsg, &text);
+  // All execution — including ReOLAP's validation probes — goes through
+  // one QueryEngine, which caches plans and results for the frozen store.
+  engine::QueryEngine engine(store);
+  core::Reolap reolap(&store, &*vsg, &text, &engine);
   auto queries = reolap.Synthesize({"Germany", "2014"});
   if (!queries.ok()) {
     std::cerr << "synthesis failed: " << queries.status() << "\n";
@@ -84,13 +88,15 @@ int main() {
               << sparql::ToSparql((*queries)[i].query) << "\n\n";
   }
 
-  // 4. Execute the first candidate and print its result table.
-  auto result = sparql::Execute(store, (*queries)[0].query);
+  // 4. Execute the first candidate through the engine and print its
+  // result table (a second Execute of the same query would be a cache
+  // hit).
+  auto result = engine.Execute((*queries)[0].query);
   if (!result.ok()) {
     std::cerr << "execution failed: " << result.status() << "\n";
     return 1;
   }
   std::cout << "Results:\n";
-  result->Print(std::cout);
+  (*result)->Print(std::cout);
   return 0;
 }

@@ -186,6 +186,30 @@ std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
   return out;
 }
 
+std::vector<util::Result<engine::TableHandle>> EvaluateStatesCached(
+    engine::QueryEngine& engine, const std::vector<ExploreState>& states,
+    const sparql::ExecOptions& exec, util::ThreadPool* pool,
+    std::vector<sparql::ExecStats>* stats) {
+  obs::Span span("exref.evaluate_states");
+  span.SetAttr("states", static_cast<uint64_t>(states.size()));
+  std::vector<util::Result<engine::TableHandle>> out;
+  out.reserve(states.size());
+  for (size_t i = 0; i < states.size(); ++i) {
+    out.emplace_back(util::Status::Internal("not evaluated"));
+  }
+  if (stats != nullptr) stats->assign(states.size(), sparql::ExecStats{});
+  auto eval_one = [&](size_t i) {
+    out[i] = engine.Execute(states[i].query, exec,
+                            stats != nullptr ? &(*stats)[i] : nullptr);
+  };
+  if (pool != nullptr && states.size() > 1) {
+    pool->ParallelFor(states.size(), eval_one);
+  } else {
+    for (size_t i = 0; i < states.size(); ++i) eval_one(i);
+  }
+  return out;
+}
+
 // --- Subset: Top-K -------------------------------------------------------------
 
 util::Result<std::vector<ExploreState>> SubsetTopK(

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/reolap.h"
+#include "engine/query_engine.h"
 #include "sparql/executor.h"
 #include "sparql/result_table.h"
 #include "util/result.h"
@@ -68,6 +69,16 @@ std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
 /// independent probes against the store.
 std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
     const rdf::TripleStore& store, const std::vector<ExploreState>& states,
+    const sparql::ExecOptions& exec = {}, util::ThreadPool* pool = nullptr,
+    std::vector<sparql::ExecStats>* stats = nullptr);
+
+/// Engine-routed variant of EvaluateStates: every state executes through
+/// `engine`, so repeated evaluations of the same refinement (across
+/// rounds, or shared prefixes re-offered after Back()) are served from
+/// the engine's result cache and planning is amortized across threads.
+/// Results are handles into the cache — copy-free, shared, immutable.
+std::vector<util::Result<engine::TableHandle>> EvaluateStatesCached(
+    engine::QueryEngine& engine, const std::vector<ExploreState>& states,
     const sparql::ExecOptions& exec = {}, util::ThreadPool* pool = nullptr,
     std::vector<sparql::ExecStats>* stats = nullptr);
 

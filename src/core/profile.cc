@@ -1,7 +1,9 @@
 #include "core/profile.h"
 
 #include <map>
+#include <memory>
 
+#include "engine/query_engine.h"
 #include "sparql/executor.h"
 #include "util/string_utils.h"
 
@@ -23,10 +25,10 @@ std::string MemberLabel(const rdf::TripleStore& store, rdf::TermId member,
   return PrettifyIriLocalName(store.term(member).value);
 }
 
-}  // namespace
-
-util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
-                                            const VirtualSchemaGraph& vsg) {
+/// Shared implementation; a null engine keeps the direct executor path.
+util::Result<DatasetProfile> ProfileDatasetImpl(
+    const rdf::TripleStore& store, const VirtualSchemaGraph& vsg,
+    engine::QueryEngine* engine) {
   DatasetProfile profile;
   profile.triple_count = store.size();
   profile.total_members = vsg.total_members();
@@ -67,8 +69,15 @@ util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
         "SELECT (COUNT(?v) AS ?n) (MIN(?v) AS ?lo) (MAX(?v) AS ?hi) "
         "(AVG(?v) AS ?mean) (SUM(?v) AS ?total) WHERE { ?obs <" +
         mp.predicate_iri + "> ?v }";
-    RE2X_ASSIGN_OR_RETURN(sparql::ResultTable table,
-                          sparql::ExecuteText(store, q));
+    engine::TableHandle handle;
+    if (engine != nullptr) {
+      RE2X_ASSIGN_OR_RETURN(handle, engine->ExecuteText(q));
+    } else {
+      RE2X_ASSIGN_OR_RETURN(sparql::ResultTable t,
+                            sparql::ExecuteText(store, q));
+      handle = std::make_shared<const sparql::ResultTable>(std::move(t));
+    }
+    const sparql::ResultTable& table = *handle;
     if (table.row_count() == 1) {
       mp.count = static_cast<uint64_t>(
           table.NumericValue(table.at(0, table.ColumnIndex("n"))));
@@ -87,6 +96,19 @@ util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
         PrettifyIriLocalName(store.term(attr).value));
   }
   return profile;
+}
+
+}  // namespace
+
+util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
+                                            const VirtualSchemaGraph& vsg) {
+  return ProfileDatasetImpl(store, vsg, nullptr);
+}
+
+util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
+                                            const VirtualSchemaGraph& vsg,
+                                            engine::QueryEngine& engine) {
+  return ProfileDatasetImpl(store, vsg, &engine);
 }
 
 void DatasetProfile::Print(std::ostream& os) const {

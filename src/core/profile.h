@@ -9,6 +9,10 @@
 #include "rdf/triple_store.h"
 #include "util/result.h"
 
+namespace re2xolap::engine {
+class QueryEngine;
+}  // namespace re2xolap::engine
+
 namespace re2xolap::core {
 
 /// Summary of one hierarchy level for profiling output.
@@ -54,6 +58,13 @@ struct DatasetProfile {
 /// query would take).
 util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
                                             const VirtualSchemaGraph& vsg);
+
+/// Engine-routed variant: the aggregate queries execute through `engine`
+/// and share its plan/result caches, so re-profiling the same frozen
+/// dataset is served from cache.
+util::Result<DatasetProfile> ProfileDataset(const rdf::TripleStore& store,
+                                            const VirtualSchemaGraph& vsg,
+                                            engine::QueryEngine& engine);
 
 }  // namespace re2xolap::core
 

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/describe.h"
+#include "engine/query_engine.h"
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -216,6 +217,10 @@ bool Reolap::ValidateCombo(const std::vector<Interpretation>& combo,
   }
   sparql::ExecOptions opts;
   opts.timeout_millis = timeout_millis;
+  if (engine_ != nullptr) {
+    auto result = engine_->Execute(probe, opts);
+    return result.ok() && (*result)->row_count() > 0;
+  }
   auto result = sparql::Execute(*store_, probe, opts);
   return result.ok() && result->row_count() > 0;
 }

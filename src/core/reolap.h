@@ -12,6 +12,10 @@
 #include "util/result.h"
 #include "util/thread_pool.h"
 
+namespace re2xolap::engine {
+class QueryEngine;
+}  // namespace re2xolap::engine
+
 namespace re2xolap::core {
 
 /// One interpretation of an example value: a concrete dimension member plus
@@ -91,9 +95,15 @@ struct ReolapStats {
 /// graph and text index; the store is only touched for validation probes.
 class Reolap {
  public:
+  /// When `engine` is non-null, validation probes execute through it and
+  /// share its plan/result caches with the rest of the session — repeated
+  /// validation of an identical combination (e.g. across refinement
+  /// rounds) becomes a cache hit instead of a store probe. A null engine
+  /// keeps the direct sparql::Execute path (used by engine-free tests).
   Reolap(const rdf::TripleStore* store, const VirtualSchemaGraph* vsg,
-         const rdf::TextIndex* text_index)
-      : store_(store), vsg_(vsg), text_(text_index) {}
+         const rdf::TextIndex* text_index,
+         engine::QueryEngine* engine = nullptr)
+      : store_(store), vsg_(vsg), text_(text_index), engine_(engine) {}
 
   /// MATCHES(a_i) of Algorithm 1: all interpretations of one value.
   /// Supports mixed inputs (paper Section 5 footnote): a value of the
@@ -136,6 +146,7 @@ class Reolap {
   const rdf::TripleStore* store_;
   const VirtualSchemaGraph* vsg_;
   const rdf::TextIndex* text_;
+  engine::QueryEngine* engine_;
 };
 
 /// Ranks candidate queries in place (paper Section 8 lists ranking of

@@ -66,21 +66,20 @@ util::Result<const sparql::ResultTable*> Session::Execute() {
   if (history_.empty()) {
     return util::Status::InvalidArgument("no current query; call Start/Pick");
   }
-  if (!results_.has_value()) {
+  if (results_ == nullptr) {
     obs::Span span("session.execute");
     last_exec_ = sparql::ExecStats{};
     RE2X_ASSIGN_OR_RETURN(
-        sparql::ResultTable table,
-        sparql::Execute(*store_, history_.back().query, exec_options_,
-                        &last_exec_));
-    stats_.cumulative_tuples += table.row_count();
+        engine::TableHandle table,
+        engine_->Execute(history_.back().query, exec_options_, &last_exec_));
+    stats_.cumulative_tuples += table->row_count();
     stats_.cumulative_exec_millis += last_exec_.exec_millis;
     stats_.cumulative_triples_scanned += last_exec_.triples_scanned;
     stats_.cumulative_intermediate_bindings += last_exec_.intermediate_bindings;
-    span.SetAttr("rows", static_cast<uint64_t>(table.row_count()));
+    span.SetAttr("rows", static_cast<uint64_t>(table->row_count()));
     results_ = std::move(table);
   }
-  return &*results_;
+  return results_.get();
 }
 
 util::Result<std::vector<ExploreState>> Session::Refine(

@@ -2,12 +2,13 @@
 #define RE2XOLAP_CORE_SESSION_H_
 
 #include <cstdint>
-#include <optional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/exref.h"
 #include "core/reolap.h"
+#include "engine/query_engine.h"
 #include "sparql/executor.h"
 #include "util/result.h"
 
@@ -70,11 +71,13 @@ struct ExplorationStats {
 class Session {
  public:
   Session(const rdf::TripleStore* store, const VirtualSchemaGraph* vsg,
-          const rdf::TextIndex* text, sparql::ExecOptions exec_options = {})
+          const rdf::TextIndex* text, sparql::ExecOptions exec_options = {},
+          engine::EngineConfig engine_config = {})
       : store_(store),
         vsg_(vsg),
         text_(text),
-        reolap_(store, vsg, text),
+        engine_(std::make_unique<engine::QueryEngine>(*store, engine_config)),
+        reolap_(store, vsg, text, engine_.get()),
         exec_options_(exec_options) {}
 
   /// Query synthesis phase: runs ReOLAP on the example tuple and stores
@@ -118,6 +121,11 @@ class Session {
   const ExplorationStats& stats() const { return stats_; }
   const Reolap& reolap() const { return reolap_; }
 
+  /// The session's query engine; all session queries (including ReOLAP
+  /// validation probes) execute through it and share its caches.
+  engine::QueryEngine& engine() { return *engine_; }
+  const engine::QueryEngine& engine() const { return *engine_; }
+
   /// Execution statistics (incl. the per-operator profile tree) of the
   /// most recent cache-missing Execute(). Zeroed until the first query
   /// runs.
@@ -133,13 +141,15 @@ class Session {
   const rdf::TripleStore* store_;
   const VirtualSchemaGraph* vsg_;
   const rdf::TextIndex* text_;
+  // Declared before reolap_ so the engine exists when Reolap captures it.
+  std::unique_ptr<engine::QueryEngine> engine_;
   Reolap reolap_;
   sparql::ExecOptions exec_options_;
 
   std::vector<CandidateQuery> candidates_;
   std::vector<ExploreState> pending_refinements_;
   std::vector<ExploreState> history_;
-  std::optional<sparql::ResultTable> results_;
+  engine::TableHandle results_;
   ExplorationStats stats_;
   sparql::ExecStats last_exec_;
 };

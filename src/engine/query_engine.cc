@@ -1,0 +1,269 @@
+#include "engine/query_engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sparql/ast.h"
+#include "sparql/parser.h"
+#include "util/timer.h"
+
+namespace re2xolap::engine {
+
+namespace {
+
+struct EngineMetrics {
+  obs::Counter& plan_hits;
+  obs::Counter& plan_misses;
+  obs::Counter& plan_evictions;
+  obs::Counter& result_hits;
+  obs::Counter& result_misses;
+  obs::Counter& result_evictions;
+  obs::Histogram& hit_millis;
+  obs::Histogram& miss_millis;
+
+  static EngineMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static EngineMetrics m{
+        reg.GetCounter("engine.plan_cache.hits"),
+        reg.GetCounter("engine.plan_cache.misses"),
+        reg.GetCounter("engine.plan_cache.evictions"),
+        reg.GetCounter("engine.result_cache.hits"),
+        reg.GetCounter("engine.result_cache.misses"),
+        reg.GetCounter("engine.result_cache.evictions"),
+        reg.GetHistogram("engine.execute.hit.millis"),
+        reg.GetHistogram("engine.execute.miss.millis"),
+    };
+    return m;
+  }
+};
+
+/// Cache key: freeze epoch | planner flags | normalized query text. The
+/// epoch prefix makes entries from a previous index state unreachable
+/// even if they survive an invalidation race; the planner flag
+/// distinguishes plans (and the results they produce are identical, but
+/// keeping the keys uniform costs one byte). Timeouts are deliberately
+/// not part of the key: they bound latency, not the answer, and errored
+/// runs are never inserted.
+std::string CacheKey(const sparql::SelectQuery& query,
+                     const sparql::ExecOptions& options, uint64_t epoch) {
+  std::string key = std::to_string(epoch);
+  key += options.plan.use_join_reordering ? "|r|" : "|-|";
+  key += sparql::ToSparql(query);
+  return key;
+}
+
+}  // namespace
+
+size_t EstimateTableCost(const sparql::ResultTable& table) {
+  size_t cost = sizeof(sparql::ResultTable);
+  for (const std::string& c : table.columns()) {
+    cost += sizeof(std::string) + c.capacity();
+  }
+  cost += table.rows().capacity() * sizeof(sparql::Row);
+  for (const sparql::Row& r : table.rows()) {
+    cost += r.capacity() * sizeof(sparql::Cell);
+  }
+  return cost;
+}
+
+QueryEngine::QueryEngine(const rdf::TripleStore& store, EngineConfig config)
+    : store_(store),
+      config_(config),
+      seen_epoch_(store.freeze_epoch()) {
+  size_t n_shards = std::max<size_t>(1, config_.result_cache_shards);
+  shards_.reserve(n_shards);
+  for (size_t i = 0; i < n_shards; ++i) {
+    shards_.push_back(std::make_unique<ResultShard>());
+  }
+}
+
+uint64_t QueryEngine::SyncEpoch() {
+  uint64_t epoch = store_.freeze_epoch();
+  if (seen_epoch_.load(std::memory_order_acquire) != epoch) {
+    InvalidateCaches();
+  }
+  return epoch;
+}
+
+void QueryEngine::InvalidateCaches() {
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    plan_lru_.clear();
+    plan_index_.clear();
+  }
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+  seen_epoch_.store(store_.freeze_epoch(), std::memory_order_release);
+}
+
+EngineCacheStats QueryEngine::cache_stats() const {
+  EngineCacheStats s;
+  s.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  s.plan_misses = plan_misses_.load(std::memory_order_relaxed);
+  s.plan_evictions = plan_evictions_.load(std::memory_order_relaxed);
+  s.result_hits = result_hits_.load(std::memory_order_relaxed);
+  s.result_misses = result_misses_.load(std::memory_order_relaxed);
+  s.result_evictions = result_evictions_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(plan_mu_);
+    s.plan_entries = plan_lru_.size();
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    s.result_entries += shard->lru.size();
+    s.result_bytes += shard->bytes;
+  }
+  return s;
+}
+
+std::shared_ptr<const sparql::Plan> QueryEngine::PlanLookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = plan_index_.find(key);
+  if (it == plan_index_.end()) return nullptr;
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  return it->second->plan;
+}
+
+void QueryEngine::PlanInsert(const std::string& key,
+                             std::shared_ptr<const sparql::Plan> plan) {
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = plan_index_.find(key);
+  if (it != plan_index_.end()) {
+    // A concurrent miss planned the same query; keep the incumbent.
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+    return;
+  }
+  plan_lru_.push_front(PlanEntry{key, std::move(plan)});
+  plan_index_[key] = plan_lru_.begin();
+  while (plan_lru_.size() > config_.plan_cache_capacity) {
+    plan_index_.erase(plan_lru_.back().key);
+    plan_lru_.pop_back();
+    plan_evictions_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::Get().plan_evictions.Inc();
+  }
+}
+
+QueryEngine::ResultShard& QueryEngine::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+TableHandle QueryEngine::ResultLookup(const std::string& key) {
+  ResultShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->table;
+}
+
+void QueryEngine::ResultInsert(const std::string& key,
+                               const TableHandle& table) {
+  const size_t cost = EstimateTableCost(*table);
+  const size_t budget =
+      std::max<size_t>(1, config_.result_cache_bytes / shards_.size());
+  // An entry bigger than a whole shard's budget would evict everything
+  // and immediately exceed the budget itself — don't admit it.
+  if (cost > budget) return;
+  ResultShard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;  // concurrent miss cached the same result first
+  }
+  shard.lru.push_front(ResultEntry{key, table, cost});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += cost;
+  while (shard.bytes > budget && shard.lru.size() > 1) {
+    ResultEntry& victim = shard.lru.back();
+    shard.bytes -= victim.cost;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    result_evictions_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::Get().result_evictions.Inc();
+  }
+}
+
+util::Result<TableHandle> QueryEngine::Execute(
+    const sparql::SelectQuery& query, const sparql::ExecOptions& options,
+    sparql::ExecStats* stats) {
+  EngineMetrics& metrics = EngineMetrics::Get();
+  obs::Span span("engine.execute");
+  util::WallTimer timer;
+
+  const uint64_t epoch = SyncEpoch();
+  const std::string key = CacheKey(query, options, epoch);
+
+  // Profiled runs bypass the result cache: EXPLAIN ANALYZE has to observe
+  // a real execution, and its operator tree would be meaningless for a
+  // table served from memory.
+  const bool use_result_cache =
+      config_.result_cache_bytes > 0 && !options.profile;
+
+  if (use_result_cache) {
+    if (TableHandle hit = ResultLookup(key)) {
+      result_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.result_hits.Inc();
+      // A hit scans nothing and plans nothing; see ExplorationStats for
+      // the same convention.
+      if (stats != nullptr) *stats = sparql::ExecStats{};
+      metrics.hit_millis.Observe(timer.ElapsedMillis());
+      span.SetAttr("cache", "hit");
+      span.SetAttr("rows", static_cast<uint64_t>(hit->rows().size()));
+      return hit;
+    }
+    result_misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.result_misses.Inc();
+  }
+
+  util::Result<sparql::ResultTable> executed = util::Status::Internal("");
+  // ASK queries are rewritten into existence probes before planning, so a
+  // cached plan can never apply to them.
+  if (config_.plan_cache_capacity > 0 && !query.is_ask) {
+    std::shared_ptr<const sparql::Plan> plan = PlanLookup(key);
+    if (plan != nullptr) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      metrics.plan_hits.Inc();
+      if (stats != nullptr) stats->plan_millis = 0;
+    } else {
+      plan_misses_.fetch_add(1, std::memory_order_relaxed);
+      metrics.plan_misses.Inc();
+      util::WallTimer plan_timer;
+      util::Result<sparql::Plan> planned =
+          sparql::PlanQuery(store_, query, options.plan);
+      if (!planned.ok()) return planned.status();
+      if (stats != nullptr) stats->plan_millis = plan_timer.ElapsedMillis();
+      plan = std::make_shared<const sparql::Plan>(std::move(planned).value());
+      PlanInsert(key, plan);
+    }
+    executed = sparql::Execute(store_, query, *plan, options, stats);
+  } else {
+    executed = sparql::Execute(store_, query, options, stats);
+  }
+  if (!executed.ok()) return executed.status();
+
+  auto handle = std::make_shared<const sparql::ResultTable>(
+      std::move(executed).value());
+  if (use_result_cache) ResultInsert(key, handle);
+  metrics.miss_millis.Observe(timer.ElapsedMillis());
+  span.SetAttr("cache", use_result_cache ? "miss" : "bypass");
+  span.SetAttr("rows", static_cast<uint64_t>(handle->rows().size()));
+  return TableHandle(handle);
+}
+
+util::Result<TableHandle> QueryEngine::ExecuteText(
+    std::string_view text, const sparql::ExecOptions& options,
+    sparql::ExecStats* stats) {
+  RE2X_ASSIGN_OR_RETURN(sparql::SelectQuery query, sparql::ParseQuery(text));
+  return Execute(query, options, stats);
+}
+
+}  // namespace re2xolap::engine

@@ -77,6 +77,7 @@ void TripleStore::Freeze(util::ThreadPool* pool) {
     ComputeStats(pool);
   }
   frozen_ = true;
+  ++freeze_epoch_;
   obs::MetricsRegistry::Global()
       .GetGauge("store.triples")
       .Set(static_cast<double>(spo_.size()));

@@ -68,6 +68,12 @@ class TripleStore {
 
   bool frozen() const { return frozen_; }
 
+  /// Monotone counter bumped by every Freeze(). Caches keyed on query
+  /// results (e.g. engine::QueryEngine) include the epoch in their keys so
+  /// a re-Freeze() — the only way new data becomes visible — invalidates
+  /// every entry derived from the previous index state. 0 = never frozen.
+  uint64_t freeze_epoch() const { return freeze_epoch_; }
+
   /// --- Term access -------------------------------------------------------
 
   Dictionary& dictionary() { return dict_; }
@@ -151,6 +157,7 @@ class TripleStore {
   std::vector<EncodedTriple> osp_;  // sorted by (o, s, p)
   std::unordered_map<TermId, PredicateStats> stats_;
   bool frozen_ = false;
+  uint64_t freeze_epoch_ = 0;
   mutable std::atomic<int> active_readers_{0};
 };
 

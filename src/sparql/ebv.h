@@ -1,0 +1,65 @@
+#ifndef RE2XOLAP_SPARQL_EBV_H_
+#define RE2XOLAP_SPARQL_EBV_H_
+
+#include <string>
+#include <type_traits>
+
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/result_table.h"
+
+namespace re2xolap::sparql {
+
+/// Tri-state effective boolean value for filter evaluation.
+enum class Ebv : uint8_t { kFalse = 0, kTrue = 1, kError = 2 };
+
+Ebv EbvAnd(Ebv a, Ebv b);
+Ebv EbvOr(Ebv a, Ebv b);
+Ebv EbvNot(Ebv a);
+
+/// Comparison of two cells under SPARQL-ish semantics: numeric when both
+/// sides are numeric, lexical when both are non-numeric, error otherwise.
+/// Returns {comparable, cmp<0|0|>0}.
+struct CellCompare {
+  bool comparable = false;
+  int cmp = 0;
+};
+
+CellCompare CompareCells(const rdf::TripleStore& store, const Cell& a,
+                         const Cell& b);
+
+/// Orders cells for ORDER BY / DISTINCT: nulls < numbers < terms.
+int OrderCells(const rdf::TripleStore& store, const Cell& a, const Cell& b);
+
+/// Non-owning, non-allocating reference to a variable-lookup callable
+/// (`const std::string& -> Cell`). The referenced callable must outlive
+/// every call through the reference — pass lambdas inline, never store a
+/// VarLookup beyond the expression that created it.
+class VarLookup {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, VarLookup>>>
+  VarLookup(const F& f)  // NOLINT(runtime/explicit)
+      : obj_(&f), fn_([](const void* obj, const std::string& name) {
+          return (*static_cast<const F*>(obj))(name);
+        }) {}
+
+  Cell operator()(const std::string& name) const { return fn_(obj_, name); }
+
+ private:
+  const void* obj_;
+  Cell (*fn_)(const void*, const std::string&);
+};
+
+/// Evaluates a filter expression against the bindings visible through
+/// `lookup`. Bound-variable EBV follows the same rules as constant EBV:
+/// boolean literals by value, numeric literals non-zero, any other term
+/// by non-emptiness of its lexical form (so an empty-string literal is
+/// kFalse whether it appears as a constant or through a variable).
+Ebv EvalExpr(const rdf::TripleStore& store, const Expr& e,
+             const VarLookup& lookup);
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_EBV_H_

@@ -1,719 +1,97 @@
+// Orchestration of the parse→plan→execute pipeline for one query. The
+// heavy lifting lives in dedicated translation units: filter evaluation
+// in ebv.cc, the index nested-loop join in join_runner.cc, aggregation
+// and the post-join operator pipeline in post_ops.cc. This file only
+// sequences them and assembles the profile tree.
 #include "sparql/executor.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cmath>
-#include <limits>
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sparql/join_runner.h"
 #include "sparql/parser.h"
+#include "sparql/post_ops.h"
 #include "util/timer.h"
 
 namespace re2xolap::sparql {
 
 namespace {
 
-constexpr uint64_t kTimeoutCheckInterval = 8192;
-
-/// Tri-state effective boolean value for filter evaluation.
-enum class Ebv : uint8_t { kFalse = 0, kTrue = 1, kError = 2 };
-
-Ebv EbvAnd(Ebv a, Ebv b) {
-  if (a == Ebv::kFalse || b == Ebv::kFalse) return Ebv::kFalse;
-  if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
-  return Ebv::kTrue;
-}
-Ebv EbvOr(Ebv a, Ebv b) {
-  if (a == Ebv::kTrue || b == Ebv::kTrue) return Ebv::kTrue;
-  if (a == Ebv::kError || b == Ebv::kError) return Ebv::kError;
-  return Ebv::kFalse;
-}
-Ebv EbvNot(Ebv a) {
-  if (a == Ebv::kError) return Ebv::kError;
-  return a == Ebv::kTrue ? Ebv::kFalse : Ebv::kTrue;
-}
-
-/// Comparison of two cells under SPARQL-ish semantics: numeric when both
-/// sides are numeric, lexical when both are non-numeric, error otherwise.
-/// Returns {comparable, cmp<0|0|>0}.
-struct CellCompare {
-  bool comparable = false;
-  int cmp = 0;
-};
-
-CellCompare CompareCells(const rdf::TripleStore& store, const Cell& a,
-                         const Cell& b) {
-  CellCompare out;
-  if (a.is_null() || b.is_null()) return out;
-  auto numeric = [&](const Cell& c, double* v) {
-    if (c.is_number()) {
-      *v = c.number;
-      return true;
-    }
-    const rdf::Term& t = store.term(c.term);
-    if (t.is_numeric_literal()) {
-      *v = t.AsDouble();
-      return true;
-    }
-    return false;
-  };
-  double va, vb;
-  if (numeric(a, &va) && numeric(b, &vb)) {
-    out.comparable = true;
-    out.cmp = va < vb ? -1 : (va > vb ? 1 : 0);
-    return out;
-  }
-  if (a.is_term() && b.is_term()) {
-    const rdf::Term& ta = store.term(a.term);
-    const rdf::Term& tb = store.term(b.term);
-    // Different kinds (IRI vs literal) are only ==-comparable.
-    out.comparable = true;
-    if (ta.kind != tb.kind) {
-      out.cmp = ta.kind < tb.kind ? -1 : 1;
-      return out;
-    }
-    int c = ta.value.compare(tb.value);
-    out.cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
-    return out;
-  }
-  return out;  // mixed number vs non-numeric term: incomparable
-}
-
-/// Evaluates a filter expression. LookupFn: const std::string& -> Cell.
-template <typename LookupFn>
-Ebv EvalExpr(const rdf::TripleStore& store, const Expr& e,
-             const LookupFn& lookup) {
-  switch (e.kind) {
-    case ExprKind::kConstant: {
-      // EBV of a constant: boolean literals, non-zero numbers, non-empty
-      // strings.
-      const rdf::Term& t = e.constant;
-      if (t.literal_type == rdf::LiteralType::kBoolean) {
-        return t.value == "true" ? Ebv::kTrue : Ebv::kFalse;
-      }
-      if (t.is_numeric_literal()) {
-        return t.AsDouble() != 0.0 ? Ebv::kTrue : Ebv::kFalse;
-      }
-      return t.value.empty() ? Ebv::kFalse : Ebv::kTrue;
-    }
-    case ExprKind::kVariable: {
-      Cell c = lookup(e.var.name);
-      if (c.is_null()) return Ebv::kError;
-      if (c.is_number()) return c.number != 0.0 ? Ebv::kTrue : Ebv::kFalse;
-      const rdf::Term& t = store.term(c.term);
-      if (t.literal_type == rdf::LiteralType::kBoolean) {
-        return t.value == "true" ? Ebv::kTrue : Ebv::kFalse;
-      }
-      if (t.is_numeric_literal()) {
-        return t.AsDouble() != 0.0 ? Ebv::kTrue : Ebv::kFalse;
-      }
-      return Ebv::kTrue;
-    }
-    case ExprKind::kCompare: {
-      // Evaluate operands to cells.
-      auto operand = [&](const Expr& child) -> Cell {
-        if (child.kind == ExprKind::kVariable) return lookup(child.var.name);
-        if (child.kind == ExprKind::kConstant) {
-          if (child.constant.is_numeric_literal()) {
-            return Cell::OfNumber(child.constant.AsDouble());
-          }
-          rdf::TermId id = store.Lookup(child.constant);
-          if (id != rdf::kInvalidTermId) return Cell::OfTerm(id);
-          // Constant not in the store: compare by materialized value.
-          // Represent as number for numerics (handled above); for other
-          // terms fall back to lexical comparison through a pseudo-null.
-          return Cell::Null();
-        }
-        return Cell::Null();
-      };
-      Cell lhs = operand(*e.children[0]);
-      Cell rhs = operand(*e.children[1]);
-      // Special-case a constant term missing from the dictionary: equal to
-      // nothing, unequal to everything bound.
-      auto missing_const = [&](const Expr& child, const Cell& cell) {
-        return child.kind == ExprKind::kConstant &&
-               !child.constant.is_numeric_literal() && cell.is_null();
-      };
-      bool lhs_missing = missing_const(*e.children[0], lhs);
-      bool rhs_missing = missing_const(*e.children[1], rhs);
-      if (lhs_missing || rhs_missing) {
-        const Cell& other = lhs_missing ? rhs : lhs;
-        if (other.is_null()) return Ebv::kError;
-        if (e.op == CompareOp::kEq) return Ebv::kFalse;
-        if (e.op == CompareOp::kNe) return Ebv::kTrue;
-        // Ordering against a missing term: compare lexically with its
-        // string form.
-        const Expr& cexpr = lhs_missing ? *e.children[0] : *e.children[1];
-        std::string other_str;
-        if (other.is_number()) return Ebv::kError;
-        other_str = store.term(other.term).value;
-        int c = lhs_missing ? cexpr.constant.value.compare(other_str)
-                            : other_str.compare(cexpr.constant.value);
-        // c is "lhs vs rhs" ordering.
-        switch (e.op) {
-          case CompareOp::kLt:
-            return c < 0 ? Ebv::kTrue : Ebv::kFalse;
-          case CompareOp::kLe:
-            return c <= 0 ? Ebv::kTrue : Ebv::kFalse;
-          case CompareOp::kGt:
-            return c > 0 ? Ebv::kTrue : Ebv::kFalse;
-          case CompareOp::kGe:
-            return c >= 0 ? Ebv::kTrue : Ebv::kFalse;
-          default:
-            return Ebv::kError;
-        }
-      }
-      CellCompare cc = CompareCells(store, lhs, rhs);
-      if (!cc.comparable) return Ebv::kError;
-      bool r = false;
-      switch (e.op) {
-        case CompareOp::kEq:
-          r = cc.cmp == 0;
-          break;
-        case CompareOp::kNe:
-          r = cc.cmp != 0;
-          break;
-        case CompareOp::kLt:
-          r = cc.cmp < 0;
-          break;
-        case CompareOp::kLe:
-          r = cc.cmp <= 0;
-          break;
-        case CompareOp::kGt:
-          r = cc.cmp > 0;
-          break;
-        case CompareOp::kGe:
-          r = cc.cmp >= 0;
-          break;
-      }
-      return r ? Ebv::kTrue : Ebv::kFalse;
-    }
-    case ExprKind::kAnd: {
-      Ebv acc = Ebv::kTrue;
-      for (const ExprPtr& c : e.children) {
-        acc = EbvAnd(acc, EvalExpr(store, *c, lookup));
-        if (acc == Ebv::kFalse) return acc;
-      }
-      return acc;
-    }
-    case ExprKind::kOr: {
-      Ebv acc = Ebv::kFalse;
-      for (const ExprPtr& c : e.children) {
-        acc = EbvOr(acc, EvalExpr(store, *c, lookup));
-        if (acc == Ebv::kTrue) return acc;
-      }
-      return acc;
-    }
-    case ExprKind::kNot:
-      return EbvNot(EvalExpr(store, *e.children[0], lookup));
-    case ExprKind::kIn: {
-      Cell c = lookup(e.var.name);
-      if (c.is_null()) return Ebv::kError;
-      for (const rdf::Term& t : e.in_list) {
-        Cell rhs;
-        if (t.is_numeric_literal()) {
-          rhs = Cell::OfNumber(t.AsDouble());
-        } else {
-          rdf::TermId id = store.Lookup(t);
-          if (id == rdf::kInvalidTermId) continue;
-          rhs = Cell::OfTerm(id);
-        }
-        CellCompare cc = CompareCells(store, c, rhs);
-        if (cc.comparable && cc.cmp == 0) return Ebv::kTrue;
-      }
-      return Ebv::kFalse;
-    }
-    case ExprKind::kBound: {
-      return lookup(e.var.name).is_null() ? Ebv::kFalse : Ebv::kTrue;
-    }
-  }
-  return Ebv::kError;
-}
-
-/// Running state of one aggregate.
-struct AggState {
-  double sum = 0;
-  double min = std::numeric_limits<double>::infinity();
-  double max = -std::numeric_limits<double>::infinity();
-  uint64_t count = 0;
-  std::set<rdf::TermId> distinct_terms;  // only used by COUNT(DISTINCT ?v)
-
-  void Update(double v) {
-    sum += v;
-    min = std::min(min, v);
-    max = std::max(max, v);
-    ++count;
-  }
-
-  void UpdateDistinct(rdf::TermId id) { distinct_terms.insert(id); }
-
-  double Finish(AggFunc f) const {
-    switch (f) {
-      case AggFunc::kSum:
-        return sum;
-      case AggFunc::kMin:
-        return count ? min : 0.0;
-      case AggFunc::kMax:
-        return count ? max : 0.0;
-      case AggFunc::kAvg:
-        return count ? sum / static_cast<double>(count) : 0.0;
-      case AggFunc::kCount:
-        return static_cast<double>(count);
-    }
-    return 0.0;
-  }
-};
-
-struct VecHash {
-  size_t operator()(const std::vector<rdf::TermId>& v) const {
-    size_t h = 14695981039346656037ULL;
-    for (rdf::TermId id : v) {
-      h ^= id;
-      h *= 1099511628211ULL;
-    }
-    return h;
-  }
-};
-
-/// Per-operator observation slots for one join run. For mandatory steps
-/// `rows_out` counts successful (consistent + filter-passing) extensions;
-/// for OPTIONAL blocks `rows_out` counts rows passed downstream (matched
-/// extensions plus left-join fall-throughs) and `matched` only the
-/// extensions that bound new variables.
-struct StepProf {
-  uint64_t rows_in = 0;
-  uint64_t rows_out = 0;
-  uint64_t matched = 0;
-  uint64_t scanned = 0;
-  double micros = 0;  // inclusive wall time, timing mode only
-};
-
-/// Accumulates inclusive wall time into `*acc` over the guard's lifetime;
-/// a null target disables the clock reads entirely.
-class TimeGuard {
- public:
-  explicit TimeGuard(double* acc) : acc_(acc) {
-    if (acc_ != nullptr) start_ = std::chrono::steady_clock::now();
-  }
-  ~TimeGuard() {
-    if (acc_ != nullptr) {
-      *acc_ += std::chrono::duration<double, std::micro>(
-                   std::chrono::steady_clock::now() - start_)
-                   .count();
-    }
-  }
-  TimeGuard(const TimeGuard&) = delete;
-  TimeGuard& operator=(const TimeGuard&) = delete;
-
- private:
-  double* acc_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// Short display form of a term for operator labels: IRIs by local name,
-/// literals quoted.
-std::string TermShortName(const rdf::TripleStore& store, rdf::TermId id) {
-  const rdf::Term& t = store.term(id);
-  if (t.is_iri()) {
-    size_t cut = t.value.find_last_of("/#");
-    return cut == std::string::npos ? t.value : t.value.substr(cut + 1);
-  }
-  return "\"" + t.value + "\"";
-}
-
-std::string PatternLabel(const rdf::TripleStore& store,
-                         const std::vector<std::string>& slot_names,
-                         const PhysicalPattern& pp, const char* prefix) {
-  auto pos = [&](rdf::TermId id, int slot) -> std::string {
-    if (id != rdf::kInvalidTermId) return TermShortName(store, id);
-    if (slot >= 0 && static_cast<size_t>(slot) < slot_names.size()) {
-      return "?" + slot_names[slot];
-    }
-    return "?_";
-  };
-  return std::string(prefix) + " (" + pos(pp.s_id, pp.s_slot) + " " +
-         pos(pp.p_id, pp.p_slot) + " " + pos(pp.o_id, pp.o_slot) + ")";
-}
-
-/// Join executor: index nested loop join over the planned steps with
-/// early filters and timeout checks.
-class JoinRunner {
- public:
-  JoinRunner(const rdf::TripleStore& store, const Plan& plan,
-             const ExecOptions& options, ExecStats* stats)
-      : store_(store),
-        plan_(plan),
-        options_(options),
-        stats_(stats),
-        profiling_(stats != nullptr),
-        timing_(stats != nullptr && options.profile) {}
-
-  /// Runs the join; calls `on_row(bindings)` for every complete binding.
-  /// When `row_cap` is non-zero the join stops early after producing that
-  /// many rows (safe only when no later operator reorders/merges rows).
-  /// Returns non-OK on timeout. The per-step counters are flushed into the
-  /// ExecStats sink on both the success and the error path.
-  template <typename RowFn>
-  util::Status Run(RowFn&& on_row, uint64_t row_cap = 0) {
-    bindings_.assign(plan_.slot_count, rdf::kInvalidTermId);
-    row_cap_ = row_cap;
-    rows_emitted_ = 0;
-    emitted_ = 0;
-    stopped_ = false;
-    if (profiling_) {
-      step_prof_.assign(plan_.steps.size(), StepProf{});
-      opt_prof_.assign(plan_.optionals.size(), StepProf{});
-    }
-    timer_.Restart();
-    util::Status st = Step(0, on_row);
-    FlushStats();
-    return st;
-  }
-
-  const std::vector<StepProf>& step_prof() const { return step_prof_; }
-  const std::vector<StepProf>& opt_prof() const { return opt_prof_; }
-  uint64_t emitted() const { return emitted_; }
-  bool timing() const { return timing_; }
-
- private:
-  /// Rolls the per-step counters up into the ExecStats aggregates:
-  /// `triples_scanned` sums every index entry inspected; the
-  /// `intermediate_bindings` total counts bindings produced across all
-  /// steps — one per successful mandatory-step extension plus one per
-  /// matched OPTIONAL extension (fall-throughs bind nothing).
-  void FlushStats() {
-    if (!profiling_) return;
-    uint64_t scanned = 0;
-    uint64_t produced = 0;
-    for (const StepProf& sp : step_prof_) {
-      scanned += sp.scanned;
-      produced += sp.rows_out;
-    }
-    for (const StepProf& op : opt_prof_) {
-      scanned += op.scanned;
-      produced += op.matched;
-    }
-    stats_->triples_scanned += scanned;
-    stats_->intermediate_bindings += produced;
-  }
-
-  util::Status CheckTimeout() {
-    if (options_.timeout_millis == 0) return util::Status::OK();
-    if (++ops_ % kTimeoutCheckInterval != 0) return util::Status::OK();
-    if (timer_.ElapsedMillis() >
-        static_cast<double>(options_.timeout_millis)) {
-      return util::Status::Timeout("query exceeded " +
-                                   std::to_string(options_.timeout_millis) +
-                                   " ms");
-    }
-    return util::Status::OK();
-  }
-
-  Cell LookupVar(const std::string& name) const {
-    int slot = plan_.SlotOf(name);
-    if (slot < 0 || bindings_[slot] == rdf::kInvalidTermId) {
-      return Cell::Null();
-    }
-    return Cell::OfTerm(bindings_[slot]);
-  }
-
-  util::Status ApplyFiltersAfter(size_t step, bool* pass) {
-    *pass = true;
-    for (const PlannedFilter& pf : plan_.filters) {
-      if (pf.apply_after_step != step) continue;
-      Ebv v = EvalExpr(store_, *pf.expr,
-                       [this](const std::string& n) { return LookupVar(n); });
-      if (v != Ebv::kTrue) {
-        *pass = false;
-        return util::Status::OK();
-      }
-    }
-    return util::Status::OK();
-  }
-
-  template <typename RowFn>
-  util::Status Step(size_t step, RowFn& on_row) {
-    if (step == 0) {
-      bool pass = true;
-      RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(0, &pass));
-      if (!pass) return util::Status::OK();
-    }
-    if (step == plan_.steps.size()) {
-      return OptionalStep(0, on_row);
-    }
-    if (stopped_) return util::Status::OK();
-    TimeGuard time_guard(timing_ ? &step_prof_[step].micros : nullptr);
-    if (profiling_) ++step_prof_[step].rows_in;
-    const PhysicalPattern& pp = plan_.steps[step];
-    rdf::TriplePattern q;
-    auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
-      if (cid != rdf::kInvalidTermId) return cid;
-      if (slot >= 0 && bindings_[slot] != rdf::kInvalidTermId) {
-        return bindings_[slot];
-      }
-      return rdf::kInvalidTermId;
-    };
-    q.s = fix(pp.s_id, pp.s_slot);
-    q.p = fix(pp.p_id, pp.p_slot);
-    q.o = fix(pp.o_id, pp.o_slot);
-
-    for (const rdf::EncodedTriple& t : store_.Match(q)) {
-      if (stopped_) return util::Status::OK();
-      if (profiling_) ++step_prof_[step].scanned;
-      RE2X_RETURN_IF_ERROR(CheckTimeout());
-      // Bind unbound slots; verify repeated-variable consistency.
-      int newly_bound[3];
-      int n_new = 0;
-      bool consistent = true;
-      auto bind = [&](int slot, rdf::TermId value) {
-        if (slot < 0) return;
-        if (bindings_[slot] == rdf::kInvalidTermId) {
-          bindings_[slot] = value;
-          newly_bound[n_new++] = slot;
-        } else if (bindings_[slot] != value) {
-          consistent = false;
-        }
-      };
-      bind(pp.s_slot, t.s);
-      if (consistent) bind(pp.p_slot, t.p);
-      if (consistent) bind(pp.o_slot, t.o);
-      if (consistent) {
-        bool pass = true;
-        RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
-        if (pass) {
-          if (profiling_) ++step_prof_[step].rows_out;
-          util::Status st = Step(step + 1, on_row);
-          if (!st.ok()) {
-            for (int i = 0; i < n_new; ++i) {
-              bindings_[newly_bound[i]] = rdf::kInvalidTermId;
-            }
-            return st;
-          }
-        }
-      }
-      for (int i = 0; i < n_new; ++i) {
-        bindings_[newly_bound[i]] = rdf::kInvalidTermId;
-      }
-    }
-    return util::Status::OK();
-  }
-
-  // Left-join extension: tries to match optional block `block`; every
-  // complete extension recurses into the next block, and a block with no
-  // match falls through with its variables left unbound.
-  template <typename RowFn>
-  util::Status OptionalStep(size_t block, RowFn& on_row) {
-    if (stopped_) return util::Status::OK();
-    if (block == plan_.optionals.size()) {
-      // Filters that could not be attached to the mandatory join.
-      for (const ExprPtr& f : plan_.post_optional_filters) {
-        Ebv v = EvalExpr(store_, *f, [this](const std::string& n) {
-          return LookupVar(n);
-        });
-        if (v != Ebv::kTrue) return util::Status::OK();
-      }
-      ++emitted_;
-      on_row(bindings_);
-      if (row_cap_ != 0 && ++rows_emitted_ >= row_cap_) stopped_ = true;
-      return CheckTimeout();
-    }
-    TimeGuard time_guard(timing_ ? &opt_prof_[block].micros : nullptr);
-    if (profiling_) ++opt_prof_[block].rows_in;
-    const PlannedOptional& po = plan_.optionals[block];
-    if (po.never_matches || po.steps.empty()) {
-      if (profiling_) ++opt_prof_[block].rows_out;
-      return OptionalStep(block + 1, on_row);
-    }
-    bool matched = false;
-    RE2X_RETURN_IF_ERROR(OptionalPattern(block, 0, &matched, on_row));
-    if (!matched && !stopped_) {
-      if (profiling_) ++opt_prof_[block].rows_out;
-      return OptionalStep(block + 1, on_row);
-    }
-    return util::Status::OK();
-  }
-
-  template <typename RowFn>
-  util::Status OptionalPattern(size_t block, size_t idx, bool* matched,
-                               RowFn& on_row) {
-    const PlannedOptional& po = plan_.optionals[block];
-    if (idx == po.steps.size()) {
-      *matched = true;
-      if (profiling_) {
-        ++opt_prof_[block].matched;
-        ++opt_prof_[block].rows_out;
-      }
-      return OptionalStep(block + 1, on_row);
-    }
-    const PhysicalPattern& pp = po.steps[idx];
-    rdf::TriplePattern q;
-    auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
-      if (cid != rdf::kInvalidTermId) return cid;
-      if (slot >= 0 && bindings_[slot] != rdf::kInvalidTermId) {
-        return bindings_[slot];
-      }
-      return rdf::kInvalidTermId;
-    };
-    q.s = fix(pp.s_id, pp.s_slot);
-    q.p = fix(pp.p_id, pp.p_slot);
-    q.o = fix(pp.o_id, pp.o_slot);
-    for (const rdf::EncodedTriple& t : store_.Match(q)) {
-      if (stopped_) return util::Status::OK();
-      if (profiling_) ++opt_prof_[block].scanned;
-      RE2X_RETURN_IF_ERROR(CheckTimeout());
-      int newly_bound[3];
-      int n_new = 0;
-      bool consistent = true;
-      auto bind = [&](int slot, rdf::TermId value) {
-        if (slot < 0) return;
-        if (bindings_[slot] == rdf::kInvalidTermId) {
-          bindings_[slot] = value;
-          newly_bound[n_new++] = slot;
-        } else if (bindings_[slot] != value) {
-          consistent = false;
-        }
-      };
-      bind(pp.s_slot, t.s);
-      if (consistent) bind(pp.p_slot, t.p);
-      if (consistent) bind(pp.o_slot, t.o);
-      if (consistent) {
-        util::Status st = OptionalPattern(block, idx + 1, matched, on_row);
-        if (!st.ok()) {
-          for (int i = 0; i < n_new; ++i) {
-            bindings_[newly_bound[i]] = rdf::kInvalidTermId;
-          }
-          return st;
-        }
-      }
-      for (int i = 0; i < n_new; ++i) {
-        bindings_[newly_bound[i]] = rdf::kInvalidTermId;
-      }
-    }
-    return util::Status::OK();
-  }
-
-  const rdf::TripleStore& store_;
-  const Plan& plan_;
-  const ExecOptions& options_;
-  ExecStats* stats_;
-  const bool profiling_;  // counters + operator tree (any stats sink)
-  const bool timing_;     // per-step wall times (ExecOptions::profile)
-  std::vector<rdf::TermId> bindings_;
-  std::vector<StepProf> step_prof_;
-  std::vector<StepProf> opt_prof_;
-  util::WallTimer timer_;
-  uint64_t ops_ = 0;
-  uint64_t row_cap_ = 0;
-  uint64_t rows_emitted_ = 0;
-  uint64_t emitted_ = 0;
-  bool stopped_ = false;
-};
-
-/// Orders cells for ORDER BY / DISTINCT: nulls < numbers < terms.
-int OrderCells(const rdf::TripleStore& store, const Cell& a, const Cell& b) {
-  if (a.kind != b.kind) {
-    return static_cast<int>(a.kind) < static_cast<int>(b.kind) ? -1 : 1;
-  }
-  switch (a.kind) {
-    case Cell::Kind::kNull:
-      return 0;
-    case Cell::Kind::kNumber:
-      return a.number < b.number ? -1 : (a.number > b.number ? 1 : 0);
-    case Cell::Kind::kTerm: {
-      CellCompare cc = CompareCells(store, a, b);
-      if (cc.comparable) return cc.cmp;
-      return a.term < b.term ? -1 : (a.term > b.term ? 1 : 0);
-    }
-  }
-  return 0;
-}
-
-}  // namespace
-
-util::Result<ResultTable> Execute(const rdf::TripleStore& store,
-                                  const SelectQuery& query,
-                                  const ExecOptions& options,
-                                  ExecStats* stats) {
+/// ASK: rewrite into an early-exiting LIMIT-1 existence probe and wrap
+/// the answer as a one-cell boolean table (column "ask", 1 or 0).
+util::Result<ResultTable> ExecuteAsk(const rdf::TripleStore& store,
+                                     const SelectQuery& query,
+                                     const ExecOptions& options,
+                                     ExecStats* stats) {
   util::WallTimer total_timer;
   obs::Span exec_span("sparql.execute");
   exec_span.SetAttr("patterns", static_cast<uint64_t>(query.patterns.size()));
   static obs::Counter& queries_total =
       obs::MetricsRegistry::Global().GetCounter("sparql.queries");
-  static obs::Histogram& exec_hist =
-      obs::MetricsRegistry::Global().GetHistogram("sparql.exec.millis");
   queries_total.Inc();
 
-  // ASK: rewrite into an early-exiting LIMIT-1 existence probe and wrap
-  // the answer as a one-cell boolean table (column "ask", 1 or 0).
-  if (query.is_ask) {
-    SelectQuery probe = query;
-    probe.is_ask = false;
-    probe.distinct = false;
-    probe.select_all = false;
-    probe.items.clear();
-    probe.group_by.clear();
-    probe.having.clear();
-    probe.order_by.clear();
-    probe.limit = 1;
-    probe.offset = 0;
-    // Project the first variable mentioned in the BGP; a fully constant
-    // BGP degenerates to counting matches.
-    for (const TriplePatternAst& tp : query.patterns) {
-      for (const TermOrVar* pos : {&tp.s, &tp.p, &tp.o}) {
-        if (IsVar(*pos)) {
-          SelectItem item;
-          item.var = AsVar(*pos);
-          probe.items.push_back(std::move(item));
-          break;
-        }
+  SelectQuery probe = query;
+  probe.is_ask = false;
+  probe.distinct = false;
+  probe.select_all = false;
+  probe.items.clear();
+  probe.group_by.clear();
+  probe.having.clear();
+  probe.order_by.clear();
+  probe.limit = 1;
+  probe.offset = 0;
+  // Project the first variable mentioned in the BGP; a fully constant
+  // BGP degenerates to counting matches.
+  for (const TriplePatternAst& tp : query.patterns) {
+    for (const TermOrVar* pos : {&tp.s, &tp.p, &tp.o}) {
+      if (IsVar(*pos)) {
+        SelectItem item;
+        item.var = AsVar(*pos);
+        probe.items.push_back(std::move(item));
+        break;
       }
-      if (!probe.items.empty()) break;
     }
-    if (probe.items.empty()) {
-      SelectItem item;
-      item.is_aggregate = true;
-      item.func = AggFunc::kCount;
-      item.count_star = true;
-      item.alias = "n";
-      probe.items.push_back(std::move(item));
-      probe.limit.reset();
-    }
-    RE2X_ASSIGN_OR_RETURN(ResultTable sub,
-                          Execute(store, probe, options, stats));
-    bool answer = false;
-    if (!sub.rows().empty()) {
-      answer = sub.columns()[0] == "n"
-                   ? sub.NumericValue(sub.at(0, 0)) > 0
-                   : true;
-    }
-    ResultTable out(&store, {"ask"});
-    out.AddRow({Cell::OfNumber(answer ? 1.0 : 0.0)});
-    if (stats) {
-      // Wrap the probe's operator tree under an "ask" root.
-      const double ask_millis = total_timer.ElapsedMillis();
-      obs::ProfileNode root("ask");
-      root.rows_out = 1;
-      root.millis = ask_millis;
-      root.timed = true;
-      root.children.push_back(std::move(stats->profile));
-      stats->profile = std::move(root);
-      stats->exec_millis = ask_millis;
-    }
-    return out;
+    if (!probe.items.empty()) break;
   }
+  if (probe.items.empty()) {
+    SelectItem item;
+    item.is_aggregate = true;
+    item.func = AggFunc::kCount;
+    item.count_star = true;
+    item.alias = "n";
+    probe.items.push_back(std::move(item));
+    probe.limit.reset();
+  }
+  RE2X_ASSIGN_OR_RETURN(ResultTable sub, Execute(store, probe, options, stats));
+  bool answer = false;
+  if (!sub.rows().empty()) {
+    answer =
+        sub.columns()[0] == "n" ? sub.NumericValue(sub.at(0, 0)) > 0 : true;
+  }
+  ResultTable out(&store, {"ask"});
+  out.AddRow({Cell::OfNumber(answer ? 1.0 : 0.0)});
+  if (stats) {
+    // Wrap the probe's operator tree under an "ask" root.
+    const double ask_millis = total_timer.ElapsedMillis();
+    obs::ProfileNode root("ask");
+    root.rows_out = 1;
+    root.millis = ask_millis;
+    root.timed = true;
+    root.children.push_back(std::move(stats->profile));
+    stats->profile = std::move(root);
+    stats->exec_millis = ask_millis;
+  }
+  return out;
+}
 
-  // --- validate & derive output columns ------------------------------------
-  const bool aggregating = query.has_aggregates() || !query.group_by.empty();
-  std::vector<SelectItem> items = query.items;
-  util::WallTimer plan_timer;
-  RE2X_ASSIGN_OR_RETURN(Plan plan,
-                        PlanQuery(store, query, options.plan));
-  if (stats) stats->plan_millis = plan_timer.ElapsedMillis();
-
+/// Derives the effective projection list: SELECT * expansion (all user
+/// variables, ordered by slot) and aggregation validity checks.
+util::Status DeriveItems(const SelectQuery& query, const Plan& plan,
+                         bool aggregating, std::vector<SelectItem>* items) {
   if (query.select_all) {
     if (aggregating) {
       return util::Status::InvalidArgument(
@@ -726,18 +104,18 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
       vars.emplace_back(slot, name);
     }
     std::sort(vars.begin(), vars.end());
-    items.clear();
+    items->clear();
     for (auto& [slot, name] : vars) {
       SelectItem it;
       it.var = Variable{name};
-      items.push_back(std::move(it));
+      items->push_back(std::move(it));
     }
   }
-  if (items.empty()) {
+  if (items->empty()) {
     return util::Status::InvalidArgument("query projects no columns");
   }
   if (aggregating) {
-    for (const SelectItem& it : items) {
+    for (const SelectItem& it : *items) {
       if (it.is_aggregate) continue;
       bool in_group = false;
       for (const Variable& g : query.group_by) {
@@ -753,6 +131,129 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
       }
     }
   }
+  return util::Status::OK();
+}
+
+/// Assembles the per-operator profile tree for one run. The index
+/// nested-loop join renders as a chain: each mandatory step nests under
+/// the previous one, then the OPTIONAL blocks, innermost last — mirroring
+/// the recursion order at execution time.
+void BuildProfileTree(const rdf::TripleStore& store, const SelectQuery& query,
+                      const Plan& plan, const JoinRunner& runner,
+                      bool aggregating, double join_ms, double agg_ms,
+                      size_t group_count,
+                      const std::vector<PostOpProf>& post_ops,
+                      const ResultTable& table, ExecStats* stats) {
+  std::vector<std::string> slot_names(plan.slot_count);
+  for (const auto& [name, slot] : plan.var_slots) {
+    if (slot >= 0 && static_cast<size_t>(slot) < slot_names.size()) {
+      slot_names[slot] = name;
+    }
+  }
+
+  obs::ProfileNode root("select");
+  root.rows_out = table.rows().size();
+  root.millis = stats->exec_millis;
+  root.timed = true;
+  {
+    obs::ProfileNode& pn = root.AddChild("plan");
+    pn.millis = stats->plan_millis;
+    pn.timed = true;
+  }
+
+  obs::ProfileNode join("join (index nested loop)");
+  join.rows_out = runner.emitted();
+  join.millis = join_ms;
+  join.timed = true;
+  const bool timed_steps = runner.timing();
+  obs::ProfileNode* cur = &join;
+  for (size_t i = 0; i < plan.steps.size(); ++i) {
+    obs::ProfileNode& child =
+        cur->AddChild(PatternLabel(store, slot_names, plan.steps[i], "scan"));
+    const StepProf& sp = runner.step_prof()[i];
+    child.rows_in = sp.rows_in;
+    child.rows_out = sp.rows_out;
+    child.scanned = sp.scanned;
+    child.millis = sp.micros / 1000.0;
+    child.timed = timed_steps;
+    cur = &child;
+  }
+  for (size_t b = 0; b < plan.optionals.size(); ++b) {
+    const PlannedOptional& po = plan.optionals[b];
+    std::string label =
+        po.steps.empty()
+            ? "optional (empty)"
+            : PatternLabel(store, slot_names, po.steps[0], "optional");
+    if (po.steps.size() > 1) {
+      label += " +" + std::to_string(po.steps.size() - 1);
+    }
+    obs::ProfileNode& child = cur->AddChild(std::move(label));
+    const StepProf& op = runner.opt_prof()[b];
+    child.rows_in = op.rows_in;
+    child.rows_out = op.rows_out;
+    child.scanned = op.scanned;
+    child.millis = op.micros / 1000.0;
+    child.timed = timed_steps;
+    cur = &child;
+  }
+  root.children.push_back(std::move(join));
+
+  if (aggregating) {
+    std::string label = "aggregate";
+    if (!query.group_by.empty()) {
+      label += " (group by";
+      for (const Variable& g : query.group_by) label += " ?" + g.name;
+      label += ")";
+    }
+    obs::ProfileNode& agg = root.AddChild(std::move(label));
+    agg.rows_in = runner.emitted();
+    agg.rows_out = group_count;
+    agg.millis = agg_ms;
+    agg.timed = true;
+  }
+  for (const PostOpProf& op : post_ops) {
+    obs::ProfileNode& n = root.AddChild(op.label);
+    n.rows_in = op.rows_in;
+    n.rows_out = op.rows_out;
+    n.millis = op.millis;
+    n.timed = true;
+  }
+  stats->profile = std::move(root);
+}
+
+}  // namespace
+
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query,
+                                  const ExecOptions& options,
+                                  ExecStats* stats) {
+  if (query.is_ask) return ExecuteAsk(store, query, options, stats);
+  util::WallTimer plan_timer;
+  RE2X_ASSIGN_OR_RETURN(Plan plan, PlanQuery(store, query, options.plan));
+  if (stats) stats->plan_millis = plan_timer.ElapsedMillis();
+  return Execute(store, query, plan, options, stats);
+}
+
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query, const Plan& plan,
+                                  const ExecOptions& options,
+                                  ExecStats* stats) {
+  // A prebuilt plan cannot represent an ASK query (the rewrite precedes
+  // planning) — fall back to the planning path.
+  if (query.is_ask) return ExecuteAsk(store, query, options, stats);
+
+  util::WallTimer total_timer;
+  obs::Span exec_span("sparql.execute");
+  exec_span.SetAttr("patterns", static_cast<uint64_t>(query.patterns.size()));
+  static obs::Counter& queries_total =
+      obs::MetricsRegistry::Global().GetCounter("sparql.queries");
+  static obs::Histogram& exec_hist =
+      obs::MetricsRegistry::Global().GetHistogram("sparql.exec.millis");
+  queries_total.Inc();
+
+  const bool aggregating = query.has_aggregates() || !query.group_by.empty();
+  std::vector<SelectItem> items = query.items;
+  RE2X_RETURN_IF_ERROR(DeriveItems(query, plan, aggregating, &items));
 
   std::vector<std::string> columns;
   columns.reserve(items.size());
@@ -791,13 +292,7 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
   double join_ms = 0;
   double agg_ms = 0;
   size_t group_count = 0;
-  struct PostOp {
-    const char* label;
-    uint64_t rows_in;
-    uint64_t rows_out;
-    double ms;
-  };
-  std::vector<PostOp> post_ops;
+  std::vector<PostOpProf> post_ops;
 
   if (!aggregating) {
     // LIMIT can stop the join early when no later operator needs the full
@@ -830,247 +325,32 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     for (const Variable& g : query.group_by) {
       group_slots.push_back(plan.SlotOf(g.name));
     }
-    struct Group {
-      std::vector<AggState> aggs;
-    };
-    std::unordered_map<std::vector<rdf::TermId>, Group, VecHash> groups;
-    size_t n_aggs = 0;
-    for (const SelectItem& it : items) n_aggs += it.is_aggregate ? 1 : 0;
-
+    GroupAggregator agg(store, items, item_slots, std::move(group_slots));
     util::WallTimer join_timer;
-    util::Status st =
-        runner.Run([&](const std::vector<rdf::TermId>& bindings) {
-          std::vector<rdf::TermId> key(group_slots.size());
-          for (size_t i = 0; i < group_slots.size(); ++i) {
-            key[i] = group_slots[i] >= 0 ? bindings[group_slots[i]]
-                                         : rdf::kInvalidTermId;
-          }
-          Group& g = groups[key];
-          if (g.aggs.empty()) g.aggs.resize(n_aggs);
-          size_t agg_idx = 0;
-          for (size_t i = 0; i < items.size(); ++i) {
-            if (!items[i].is_aggregate) continue;
-            AggState& state = g.aggs[agg_idx++];
-            if (items[i].count_star) {
-              state.Update(0.0);  // COUNT(*): value irrelevant
-            } else {
-              int slot = item_slots[i];
-              if (slot >= 0 && bindings[slot] != rdf::kInvalidTermId) {
-                if (items[i].distinct_agg) {
-                  state.UpdateDistinct(bindings[slot]);
-                } else {
-                  state.Update(store.term(bindings[slot]).AsDouble());
-                }
-              }
-            }
-          }
-          if (n_aggs == 0) {
-            // Pure GROUP BY without aggregates: the group itself is a row;
-            // ensure the group exists (done by groups[key] above).
-          }
-        });
+    util::Status st = runner.Run([&](const std::vector<rdf::TermId>& bindings) {
+      agg.Accumulate(bindings);
+    });
     join_ms = join_timer.ElapsedMillis();
     RE2X_RETURN_IF_ERROR(st);
 
-    group_count = groups.size();
     util::WallTimer agg_timer;
-    for (const auto& [key, group] : groups) {
-      Row row(items.size());
-      size_t agg_idx = 0;
-      size_t key_pos;
-      for (size_t i = 0; i < items.size(); ++i) {
-        if (items[i].is_aggregate) {
-          const AggState& state = group.aggs[agg_idx];
-          row[i] = Cell::OfNumber(
-              items[i].distinct_agg
-                  ? static_cast<double>(state.distinct_terms.size())
-                  : state.Finish(items[i].func));
-          ++agg_idx;
-          continue;
-        }
-        // Find this variable's position in the group key.
-        key_pos = 0;
-        for (size_t gi = 0; gi < query.group_by.size(); ++gi) {
-          if (query.group_by[gi].name == items[i].var.name) {
-            key_pos = gi;
-            break;
-          }
-        }
-        row[i] = key[key_pos] != rdf::kInvalidTermId ? Cell::OfTerm(key[key_pos])
-                                                     : Cell::Null();
-      }
-      table.AddRow(std::move(row));
-    }
+    group_count = agg.Emit(query.group_by, &table);
     agg_ms = agg_timer.ElapsedMillis();
   }
 
-  // --- HAVING ---------------------------------------------------------------
-  if (!query.having.empty()) {
-    util::WallTimer op_timer;
-    std::vector<Row>& rows = table.mutable_rows();
-    const uint64_t rows_in = rows.size();
-    std::vector<Row> kept;
-    kept.reserve(rows.size());
-    for (Row& row : rows) {
-      auto lookup = [&](const std::string& name) -> Cell {
-        int idx = table.ColumnIndex(name);
-        return idx < 0 ? Cell::Null() : row[idx];
-      };
-      bool pass = true;
-      for (const ExprPtr& h : query.having) {
-        if (EvalExpr(store, *h, lookup) != Ebv::kTrue) {
-          pass = false;
-          break;
-        }
-      }
-      if (pass) kept.push_back(std::move(row));
-    }
-    rows.swap(kept);
-    post_ops.push_back(
-        {"having", rows_in, rows.size(), op_timer.ElapsedMillis()});
-  }
-
-  // --- DISTINCT ---------------------------------------------------------------
-  if (query.distinct) {
-    util::WallTimer op_timer;
-    std::vector<Row>& rows = table.mutable_rows();
-    const uint64_t rows_in = rows.size();
-    auto row_less = [&](const Row& a, const Row& b) {
-      for (size_t i = 0; i < a.size(); ++i) {
-        int c = OrderCells(store, a[i], b[i]);
-        if (c != 0) return c < 0;
-      }
-      return false;
-    };
-    std::sort(rows.begin(), rows.end(), row_less);
-    rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
-    post_ops.push_back(
-        {"distinct", rows_in, rows.size(), op_timer.ElapsedMillis()});
-  }
-
-  // --- ORDER BY ---------------------------------------------------------------
+  ApplyHaving(store, query, &table, &post_ops);
+  if (query.distinct) ApplyDistinct(store, &table, &post_ops);
   if (!query.order_by.empty()) {
-    util::WallTimer op_timer;
-    std::vector<std::pair<int, bool>> keys;  // column index, ascending
-    for (const OrderKey& k : query.order_by) {
-      int idx = table.ColumnIndex(k.column);
-      if (idx < 0) {
-        return util::Status::InvalidArgument("ORDER BY references unknown column ?" +
-                                             k.column);
-      }
-      keys.emplace_back(idx, k.ascending);
-    }
-    std::vector<Row>& rows = table.mutable_rows();
-    std::stable_sort(rows.begin(), rows.end(),
-                     [&](const Row& a, const Row& b) {
-                       for (auto [idx, asc] : keys) {
-                         int c = OrderCells(store, a[idx], b[idx]);
-                         if (c != 0) return asc ? c < 0 : c > 0;
-                       }
-                       return false;
-                     });
-    post_ops.push_back(
-        {"order-by", rows.size(), rows.size(), op_timer.ElapsedMillis()});
+    RE2X_RETURN_IF_ERROR(ApplyOrderBy(store, query, &table, &post_ops));
   }
-
-  // --- OFFSET / LIMIT -----------------------------------------------------------
   if (query.offset > 0 || query.limit.has_value()) {
-    util::WallTimer op_timer;
-    std::vector<Row>& rows = table.mutable_rows();
-    const uint64_t rows_in = rows.size();
-    size_t begin = std::min<size_t>(query.offset, rows.size());
-    size_t end = rows.size();
-    if (query.limit.has_value()) {
-      end = std::min<size_t>(begin + *query.limit, rows.size());
-    }
-    std::vector<Row> sliced(rows.begin() + begin, rows.begin() + end);
-    rows.swap(sliced);
-    post_ops.push_back(
-        {"limit/offset", rows_in, rows.size(), op_timer.ElapsedMillis()});
+    ApplyLimitOffset(query, &table, &post_ops);
   }
 
   if (stats) {
     stats->exec_millis = total_timer.ElapsedMillis();
-
-    // --- per-operator profile tree ---------------------------------------
-    std::vector<std::string> slot_names(plan.slot_count);
-    for (const auto& [name, slot] : plan.var_slots) {
-      if (slot >= 0 && static_cast<size_t>(slot) < slot_names.size()) {
-        slot_names[slot] = name;
-      }
-    }
-
-    obs::ProfileNode root("select");
-    root.rows_out = table.rows().size();
-    root.millis = stats->exec_millis;
-    root.timed = true;
-    {
-      obs::ProfileNode& pn = root.AddChild("plan");
-      pn.millis = stats->plan_millis;
-      pn.timed = true;
-    }
-
-    // The index nested-loop join renders as a chain: each mandatory step
-    // nests under the previous one, then the OPTIONAL blocks, innermost
-    // last — mirroring the recursion order at execution time.
-    obs::ProfileNode join("join (index nested loop)");
-    join.rows_out = runner.emitted();
-    join.millis = join_ms;
-    join.timed = true;
-    const bool timed_steps = runner.timing();
-    obs::ProfileNode* cur = &join;
-    for (size_t i = 0; i < plan.steps.size(); ++i) {
-      obs::ProfileNode& child =
-          cur->AddChild(PatternLabel(store, slot_names, plan.steps[i], "scan"));
-      const StepProf& sp = runner.step_prof()[i];
-      child.rows_in = sp.rows_in;
-      child.rows_out = sp.rows_out;
-      child.scanned = sp.scanned;
-      child.millis = sp.micros / 1000.0;
-      child.timed = timed_steps;
-      cur = &child;
-    }
-    for (size_t b = 0; b < plan.optionals.size(); ++b) {
-      const PlannedOptional& po = plan.optionals[b];
-      std::string label =
-          po.steps.empty()
-              ? "optional (empty)"
-              : PatternLabel(store, slot_names, po.steps[0], "optional");
-      if (po.steps.size() > 1) {
-        label += " +" + std::to_string(po.steps.size() - 1);
-      }
-      obs::ProfileNode& child = cur->AddChild(std::move(label));
-      const StepProf& op = runner.opt_prof()[b];
-      child.rows_in = op.rows_in;
-      child.rows_out = op.rows_out;
-      child.scanned = op.scanned;
-      child.millis = op.micros / 1000.0;
-      child.timed = timed_steps;
-      cur = &child;
-    }
-    root.children.push_back(std::move(join));
-
-    if (aggregating) {
-      std::string label = "aggregate";
-      if (!query.group_by.empty()) {
-        label += " (group by";
-        for (const Variable& g : query.group_by) label += " ?" + g.name;
-        label += ")";
-      }
-      obs::ProfileNode& agg = root.AddChild(std::move(label));
-      agg.rows_in = runner.emitted();
-      agg.rows_out = group_count;
-      agg.millis = agg_ms;
-      agg.timed = true;
-    }
-    for (const PostOp& op : post_ops) {
-      obs::ProfileNode& n = root.AddChild(op.label);
-      n.rows_in = op.rows_in;
-      n.rows_out = op.rows_out;
-      n.millis = op.ms;
-      n.timed = true;
-    }
-    stats->profile = std::move(root);
+    BuildProfileTree(store, query, plan, runner, aggregating, join_ms, agg_ms,
+                     group_count, post_ops, table, stats);
   }
   exec_span.SetAttr("rows", static_cast<uint64_t>(table.rows().size()));
   exec_hist.Observe(total_timer.ElapsedMillis());

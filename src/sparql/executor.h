@@ -47,6 +47,18 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
                                   const ExecOptions& options = {},
                                   ExecStats* stats = nullptr);
 
+/// Executes `query` using a prebuilt `plan` (as produced by PlanQuery for
+/// exactly this query/store pair), skipping the planning phase — this is
+/// what lets an engine-layer plan cache amortize planning across repeated
+/// queries. ASK queries are rewritten into existence probes *before*
+/// planning, so a prebuilt plan cannot apply; they delegate to the
+/// planning overload. `options.plan` is ignored (already baked into
+/// `plan`) and `stats->plan_millis` is left untouched.
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query, const Plan& plan,
+                                  const ExecOptions& options = {},
+                                  ExecStats* stats = nullptr);
+
 /// Convenience: parse + execute SPARQL text.
 util::Result<ResultTable> ExecuteText(const rdf::TripleStore& store,
                                       std::string_view sparql,

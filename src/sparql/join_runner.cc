@@ -1,0 +1,299 @@
+#include "sparql/join_runner.h"
+
+#include <chrono>
+
+#include "sparql/ebv.h"
+
+namespace re2xolap::sparql {
+
+namespace {
+
+constexpr uint64_t kTimeoutCheckInterval = 8192;
+
+/// Accumulates inclusive wall time into `*acc` over the guard's lifetime;
+/// a null target disables the clock reads entirely.
+class TimeGuard {
+ public:
+  explicit TimeGuard(double* acc) : acc_(acc) {
+    if (acc_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~TimeGuard() {
+    if (acc_ != nullptr) {
+      *acc_ += std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    }
+  }
+  TimeGuard(const TimeGuard&) = delete;
+  TimeGuard& operator=(const TimeGuard&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+std::string TermShortName(const rdf::TripleStore& store, rdf::TermId id) {
+  const rdf::Term& t = store.term(id);
+  if (t.is_iri()) {
+    size_t cut = t.value.find_last_of("/#");
+    return cut == std::string::npos ? t.value : t.value.substr(cut + 1);
+  }
+  return "\"" + t.value + "\"";
+}
+
+std::string PatternLabel(const rdf::TripleStore& store,
+                         const std::vector<std::string>& slot_names,
+                         const PhysicalPattern& pp, const char* prefix) {
+  auto pos = [&](rdf::TermId id, int slot) -> std::string {
+    if (id != rdf::kInvalidTermId) return TermShortName(store, id);
+    if (slot >= 0 && static_cast<size_t>(slot) < slot_names.size()) {
+      return "?" + slot_names[slot];
+    }
+    return "?_";
+  };
+  return std::string(prefix) + " (" + pos(pp.s_id, pp.s_slot) + " " +
+         pos(pp.p_id, pp.p_slot) + " " + pos(pp.o_id, pp.o_slot) + ")";
+}
+
+JoinRunner::JoinRunner(const rdf::TripleStore& store, const Plan& plan,
+                       const ExecOptions& options, ExecStats* stats)
+    : store_(store),
+      plan_(plan),
+      options_(options),
+      stats_(stats),
+      profiling_(stats != nullptr),
+      timing_(stats != nullptr && options.profile) {}
+
+util::Status JoinRunner::Run(RowSink on_row, uint64_t row_cap) {
+  bindings_.assign(plan_.slot_count, rdf::kInvalidTermId);
+  row_cap_ = row_cap;
+  rows_emitted_ = 0;
+  emitted_ = 0;
+  stopped_ = false;
+  if (profiling_) {
+    step_prof_.assign(plan_.steps.size(), StepProf{});
+    opt_prof_.assign(plan_.optionals.size(), StepProf{});
+  }
+  timer_.Restart();
+  util::Status st = Step(0, on_row);
+  FlushStats();
+  return st;
+}
+
+/// Rolls the per-step counters up into the ExecStats aggregates:
+/// `triples_scanned` sums every index entry inspected; the
+/// `intermediate_bindings` total counts bindings produced across all
+/// steps — one per successful mandatory-step extension plus one per
+/// matched OPTIONAL extension (fall-throughs bind nothing).
+void JoinRunner::FlushStats() {
+  if (!profiling_) return;
+  uint64_t scanned = 0;
+  uint64_t produced = 0;
+  for (const StepProf& sp : step_prof_) {
+    scanned += sp.scanned;
+    produced += sp.rows_out;
+  }
+  for (const StepProf& op : opt_prof_) {
+    scanned += op.scanned;
+    produced += op.matched;
+  }
+  stats_->triples_scanned += scanned;
+  stats_->intermediate_bindings += produced;
+}
+
+util::Status JoinRunner::CheckTimeout() {
+  if (options_.timeout_millis == 0) return util::Status::OK();
+  if (++ops_ % kTimeoutCheckInterval != 0) return util::Status::OK();
+  if (timer_.ElapsedMillis() >
+      static_cast<double>(options_.timeout_millis)) {
+    return util::Status::Timeout("query exceeded " +
+                                 std::to_string(options_.timeout_millis) +
+                                 " ms");
+  }
+  return util::Status::OK();
+}
+
+Cell JoinRunner::LookupVar(const std::string& name) const {
+  int slot = plan_.SlotOf(name);
+  if (slot < 0 || bindings_[slot] == rdf::kInvalidTermId) {
+    return Cell::Null();
+  }
+  return Cell::OfTerm(bindings_[slot]);
+}
+
+util::Status JoinRunner::ApplyFiltersAfter(size_t step, bool* pass) {
+  *pass = true;
+  for (const PlannedFilter& pf : plan_.filters) {
+    if (pf.apply_after_step != step) continue;
+    Ebv v = EvalExpr(store_, *pf.expr,
+                     [this](const std::string& n) { return LookupVar(n); });
+    if (v != Ebv::kTrue) {
+      *pass = false;
+      return util::Status::OK();
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status JoinRunner::Step(size_t step, const RowSink& on_row) {
+  if (step == 0) {
+    bool pass = true;
+    RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(0, &pass));
+    if (!pass) return util::Status::OK();
+  }
+  if (step == plan_.steps.size()) {
+    return OptionalStep(0, on_row);
+  }
+  if (stopped_) return util::Status::OK();
+  TimeGuard time_guard(timing_ ? &step_prof_[step].micros : nullptr);
+  if (profiling_) ++step_prof_[step].rows_in;
+  const PhysicalPattern& pp = plan_.steps[step];
+  rdf::TriplePattern q;
+  auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
+    if (cid != rdf::kInvalidTermId) return cid;
+    if (slot >= 0 && bindings_[slot] != rdf::kInvalidTermId) {
+      return bindings_[slot];
+    }
+    return rdf::kInvalidTermId;
+  };
+  q.s = fix(pp.s_id, pp.s_slot);
+  q.p = fix(pp.p_id, pp.p_slot);
+  q.o = fix(pp.o_id, pp.o_slot);
+
+  for (const rdf::EncodedTriple& t : store_.Match(q)) {
+    if (stopped_) return util::Status::OK();
+    if (profiling_) ++step_prof_[step].scanned;
+    RE2X_RETURN_IF_ERROR(CheckTimeout());
+    // Bind unbound slots; verify repeated-variable consistency.
+    int newly_bound[3];
+    int n_new = 0;
+    bool consistent = true;
+    auto bind = [&](int slot, rdf::TermId value) {
+      if (slot < 0) return;
+      if (bindings_[slot] == rdf::kInvalidTermId) {
+        bindings_[slot] = value;
+        newly_bound[n_new++] = slot;
+      } else if (bindings_[slot] != value) {
+        consistent = false;
+      }
+    };
+    bind(pp.s_slot, t.s);
+    if (consistent) bind(pp.p_slot, t.p);
+    if (consistent) bind(pp.o_slot, t.o);
+    if (consistent) {
+      bool pass = true;
+      RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
+      if (pass) {
+        if (profiling_) ++step_prof_[step].rows_out;
+        util::Status st = Step(step + 1, on_row);
+        if (!st.ok()) {
+          for (int i = 0; i < n_new; ++i) {
+            bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+          }
+          return st;
+        }
+      }
+    }
+    for (int i = 0; i < n_new; ++i) {
+      bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+    }
+  }
+  return util::Status::OK();
+}
+
+// Left-join extension: tries to match optional block `block`; every
+// complete extension recurses into the next block, and a block with no
+// match falls through with its variables left unbound.
+util::Status JoinRunner::OptionalStep(size_t block, const RowSink& on_row) {
+  if (stopped_) return util::Status::OK();
+  if (block == plan_.optionals.size()) {
+    // Filters that could not be attached to the mandatory join.
+    for (const ExprPtr& f : plan_.post_optional_filters) {
+      Ebv v = EvalExpr(store_, *f, [this](const std::string& n) {
+        return LookupVar(n);
+      });
+      if (v != Ebv::kTrue) return util::Status::OK();
+    }
+    ++emitted_;
+    on_row(bindings_);
+    if (row_cap_ != 0 && ++rows_emitted_ >= row_cap_) stopped_ = true;
+    return CheckTimeout();
+  }
+  TimeGuard time_guard(timing_ ? &opt_prof_[block].micros : nullptr);
+  if (profiling_) ++opt_prof_[block].rows_in;
+  const PlannedOptional& po = plan_.optionals[block];
+  if (po.never_matches || po.steps.empty()) {
+    if (profiling_) ++opt_prof_[block].rows_out;
+    return OptionalStep(block + 1, on_row);
+  }
+  bool matched = false;
+  RE2X_RETURN_IF_ERROR(OptionalPattern(block, 0, &matched, on_row));
+  if (!matched && !stopped_) {
+    if (profiling_) ++opt_prof_[block].rows_out;
+    return OptionalStep(block + 1, on_row);
+  }
+  return util::Status::OK();
+}
+
+util::Status JoinRunner::OptionalPattern(size_t block, size_t idx,
+                                         bool* matched,
+                                         const RowSink& on_row) {
+  const PlannedOptional& po = plan_.optionals[block];
+  if (idx == po.steps.size()) {
+    *matched = true;
+    if (profiling_) {
+      ++opt_prof_[block].matched;
+      ++opt_prof_[block].rows_out;
+    }
+    return OptionalStep(block + 1, on_row);
+  }
+  const PhysicalPattern& pp = po.steps[idx];
+  rdf::TriplePattern q;
+  auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
+    if (cid != rdf::kInvalidTermId) return cid;
+    if (slot >= 0 && bindings_[slot] != rdf::kInvalidTermId) {
+      return bindings_[slot];
+    }
+    return rdf::kInvalidTermId;
+  };
+  q.s = fix(pp.s_id, pp.s_slot);
+  q.p = fix(pp.p_id, pp.p_slot);
+  q.o = fix(pp.o_id, pp.o_slot);
+  for (const rdf::EncodedTriple& t : store_.Match(q)) {
+    if (stopped_) return util::Status::OK();
+    if (profiling_) ++opt_prof_[block].scanned;
+    RE2X_RETURN_IF_ERROR(CheckTimeout());
+    int newly_bound[3];
+    int n_new = 0;
+    bool consistent = true;
+    auto bind = [&](int slot, rdf::TermId value) {
+      if (slot < 0) return;
+      if (bindings_[slot] == rdf::kInvalidTermId) {
+        bindings_[slot] = value;
+        newly_bound[n_new++] = slot;
+      } else if (bindings_[slot] != value) {
+        consistent = false;
+      }
+    };
+    bind(pp.s_slot, t.s);
+    if (consistent) bind(pp.p_slot, t.p);
+    if (consistent) bind(pp.o_slot, t.o);
+    if (consistent) {
+      util::Status st = OptionalPattern(block, idx + 1, matched, on_row);
+      if (!st.ok()) {
+        for (int i = 0; i < n_new; ++i) {
+          bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+        }
+        return st;
+      }
+    }
+    for (int i = 0; i < n_new; ++i) {
+      bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace re2xolap::sparql

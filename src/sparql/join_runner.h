@@ -1,0 +1,110 @@
+#ifndef RE2XOLAP_SPARQL_JOIN_RUNNER_H_
+#define RE2XOLAP_SPARQL_JOIN_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/executor.h"
+#include "sparql/plan.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace re2xolap::sparql {
+
+/// Per-operator observation slots for one join run. For mandatory steps
+/// `rows_out` counts successful (consistent + filter-passing) extensions;
+/// for OPTIONAL blocks `rows_out` counts rows passed downstream (matched
+/// extensions plus left-join fall-throughs) and `matched` only the
+/// extensions that bound new variables.
+struct StepProf {
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t matched = 0;
+  uint64_t scanned = 0;
+  double micros = 0;  // inclusive wall time, timing mode only
+};
+
+/// Non-owning, non-allocating reference to a complete-binding callback
+/// (`const std::vector<rdf::TermId>& -> void`). The referenced callable
+/// must outlive the JoinRunner::Run call it is passed to.
+class RowSink {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, RowSink>>>
+  RowSink(const F& f)  // NOLINT(runtime/explicit)
+      : obj_(&f), fn_([](const void* obj,
+                         const std::vector<rdf::TermId>& bindings) {
+          (*static_cast<const F*>(obj))(bindings);
+        }) {}
+
+  void operator()(const std::vector<rdf::TermId>& bindings) const {
+    fn_(obj_, bindings);
+  }
+
+ private:
+  const void* obj_;
+  void (*fn_)(const void*, const std::vector<rdf::TermId>&);
+};
+
+/// Short display form of a term for operator labels: IRIs by local name,
+/// literals quoted.
+std::string TermShortName(const rdf::TripleStore& store, rdf::TermId id);
+
+/// Operator label of one physical pattern, e.g. "scan (?s type Obs)".
+std::string PatternLabel(const rdf::TripleStore& store,
+                         const std::vector<std::string>& slot_names,
+                         const PhysicalPattern& pp, const char* prefix);
+
+/// Join executor: index nested loop join over the planned steps with
+/// early filters and timeout checks.
+class JoinRunner {
+ public:
+  JoinRunner(const rdf::TripleStore& store, const Plan& plan,
+             const ExecOptions& options, ExecStats* stats);
+
+  /// Runs the join; calls `on_row(bindings)` for every complete binding.
+  /// When `row_cap` is non-zero the join stops early after producing that
+  /// many rows (safe only when no later operator reorders/merges rows).
+  /// Returns non-OK on timeout. The per-step counters are flushed into the
+  /// ExecStats sink on both the success and the error path.
+  util::Status Run(RowSink on_row, uint64_t row_cap = 0);
+
+  const std::vector<StepProf>& step_prof() const { return step_prof_; }
+  const std::vector<StepProf>& opt_prof() const { return opt_prof_; }
+  uint64_t emitted() const { return emitted_; }
+  bool timing() const { return timing_; }
+
+ private:
+  void FlushStats();
+  util::Status CheckTimeout();
+  Cell LookupVar(const std::string& name) const;
+  util::Status ApplyFiltersAfter(size_t step, bool* pass);
+  util::Status Step(size_t step, const RowSink& on_row);
+  util::Status OptionalStep(size_t block, const RowSink& on_row);
+  util::Status OptionalPattern(size_t block, size_t idx, bool* matched,
+                               const RowSink& on_row);
+
+  const rdf::TripleStore& store_;
+  const Plan& plan_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+  const bool profiling_;  // counters + operator tree (any stats sink)
+  const bool timing_;     // per-step wall times (ExecOptions::profile)
+  std::vector<rdf::TermId> bindings_;
+  std::vector<StepProf> step_prof_;
+  std::vector<StepProf> opt_prof_;
+  util::WallTimer timer_;
+  uint64_t ops_ = 0;
+  uint64_t row_cap_ = 0;
+  uint64_t rows_emitted_ = 0;
+  uint64_t emitted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_JOIN_RUNNER_H_

@@ -1,0 +1,193 @@
+#include "sparql/post_ops.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "sparql/ebv.h"
+#include "util/timer.h"
+
+namespace re2xolap::sparql {
+
+void AggState::Update(double v) {
+  sum += v;
+  min = std::min(min, v);
+  max = std::max(max, v);
+  ++count;
+}
+
+double AggState::Finish(AggFunc f) const {
+  switch (f) {
+    case AggFunc::kSum:
+      return sum;
+    case AggFunc::kMin:
+      return count ? min : 0.0;
+    case AggFunc::kMax:
+      return count ? max : 0.0;
+    case AggFunc::kAvg:
+      return count ? sum / static_cast<double>(count) : 0.0;
+    case AggFunc::kCount:
+      return static_cast<double>(count);
+  }
+  return 0.0;
+}
+
+GroupAggregator::GroupAggregator(const rdf::TripleStore& store,
+                                 const std::vector<SelectItem>& items,
+                                 const std::vector<int>& item_slots,
+                                 std::vector<int> group_slots)
+    : store_(store),
+      items_(items),
+      item_slots_(item_slots),
+      group_slots_(std::move(group_slots)) {
+  for (const SelectItem& it : items_) n_aggs_ += it.is_aggregate ? 1 : 0;
+}
+
+void GroupAggregator::Accumulate(const std::vector<rdf::TermId>& bindings) {
+  std::vector<rdf::TermId> key(group_slots_.size());
+  for (size_t i = 0; i < group_slots_.size(); ++i) {
+    key[i] = group_slots_[i] >= 0 ? bindings[group_slots_[i]]
+                                  : rdf::kInvalidTermId;
+  }
+  // A pure GROUP BY without aggregates still registers the group here.
+  Group& g = groups_[key];
+  if (g.aggs.empty()) g.aggs.resize(n_aggs_);
+  size_t agg_idx = 0;
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (!items_[i].is_aggregate) continue;
+    AggState& state = g.aggs[agg_idx++];
+    if (items_[i].count_star) {
+      state.Update(0.0);  // COUNT(*): value irrelevant
+    } else {
+      int slot = item_slots_[i];
+      if (slot >= 0 && bindings[slot] != rdf::kInvalidTermId) {
+        if (items_[i].distinct_agg) {
+          state.UpdateDistinct(bindings[slot]);
+        } else {
+          state.Update(store_.term(bindings[slot]).AsDouble());
+        }
+      }
+    }
+  }
+}
+
+size_t GroupAggregator::Emit(const std::vector<Variable>& group_by,
+                             ResultTable* table) {
+  for (const auto& [key, group] : groups_) {
+    Row row(items_.size());
+    size_t agg_idx = 0;
+    size_t key_pos;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (items_[i].is_aggregate) {
+        const AggState& state = group.aggs[agg_idx];
+        row[i] = Cell::OfNumber(
+            items_[i].distinct_agg
+                ? static_cast<double>(state.distinct_terms.size())
+                : state.Finish(items_[i].func));
+        ++agg_idx;
+        continue;
+      }
+      // Find this variable's position in the group key.
+      key_pos = 0;
+      for (size_t gi = 0; gi < group_by.size(); ++gi) {
+        if (group_by[gi].name == items_[i].var.name) {
+          key_pos = gi;
+          break;
+        }
+      }
+      row[i] = key[key_pos] != rdf::kInvalidTermId ? Cell::OfTerm(key[key_pos])
+                                                   : Cell::Null();
+    }
+    table->AddRow(std::move(row));
+  }
+  return groups_.size();
+}
+
+void ApplyHaving(const rdf::TripleStore& store, const SelectQuery& query,
+                 ResultTable* table, std::vector<PostOpProf>* post_ops) {
+  if (query.having.empty()) return;
+  util::WallTimer op_timer;
+  std::vector<Row>& rows = table->mutable_rows();
+  const uint64_t rows_in = rows.size();
+  std::vector<Row> kept;
+  kept.reserve(rows.size());
+  for (Row& row : rows) {
+    auto lookup = [&](const std::string& name) -> Cell {
+      int idx = table->ColumnIndex(name);
+      return idx < 0 ? Cell::Null() : row[idx];
+    };
+    bool pass = true;
+    for (const ExprPtr& h : query.having) {
+      if (EvalExpr(store, *h, lookup) != Ebv::kTrue) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) kept.push_back(std::move(row));
+  }
+  rows.swap(kept);
+  post_ops->push_back(
+      {"having", rows_in, rows.size(), op_timer.ElapsedMillis()});
+}
+
+void ApplyDistinct(const rdf::TripleStore& store, ResultTable* table,
+                   std::vector<PostOpProf>* post_ops) {
+  util::WallTimer op_timer;
+  std::vector<Row>& rows = table->mutable_rows();
+  const uint64_t rows_in = rows.size();
+  auto row_less = [&](const Row& a, const Row& b) {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = OrderCells(store, a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::sort(rows.begin(), rows.end(), row_less);
+  rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+  post_ops->push_back(
+      {"distinct", rows_in, rows.size(), op_timer.ElapsedMillis()});
+}
+
+util::Status ApplyOrderBy(const rdf::TripleStore& store,
+                          const SelectQuery& query, ResultTable* table,
+                          std::vector<PostOpProf>* post_ops) {
+  util::WallTimer op_timer;
+  std::vector<std::pair<int, bool>> keys;  // column index, ascending
+  for (const OrderKey& k : query.order_by) {
+    int idx = table->ColumnIndex(k.column);
+    if (idx < 0) {
+      return util::Status::InvalidArgument(
+          "ORDER BY references unknown column ?" + k.column);
+    }
+    keys.emplace_back(idx, k.ascending);
+  }
+  std::vector<Row>& rows = table->mutable_rows();
+  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
+    for (auto [idx, asc] : keys) {
+      int c = OrderCells(store, a[idx], b[idx]);
+      if (c != 0) return asc ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  post_ops->push_back(
+      {"order-by", rows.size(), rows.size(), op_timer.ElapsedMillis()});
+  return util::Status::OK();
+}
+
+void ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
+                      std::vector<PostOpProf>* post_ops) {
+  util::WallTimer op_timer;
+  std::vector<Row>& rows = table->mutable_rows();
+  const uint64_t rows_in = rows.size();
+  size_t begin = std::min<size_t>(query.offset, rows.size());
+  size_t end = rows.size();
+  if (query.limit.has_value()) {
+    end = std::min<size_t>(begin + *query.limit, rows.size());
+  }
+  std::vector<Row> sliced(rows.begin() + begin, rows.begin() + end);
+  rows.swap(sliced);
+  post_ops->push_back(
+      {"limit/offset", rows_in, rows.size(), op_timer.ElapsedMillis()});
+}
+
+}  // namespace re2xolap::sparql

@@ -1,0 +1,107 @@
+#ifndef RE2XOLAP_SPARQL_POST_OPS_H_
+#define RE2XOLAP_SPARQL_POST_OPS_H_
+
+#include <cstdint>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/ast.h"
+#include "sparql/result_table.h"
+#include "util/status.h"
+
+namespace re2xolap::sparql {
+
+/// Coarse observation of one post-join operator (HAVING / DISTINCT /
+/// ORDER BY / LIMIT-OFFSET) for the profile tree: two clock reads per
+/// operator per query.
+struct PostOpProf {
+  const char* label;
+  uint64_t rows_in;
+  uint64_t rows_out;
+  double millis;
+};
+
+/// Running state of one aggregate.
+struct AggState {
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t count = 0;
+  std::set<rdf::TermId> distinct_terms;  // only used by COUNT(DISTINCT ?v)
+
+  void Update(double v);
+  void UpdateDistinct(rdf::TermId id) { distinct_terms.insert(id); }
+  double Finish(AggFunc f) const;
+};
+
+/// FNV-1a over a group-key vector of term ids.
+struct TermVecHash {
+  size_t operator()(const std::vector<rdf::TermId>& v) const {
+    size_t h = 14695981039346656037ULL;
+    for (rdf::TermId id : v) {
+      h ^= id;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+/// Hash-grouping aggregation: accumulates join bindings into per-group
+/// aggregate states, then emits one output row per group.
+class GroupAggregator {
+ public:
+  /// `items` / `item_slots` are the projected columns and their binding
+  /// slots (-1 for COUNT(*)); `group_slots` the GROUP BY slots in declared
+  /// order. All referenced vectors must outlive the aggregator.
+  GroupAggregator(const rdf::TripleStore& store,
+                  const std::vector<SelectItem>& items,
+                  const std::vector<int>& item_slots,
+                  std::vector<int> group_slots);
+
+  /// Folds one complete join binding into its group.
+  void Accumulate(const std::vector<rdf::TermId>& bindings);
+
+  /// Emits one row per group into `table` (group-by columns resolved via
+  /// `group_by` order). Returns the number of groups.
+  size_t Emit(const std::vector<Variable>& group_by, ResultTable* table);
+
+  size_t group_count() const { return groups_.size(); }
+
+ private:
+  struct Group {
+    std::vector<AggState> aggs;
+  };
+
+  const rdf::TripleStore& store_;
+  const std::vector<SelectItem>& items_;
+  const std::vector<int>& item_slots_;
+  std::vector<int> group_slots_;
+  size_t n_aggs_ = 0;
+  std::unordered_map<std::vector<rdf::TermId>, Group, TermVecHash> groups_;
+};
+
+/// HAVING: keeps rows whose post-aggregation filters all evaluate to true
+/// (lookups by output column name). Appends one profile record.
+void ApplyHaving(const rdf::TripleStore& store, const SelectQuery& query,
+                 ResultTable* table, std::vector<PostOpProf>* post_ops);
+
+/// DISTINCT: sorts rows canonically and drops duplicates.
+void ApplyDistinct(const rdf::TripleStore& store, ResultTable* table,
+                   std::vector<PostOpProf>* post_ops);
+
+/// ORDER BY: stable-sorts rows by the query's sort keys. Fails when a key
+/// references an unknown output column.
+util::Status ApplyOrderBy(const rdf::TripleStore& store,
+                          const SelectQuery& query, ResultTable* table,
+                          std::vector<PostOpProf>* post_ops);
+
+/// OFFSET / LIMIT: slices the row window.
+void ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
+                      std::vector<PostOpProf>* post_ops);
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_POST_OPS_H_

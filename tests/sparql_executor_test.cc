@@ -149,6 +149,42 @@ TEST_F(ExecutorTest, FilterLogicalOps) {
   EXPECT_EQ(t2.row_count(), 2u);  // 120, 500
 }
 
+TEST_F(ExecutorTest, EmptyStringEbvIsFalseForVariablesAndConstants) {
+  // Regression: a variable bound to an empty-string literal used to
+  // evaluate to EBV true while the identical constant evaluated to false.
+  // Both must follow the constant-case semantics: "" is false, any
+  // non-empty string is true.
+  rdf::TripleStore s;
+  using rdf::Term;
+  Term labeled = Term::Iri("http://test/labeled");
+  Term blank = Term::Iri("http://test/blank");
+  Term p = Term::Iri("http://test/tag");
+  s.Add(labeled, p, Term::StringLiteral("x"));
+  s.Add(blank, p, Term::StringLiteral(""));
+  s.Freeze();
+
+  auto via_var = ExecuteText(
+      s, "SELECT ?s WHERE { ?s <http://test/tag> ?t . FILTER (?t) }");
+  ASSERT_TRUE(via_var.ok()) << via_var.status().ToString();
+  EXPECT_EQ(via_var->row_count(), 1u);  // only the non-empty tag passes
+
+  auto empty_const = ExecuteText(
+      s, "SELECT ?s WHERE { ?s <http://test/tag> ?t . FILTER (\"\") }");
+  ASSERT_TRUE(empty_const.ok());
+  EXPECT_EQ(empty_const->row_count(), 0u);
+
+  auto nonempty_const = ExecuteText(
+      s, "SELECT ?s WHERE { ?s <http://test/tag> ?t . FILTER (\"x\") }");
+  ASSERT_TRUE(nonempty_const.ok());
+  EXPECT_EQ(nonempty_const->row_count(), 2u);
+
+  // Negation through a variable agrees with the constant case too.
+  auto negated = ExecuteText(
+      s, "SELECT ?s WHERE { ?s <http://test/tag> ?t . FILTER (!?t) }");
+  ASSERT_TRUE(negated.ok());
+  EXPECT_EQ(negated->row_count(), 1u);  // only the empty tag
+}
+
 TEST_F(ExecutorTest, Having) {
   ResultTable t = Run(R"(
     SELECT ?dest (SUM(?v) AS ?total) WHERE {
