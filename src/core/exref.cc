@@ -162,10 +162,29 @@ std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
   return out;
 }
 
+namespace {
+
+/// Folds the per-index skip markers into a Degradation report — called
+/// once on the calling thread after the fan-out, so it is race-free.
+void ReportSkipped(const std::vector<uint8_t>& skipped, size_t n_states,
+                   util::Degradation* degradation) {
+  if (degradation == nullptr) return;
+  size_t n_skipped = 0;
+  for (uint8_t s : skipped) n_skipped += s;
+  if (n_skipped == 0) return;
+  degradation->truncated = true;
+  degradation->degraded_reason =
+      std::to_string(n_skipped) + " of " + std::to_string(n_states) +
+      " preview evaluations skipped: deadline/budget exhausted";
+}
+
+}  // namespace
+
 std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
     const rdf::TripleStore& store, const std::vector<ExploreState>& states,
     const sparql::ExecOptions& exec, util::ThreadPool* pool,
-    std::vector<sparql::ExecStats>* stats) {
+    std::vector<sparql::ExecStats>* stats, const util::ExecGuard* guard,
+    util::Degradation* degradation) {
   obs::Span span("exref.evaluate_states");
   span.SetAttr("states", static_cast<uint64_t>(states.size()));
   std::vector<util::Result<sparql::ResultTable>> out;
@@ -174,7 +193,18 @@ std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
     out.emplace_back(util::Status::Internal("not evaluated"));
   }
   if (stats != nullptr) stats->assign(states.size(), sparql::ExecStats{});
+  std::vector<uint8_t> skipped(states.size(), 0);
   auto eval_one = [&](size_t i) {
+    // Min-progress: state 0 always runs, so even an expired deadline
+    // yields one real preview; later states degrade to skipped slots.
+    if (guard != nullptr && i > 0) {
+      util::Status g = guard->Check();
+      if (!g.ok()) {
+        skipped[i] = 1;
+        out[i] = std::move(g);
+        return;
+      }
+    }
     out[i] = sparql::Execute(store, states[i].query, exec,
                              stats != nullptr ? &(*stats)[i] : nullptr);
   };
@@ -183,13 +213,15 @@ std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
   } else {
     for (size_t i = 0; i < states.size(); ++i) eval_one(i);
   }
+  ReportSkipped(skipped, states.size(), degradation);
   return out;
 }
 
 std::vector<util::Result<engine::TableHandle>> EvaluateStatesCached(
     engine::QueryEngine& engine, const std::vector<ExploreState>& states,
     const sparql::ExecOptions& exec, util::ThreadPool* pool,
-    std::vector<sparql::ExecStats>* stats) {
+    std::vector<sparql::ExecStats>* stats, const util::ExecGuard* guard,
+    util::Degradation* degradation) {
   obs::Span span("exref.evaluate_states");
   span.SetAttr("states", static_cast<uint64_t>(states.size()));
   std::vector<util::Result<engine::TableHandle>> out;
@@ -198,7 +230,16 @@ std::vector<util::Result<engine::TableHandle>> EvaluateStatesCached(
     out.emplace_back(util::Status::Internal("not evaluated"));
   }
   if (stats != nullptr) stats->assign(states.size(), sparql::ExecStats{});
+  std::vector<uint8_t> skipped(states.size(), 0);
   auto eval_one = [&](size_t i) {
+    if (guard != nullptr && i > 0) {
+      util::Status g = guard->Check();
+      if (!g.ok()) {
+        skipped[i] = 1;
+        out[i] = std::move(g);
+        return;
+      }
+    }
     out[i] = engine.Execute(states[i].query, exec,
                             stats != nullptr ? &(*stats)[i] : nullptr);
   };
@@ -207,6 +248,7 @@ std::vector<util::Result<engine::TableHandle>> EvaluateStatesCached(
   } else {
     for (size_t i = 0; i < states.size(); ++i) eval_one(i);
   }
+  ReportSkipped(skipped, states.size(), degradation);
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include "engine/query_engine.h"
 #include "sparql/executor.h"
 #include "sparql/result_table.h"
+#include "util/exec_guard.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -67,20 +68,33 @@ std::vector<ExploreState> Disaggregate(const VirtualSchemaGraph& vsg,
 /// ExRef counterpart of ReOLAP's parallel validation: after a refinement
 /// step produces N candidate queries, their (read-only) evaluations are
 /// independent probes against the store.
+///
+/// Graceful degradation: when `guard` is supplied, states beyond the
+/// first are skipped once the guard trips — their slots hold the guard's
+/// error status (kTimeout / kResourceExhausted / kCancelled) while state
+/// 0 is always evaluated, so a preview round under an expired deadline
+/// still produces at least one real result. `degradation` (when non-null)
+/// reports whether and why slots were skipped; it is written only after
+/// the fan-out completes, race-free.
 std::vector<util::Result<sparql::ResultTable>> EvaluateStates(
     const rdf::TripleStore& store, const std::vector<ExploreState>& states,
     const sparql::ExecOptions& exec = {}, util::ThreadPool* pool = nullptr,
-    std::vector<sparql::ExecStats>* stats = nullptr);
+    std::vector<sparql::ExecStats>* stats = nullptr,
+    const util::ExecGuard* guard = nullptr,
+    util::Degradation* degradation = nullptr);
 
 /// Engine-routed variant of EvaluateStates: every state executes through
 /// `engine`, so repeated evaluations of the same refinement (across
 /// rounds, or shared prefixes re-offered after Back()) are served from
 /// the engine's result cache and planning is amortized across threads.
 /// Results are handles into the cache — copy-free, shared, immutable.
+/// `guard` / `degradation` behave exactly as in EvaluateStates.
 std::vector<util::Result<engine::TableHandle>> EvaluateStatesCached(
     engine::QueryEngine& engine, const std::vector<ExploreState>& states,
     const sparql::ExecOptions& exec = {}, util::ThreadPool* pool = nullptr,
-    std::vector<sparql::ExecStats>* stats = nullptr);
+    std::vector<sparql::ExecStats>* stats = nullptr,
+    const util::ExecGuard* guard = nullptr,
+    util::Degradation* degradation = nullptr);
 
 /// --- Problem 2b: example-driven Subset ------------------------------------
 

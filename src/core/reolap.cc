@@ -11,6 +11,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparql/executor.h"
+#include "util/failpoint.h"
 #include "util/string_utils.h"
 #include "util/timer.h"
 
@@ -84,7 +85,7 @@ std::vector<Interpretation> Reolap::MatchValue(
   }
 
   std::vector<rdf::TermId> literals =
-      text_->Match(value, options.max_matches_per_value);
+      text_->Match(value, options.max_matches_per_value, options.guard);
   for (rdf::TermId lit : literals) {
     // Subjects holding this literal value are candidate dimension members.
     for (const rdf::EncodedTriple& t : store_->Match(
@@ -192,6 +193,9 @@ bool Reolap::ValidateCombo(const std::vector<Interpretation>& combo,
   static obs::Counter& probes_total =
       obs::MetricsRegistry::Global().GetCounter("reolap.probes");
   probes_total.Inc();
+  // Fault-injection site: an injected error makes this probe report "no
+  // observation", exercising the no-valid-candidate paths downstream.
+  if (!util::FailpointStatus("reolap.validate").ok()) return false;
   // Probe: SELECT ?obs WHERE { <paths pinned to the members> } LIMIT 1.
   using sparql::TriplePatternAst;
   using sparql::Variable;
@@ -231,9 +235,21 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
   if (example_tuple.empty()) {
     return util::Status::InvalidArgument("example tuple is empty");
   }
+  // Overall-deadline guard: the caller's guard when supplied, otherwise a
+  // local one derived from overall_deadline_millis. Expiry degrades the
+  // synthesis (partial-but-validated candidates, truncated flag in stats)
+  // rather than erroring; the first validation block always completes, so
+  // even an already expired deadline yields a usable answer.
+  util::ExecGuard local_guard;
+  ReolapOptions opts = options;
+  if (opts.guard == nullptr && opts.overall_deadline_millis > 0) {
+    local_guard = util::ExecGuard::WithDeadline(opts.overall_deadline_millis);
+    opts.guard = &local_guard;
+  }
+  const util::ExecGuard* guard = opts.guard;
   std::unique_ptr<util::ThreadPool> local_pool;
-  util::ThreadPool* pool = ResolvePool(options, &local_pool);
-  if (stats) stats->threads_used = EffectiveThreads(options);
+  util::ThreadPool* pool = ResolvePool(opts, &local_pool);
+  if (stats) stats->threads_used = EffectiveThreads(opts);
   obs::Span synth_span("reolap.synthesize");
   synth_span.SetAttr("values", static_cast<uint64_t>(example_tuple.size()));
   util::WallTimer timer;
@@ -245,7 +261,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
   {
     obs::Span match_span("reolap.match");
     auto match_one = [&](size_t i) {
-      dims[i] = MatchValue(example_tuple[i], options);
+      dims[i] = MatchValue(example_tuple[i], opts);
     };
     if (pool != nullptr && example_tuple.size() > 1) {
       pool->ParallelFor(dims.size(), match_one);
@@ -325,12 +341,22 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
     combine_ms += timer.ElapsedMillis();
 
     // Probe the block concurrently; verdicts land in per-index slots.
+    // Per-probe timeouts are clamped to the remaining overall budget
+    // (floored at 1 ms so the min-progress block still runs real probes).
+    uint64_t probe_timeout = opts.validation_timeout_millis;
+    if (guard != nullptr && guard->has_deadline()) {
+      uint64_t remaining = guard->remaining_millis();
+      if (probe_timeout == 0 || remaining < probe_timeout) {
+        probe_timeout = remaining;
+      }
+      probe_timeout = std::max<uint64_t>(1, probe_timeout);
+    }
     timer.Restart();
     std::vector<uint8_t> valid(pending.size(), 1);
-    if (options.validate && !pending.empty()) {
+    if (opts.validate && !pending.empty()) {
       auto probe = [&](size_t i) {
         valid[i] =
-            ValidateCombo(pending[i], options.validation_timeout_millis) ? 1
+            ValidateCombo(pending[i], probe_timeout) ? 1
                                                                          : 0;
       };
       if (pool != nullptr) {
@@ -350,11 +376,24 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
         // Different members on the same path family produce the same
         // query shape; the paper still treats them as one query per
         // combination of *levels*. Dedupe output queries by path set.
-        out.push_back(BuildQuery(pending[i], options));
-        if (out.size() >= options.max_queries) capped = true;
+        out.push_back(BuildQuery(pending[i], opts));
+        if (out.size() >= opts.max_queries) capped = true;
       }
     }
     combine_ms += timer.ElapsedMillis();
+
+    // Degradation point: checked only *after* a block has been fully
+    // consumed, so the first block's candidates always survive.
+    if (guard != nullptr && !exhausted && !capped && !guard->Check().ok()) {
+      if (stats) {
+        stats->truncated = true;
+        stats->degraded_reason =
+            "overall deadline expired after " +
+            std::to_string(stats->combinations_checked) +
+            " combinations; remaining combinations skipped";
+      }
+      break;
+    }
   }
   combine_span.End();
 
@@ -373,7 +412,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::Synthesize(
     stats->combine_millis = combine_ms;
     stats->validate_millis = validate_ms;
   }
-  if (options.rank_candidates) RankCandidates(*vsg_, &unique);
+  if (opts.rank_candidates) RankCandidates(*vsg_, &unique);
   synth_span.SetAttr("candidates", static_cast<uint64_t>(unique.size()));
   return unique;
 }
@@ -399,9 +438,32 @@ util::Result<std::vector<CandidateQuery>> Reolap::SynthesizeMulti(
   util::ThreadPool* pool = ResolvePool(options, &local_pool);
   ReolapOptions pooled_options = options;
   pooled_options.pool = pool;
+  // One guard spans the nested Synthesize and the multi-tuple filtering,
+  // so the overall deadline covers the whole call.
+  util::ExecGuard local_guard;
+  if (pooled_options.guard == nullptr &&
+      pooled_options.overall_deadline_millis > 0) {
+    local_guard =
+        util::ExecGuard::WithDeadline(pooled_options.overall_deadline_millis);
+    pooled_options.guard = &local_guard;
+  }
+  const util::ExecGuard* guard = pooled_options.guard;
   RE2X_ASSIGN_OR_RETURN(std::vector<CandidateQuery> candidates,
                         Synthesize(example_tuples[0], pooled_options, stats));
   if (example_tuples.size() == 1) return candidates;
+
+  // Degradation point: when the budget is already gone, skip the
+  // multi-tuple filtering and hand back the (validated) first-tuple
+  // candidates instead of erroring — explicitly flagged as unfiltered.
+  if (guard != nullptr && !guard->Check().ok()) {
+    if (stats) {
+      stats->truncated = true;
+      stats->degraded_reason =
+          "overall deadline expired before multi-tuple filtering; "
+          "candidates reflect the first example tuple only";
+    }
+    return candidates;
+  }
 
   // Interpretations per (tuple >= 1, column), computed once; the
   // (tuple, column) MATCHES() lookups are independent and fan out.
@@ -411,7 +473,7 @@ util::Result<std::vector<CandidateQuery>> Reolap::SynthesizeMulti(
   auto match_one = [&](size_t flat) {
     size_t t = 1 + flat / arity;
     size_t j = flat % arity;
-    interps[t][j] = MatchValue(example_tuples[t][j], options);
+    interps[t][j] = MatchValue(example_tuples[t][j], pooled_options);
   };
   const size_t n_lookups = (example_tuples.size() - 1) * arity;
   if (pool != nullptr) {

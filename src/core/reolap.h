@@ -9,6 +9,7 @@
 #include "rdf/text_index.h"
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
+#include "util/exec_guard.h"
 #include "util/result.h"
 #include "util/thread_pool.h"
 
@@ -74,6 +75,17 @@ struct ReolapOptions {
   /// null and the effective thread count exceeds 1, a pool local to the
   /// Synthesize call is created.
   util::ThreadPool* pool = nullptr;
+  /// Overall wall-clock budget for one Synthesize/SynthesizeMulti call
+  /// (0 = unlimited). Expiry degrades the call instead of erroring:
+  /// the first validation block is always processed (min-progress), later
+  /// blocks are skipped, per-probe timeouts are clamped to the remaining
+  /// budget, and the partial candidate set comes back flagged with
+  /// ReolapStats::truncated and degraded_reason.
+  uint64_t overall_deadline_millis = 0;
+  /// Optional externally owned guard (e.g. a session-wide deadline)
+  /// enforcing the same graceful degradation; takes precedence over
+  /// `overall_deadline_millis`. Non-owning; must outlive the call.
+  const util::ExecGuard* guard = nullptr;
 };
 
 /// Counters reported by the Figure 7 benches. Counters are aggregated on
@@ -87,6 +99,11 @@ struct ReolapStats {
   double match_millis = 0;
   double combine_millis = 0;
   double validate_millis = 0;
+  /// Graceful-degradation flags: true when the overall deadline expired
+  /// mid-synthesis and the candidate set is partial (but every returned
+  /// candidate is fully validated); `degraded_reason` says why and where.
+  bool truncated = false;
+  std::string degraded_reason;
 };
 
 /// ReOLAP (paper Algorithm 1): reverse-engineers SPARQL OLAP queries from a

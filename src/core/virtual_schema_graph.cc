@@ -96,9 +96,20 @@ util::Result<VirtualSchemaGraph> VirtualSchemaGraph::Build(
     return util::Status::NotFound("no observations of class <" +
                                   observation_class_iri + ">");
   }
+  uint64_t guard_polls = 0;
+  // Poll interval for the crawl loops: one per-member scan is cheap, so a
+  // clock read every iteration would dominate on wide cubes.
+  constexpr uint64_t kGuardPollInterval = 256;
+  auto poll_guard = [&]() -> util::Status {
+    if (options.guard == nullptr) return util::Status::OK();
+    if (++guard_polls % kGuardPollInterval != 0) return util::Status::OK();
+    return options.guard->Check();
+  };
+
   for (const rdf::EncodedTriple& typing : obs_triples) {
     rdf::TermId obs = typing.s;
     if (stats) ++stats->members_visited;
+    RE2X_RETURN_IF_ERROR(poll_guard());
     bump_scans();
     for (const rdf::EncodedTriple& t : store.Match(
              rdf::TriplePattern{obs, rdf::kInvalidTermId,
@@ -177,6 +188,7 @@ util::Result<VirtualSchemaGraph> VirtualSchemaGraph::Build(
     std::set<rdf::TermId> level_attrs;
     for (rdf::TermId m : vsg.nodes_[nid].members) {
       if (stats) ++stats->members_visited;
+      RE2X_RETURN_IF_ERROR(poll_guard());
       bump_scans();
       for (const rdf::EncodedTriple& t : store.Match(
                rdf::TriplePattern{m, rdf::kInvalidTermId,

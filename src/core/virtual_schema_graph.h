@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rdf/triple_store.h"
+#include "util/exec_guard.h"
 #include "util/result.h"
 
 namespace re2xolap::core {
@@ -53,6 +54,11 @@ struct VsgOptions {
   /// Levels whose member count exceeds this are not expanded further
   /// (safety valve for pathological graphs); 0 = no cap.
   size_t max_members_per_level = 0;
+  /// Optional guardrails polled during the crawl loops (observation
+  /// classification and hierarchy expansion). A tripped guard aborts the
+  /// Build with its kTimeout / kResourceExhausted / kCancelled status.
+  /// Non-owning; must outlive the Build call.
+  const util::ExecGuard* guard = nullptr;
 };
 
 /// Statistics of a bootstrap run (reported in Figure 6c benches).

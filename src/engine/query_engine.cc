@@ -1,13 +1,16 @@
 #include "engine/query_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sparql/ast.h"
 #include "sparql/parser.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace re2xolap::engine {
@@ -21,6 +24,7 @@ struct EngineMetrics {
   obs::Counter& result_hits;
   obs::Counter& result_misses;
   obs::Counter& result_evictions;
+  obs::Counter& retries;
   obs::Histogram& hit_millis;
   obs::Histogram& miss_millis;
 
@@ -33,6 +37,7 @@ struct EngineMetrics {
         reg.GetCounter("engine.result_cache.hits"),
         reg.GetCounter("engine.result_cache.misses"),
         reg.GetCounter("engine.result_cache.evictions"),
+        reg.GetCounter("engine.retries"),
         reg.GetHistogram("engine.execute.hit.millis"),
         reg.GetHistogram("engine.execute.miss.millis"),
     };
@@ -111,6 +116,7 @@ EngineCacheStats QueryEngine::cache_stats() const {
   s.result_hits = result_hits_.load(std::memory_order_relaxed);
   s.result_misses = result_misses_.load(std::memory_order_relaxed);
   s.result_evictions = result_evictions_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(plan_mu_);
     s.plan_entries = plan_lru_.size();
@@ -166,6 +172,9 @@ TableHandle QueryEngine::ResultLookup(const std::string& key) {
 
 void QueryEngine::ResultInsert(const std::string& key,
                                const TableHandle& table) {
+  // Fault-injection site: `cache.insert=skip` turns the cache write into
+  // a no-op (the caller still gets its result; only reuse is lost).
+  if (util::FailpointSkip("cache.insert")) return;
   const size_t cost = EstimateTableCost(*table);
   const size_t budget =
       std::max<size_t>(1, config_.result_cache_bytes / shards_.size());
@@ -199,6 +208,12 @@ util::Result<TableHandle> QueryEngine::Execute(
   obs::Span span("engine.execute");
   util::WallTimer timer;
 
+  // An already expired / cancelled / over-budget request does no work at
+  // all — not even a cache probe.
+  if (options.guard != nullptr) {
+    RE2X_RETURN_IF_ERROR(options.guard->Check());
+  }
+
   const uint64_t epoch = SyncEpoch();
   const std::string key = CacheKey(query, options, epoch);
 
@@ -224,11 +239,12 @@ util::Result<TableHandle> QueryEngine::Execute(
     metrics.result_misses.Inc();
   }
 
-  util::Result<sparql::ResultTable> executed = util::Status::Internal("");
-  // ASK queries are rewritten into existence probes before planning, so a
+  // Resolve the plan once (a cache hit or a single planning pass); ASK
+  // queries are rewritten into existence probes before planning, so a
   // cached plan can never apply to them.
+  std::shared_ptr<const sparql::Plan> plan;
   if (config_.plan_cache_capacity > 0 && !query.is_ask) {
-    std::shared_ptr<const sparql::Plan> plan = PlanLookup(key);
+    plan = PlanLookup(key);
     if (plan != nullptr) {
       plan_hits_.fetch_add(1, std::memory_order_relaxed);
       metrics.plan_hits.Inc();
@@ -244,9 +260,32 @@ util::Result<TableHandle> QueryEngine::Execute(
       plan = std::make_shared<const sparql::Plan>(std::move(planned).value());
       PlanInsert(key, plan);
     }
-    executed = sparql::Execute(store_, query, *plan, options, stats);
-  } else {
-    executed = sparql::Execute(store_, query, options, stats);
+  }
+
+  // Execution proper, with bounded retry on transient (kUnavailable)
+  // failures — including those injected via the `engine.execute`
+  // failpoint. The cache lookups and planning above run exactly once per
+  // logical Execute, so hit/miss counters are unaffected by retries.
+  util::Result<sparql::ResultTable> executed = util::Status::Internal("");
+  for (int attempt = 0;; ++attempt) {
+    util::Status fp = util::FailpointStatus("engine.execute");
+    if (!fp.ok()) {
+      executed = fp;
+    } else if (plan != nullptr) {
+      executed = sparql::Execute(store_, query, *plan, options, stats);
+    } else {
+      executed = sparql::Execute(store_, query, options, stats);
+    }
+    if (executed.ok() || !executed.status().IsUnavailable() ||
+        attempt >= config_.max_transient_retries) {
+      break;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    metrics.retries.Inc();
+    if (config_.retry_backoff_millis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          config_.retry_backoff_millis << attempt));
+    }
   }
   if (!executed.ok()) return executed.status();
 

@@ -35,6 +35,13 @@ struct EngineConfig {
   /// the byte budget and its own LRU list, so concurrent validation
   /// threads rarely contend on one mutex.
   size_t result_cache_shards = 4;
+  /// Bounded retry for transient (kUnavailable) execution failures: total
+  /// attempts = 1 + max_transient_retries. 0 disables retry. Cache
+  /// lookups and planning are not repeated — only the execution proper.
+  int max_transient_retries = 2;
+  /// Backoff before retry k is `retry_backoff_millis << (k-1)` (simple
+  /// exponential). 0 retries immediately.
+  uint64_t retry_backoff_millis = 1;
 };
 
 /// Point-in-time counters of one engine instance (global metrics aggregate
@@ -46,6 +53,7 @@ struct EngineCacheStats {
   uint64_t result_hits = 0;
   uint64_t result_misses = 0;
   uint64_t result_evictions = 0;
+  uint64_t retries = 0;  // transient-failure re-executions
   size_t plan_entries = 0;
   size_t result_entries = 0;
   size_t result_bytes = 0;  // resident cost estimate across shards
@@ -79,6 +87,15 @@ struct EngineCacheStats {
 /// (ExecOptions::profile) bypass the result cache because EXPLAIN ANALYZE
 /// must observe a real execution. On a result-cache hit the ExecStats
 /// sink is zeroed — a hit scans nothing and plans nothing.
+///
+/// Robustness: an ExecOptions::guard is checked once on entry (an already
+/// expired/cancelled request does no work, not even a cache probe) and
+/// then enforced by the executor; guard violations are errors and are
+/// therefore never cached. Transient (kUnavailable) execution failures —
+/// including those injected via the `engine.execute` failpoint — are
+/// retried up to EngineConfig::max_transient_retries times with
+/// exponential backoff; cache counters still count once per logical
+/// Execute because only the execution proper is repeated.
 class QueryEngine {
  public:
   explicit QueryEngine(const rdf::TripleStore& store,
@@ -151,6 +168,7 @@ class QueryEngine {
   std::atomic<uint64_t> plan_hits_{0}, plan_misses_{0}, plan_evictions_{0};
   std::atomic<uint64_t> result_hits_{0}, result_misses_{0},
       result_evictions_{0};
+  std::atomic<uint64_t> retries_{0};
 };
 
 /// Estimated resident bytes of a materialized table (container overheads

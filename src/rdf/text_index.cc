@@ -25,7 +25,9 @@ std::vector<TermId> TextIndex::ExactMatch(std::string_view text) const {
 }
 
 std::vector<TermId> TextIndex::KeywordMatch(std::string_view query,
-                                            size_t limit) const {
+                                            size_t limit,
+                                            const util::ExecGuard* guard)
+    const {
   std::vector<std::string> tokens = util::TokenizeWords(query);
   if (tokens.empty()) return {};
   // Gather posting lists; missing token => no match.
@@ -42,6 +44,9 @@ std::vector<TermId> TextIndex::KeywordMatch(std::string_view query,
   std::vector<TermId> result = *lists[0];
   std::vector<TermId> next;
   for (size_t i = 1; i < lists.size() && !result.empty(); ++i) {
+    // Degrade, don't error: an expired deadline stops the refinement and
+    // keeps the candidates intersected so far (a superset of the answer).
+    if (guard != nullptr && !guard->Check().ok()) break;
     next.clear();
     std::set_intersection(result.begin(), result.end(), lists[i]->begin(),
                           lists[i]->end(), std::back_inserter(next));
@@ -51,14 +56,14 @@ std::vector<TermId> TextIndex::KeywordMatch(std::string_view query,
   return result;
 }
 
-std::vector<TermId> TextIndex::Match(std::string_view query,
-                                     size_t limit) const {
+std::vector<TermId> TextIndex::Match(std::string_view query, size_t limit,
+                                     const util::ExecGuard* guard) const {
   std::vector<TermId> exact = ExactMatch(query);
   if (!exact.empty()) {
     if (limit > 0 && exact.size() > limit) exact.resize(limit);
     return exact;
   }
-  return KeywordMatch(query, limit);
+  return KeywordMatch(query, limit, guard);
 }
 
 size_t TextIndex::MemoryUsage() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "rdf/triple_store.h"
+#include "util/exec_guard.h"
 
 namespace re2xolap::rdf {
 
@@ -39,13 +40,20 @@ class TextIndex {
 
   /// Literal term ids containing all word tokens of `query`.
   /// Results are sorted by id; at most `limit` results are returned
-  /// (0 = unlimited).
-  std::vector<TermId> KeywordMatch(std::string_view query,
-                                   size_t limit = 0) const;
+  /// (0 = unlimited). When a `guard` is supplied, it is polled between
+  /// posting-list intersections: on expiry the intersection stops early
+  /// and the partial (superset) candidate list accumulated so far is
+  /// returned, truncated to `limit` — a degraded-but-usable answer rather
+  /// than an error (callers that need the distinction should check the
+  /// guard themselves afterwards).
+  std::vector<TermId> KeywordMatch(std::string_view query, size_t limit = 0,
+                                   const util::ExecGuard* guard = nullptr)
+      const;
 
   /// Exact match if any, otherwise keyword match. This is the behavior
   /// ReOLAP's MATCHES() uses.
-  std::vector<TermId> Match(std::string_view query, size_t limit = 0) const;
+  std::vector<TermId> Match(std::string_view query, size_t limit = 0,
+                            const util::ExecGuard* guard = nullptr) const;
 
   size_t indexed_literal_count() const { return indexed_literals_; }
   size_t distinct_token_count() const { return postings_.size(); }

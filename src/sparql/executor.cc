@@ -313,6 +313,9 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
                          ? Cell::OfTerm(bindings[slot])
                          : Cell::Null();
           }
+          if (options.guard != nullptr) {
+            options.guard->ChargeBytes(row.size() * sizeof(Cell));
+          }
           table.AddRow(std::move(row));
         },
         row_cap);
@@ -325,7 +328,8 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     for (const Variable& g : query.group_by) {
       group_slots.push_back(plan.SlotOf(g.name));
     }
-    GroupAggregator agg(store, items, item_slots, std::move(group_slots));
+    GroupAggregator agg(store, items, item_slots, std::move(group_slots),
+                        options.guard);
     util::WallTimer join_timer;
     util::Status st = runner.Run([&](const std::vector<rdf::TermId>& bindings) {
       agg.Accumulate(bindings);
@@ -334,17 +338,22 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     RE2X_RETURN_IF_ERROR(st);
 
     util::WallTimer agg_timer;
-    group_count = agg.Emit(query.group_by, &table);
+    RE2X_ASSIGN_OR_RETURN(group_count, agg.Emit(query.group_by, &table));
     agg_ms = agg_timer.ElapsedMillis();
   }
 
-  ApplyHaving(store, query, &table, &post_ops);
-  if (query.distinct) ApplyDistinct(store, &table, &post_ops);
+  RE2X_RETURN_IF_ERROR(
+      ApplyHaving(store, query, &table, &post_ops, options.guard));
+  if (query.distinct) {
+    RE2X_RETURN_IF_ERROR(ApplyDistinct(store, &table, &post_ops, options.guard));
+  }
   if (!query.order_by.empty()) {
-    RE2X_RETURN_IF_ERROR(ApplyOrderBy(store, query, &table, &post_ops));
+    RE2X_RETURN_IF_ERROR(
+        ApplyOrderBy(store, query, &table, &post_ops, options.guard));
   }
   if (query.offset > 0 || query.limit.has_value()) {
-    ApplyLimitOffset(query, &table, &post_ops);
+    RE2X_RETURN_IF_ERROR(
+        ApplyLimitOffset(query, &table, &post_ops, options.guard));
   }
 
   if (stats) {

@@ -9,6 +9,7 @@
 #include "sparql/ast.h"
 #include "sparql/plan.h"
 #include "sparql/result_table.h"
+#include "util/exec_guard.h"
 #include "util/result.h"
 
 namespace re2xolap::sparql {
@@ -18,6 +19,11 @@ struct ExecOptions {
   /// 0 = no timeout. The paper's experiments run the endpoint with a
   /// 15-minute timeout; benches use much smaller values.
   uint64_t timeout_millis = 0;
+  /// Optional per-request guardrails (absolute deadline, memory budget,
+  /// cancellation), polled by the join loop, aggregation, ORDER BY /
+  /// DISTINCT sorts, and HAVING. Non-owning; must outlive the execution.
+  /// Violations surface as kTimeout / kResourceExhausted / kCancelled.
+  const util::ExecGuard* guard = nullptr;
   /// When true (and an ExecStats sink is passed), per-operator wall times
   /// are measured for every join step — two clock reads per produced
   /// binding, so leave it off outside EXPLAIN ANALYZE. Cardinality

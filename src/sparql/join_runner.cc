@@ -3,12 +3,13 @@
 #include <chrono>
 
 #include "sparql/ebv.h"
+#include "util/failpoint.h"
 
 namespace re2xolap::sparql {
 
 namespace {
 
-constexpr uint64_t kTimeoutCheckInterval = 8192;
+constexpr uint64_t kGuardCheckInterval = 8192;
 
 /// Accumulates inclusive wall time into `*acc` over the guard's lifetime;
 /// a null target disables the clock reads entirely.
@@ -103,15 +104,21 @@ void JoinRunner::FlushStats() {
   stats_->intermediate_bindings += produced;
 }
 
-util::Status JoinRunner::CheckTimeout() {
-  if (options_.timeout_millis == 0) return util::Status::OK();
-  if (++ops_ % kTimeoutCheckInterval != 0) return util::Status::OK();
-  if (timer_.ElapsedMillis() >
-      static_cast<double>(options_.timeout_millis)) {
+util::Status JoinRunner::CheckGuard() {
+  const util::ExecGuard* guard = options_.guard;
+  if (options_.timeout_millis == 0 && guard == nullptr) {
+    return util::Status::OK();
+  }
+  // Budgets are a pair of relaxed loads — cheap enough per scanned entry.
+  if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->CheckBudgets());
+  if (++ops_ % kGuardCheckInterval != 0) return util::Status::OK();
+  if (options_.timeout_millis != 0 &&
+      timer_.ElapsedMillis() > static_cast<double>(options_.timeout_millis)) {
     return util::Status::Timeout("query exceeded " +
                                  std::to_string(options_.timeout_millis) +
                                  " ms");
   }
+  if (guard != nullptr) return guard->Check();
   return util::Status::OK();
 }
 
@@ -162,10 +169,12 @@ util::Status JoinRunner::Step(size_t step, const RowSink& on_row) {
   q.p = fix(pp.p_id, pp.p_slot);
   q.o = fix(pp.o_id, pp.o_slot);
 
+  // Fault-injection site at the executor's index-scan boundary.
+  RE2X_FAILPOINT("store.scan");
   for (const rdf::EncodedTriple& t : store_.Match(q)) {
     if (stopped_) return util::Status::OK();
     if (profiling_) ++step_prof_[step].scanned;
-    RE2X_RETURN_IF_ERROR(CheckTimeout());
+    RE2X_RETURN_IF_ERROR(CheckGuard());
     // Bind unbound slots; verify repeated-variable consistency.
     int newly_bound[3];
     int n_new = 0;
@@ -187,6 +196,7 @@ util::Status JoinRunner::Step(size_t step, const RowSink& on_row) {
       RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
       if (pass) {
         if (profiling_) ++step_prof_[step].rows_out;
+        if (options_.guard != nullptr) options_.guard->ChargeRows(1);
         util::Status st = Step(step + 1, on_row);
         if (!st.ok()) {
           for (int i = 0; i < n_new; ++i) {
@@ -219,7 +229,12 @@ util::Status JoinRunner::OptionalStep(size_t block, const RowSink& on_row) {
     ++emitted_;
     on_row(bindings_);
     if (row_cap_ != 0 && ++rows_emitted_ >= row_cap_) stopped_ = true;
-    return CheckTimeout();
+    // Re-check budgets on every emitted row: the sink may have charged
+    // result bytes / group-state bytes against the guard just now.
+    if (options_.guard != nullptr) {
+      RE2X_RETURN_IF_ERROR(options_.guard->CheckBudgets());
+    }
+    return CheckGuard();
   }
   TimeGuard time_guard(timing_ ? &opt_prof_[block].micros : nullptr);
   if (profiling_) ++opt_prof_[block].rows_in;
@@ -247,6 +262,7 @@ util::Status JoinRunner::OptionalPattern(size_t block, size_t idx,
       ++opt_prof_[block].matched;
       ++opt_prof_[block].rows_out;
     }
+    if (options_.guard != nullptr) options_.guard->ChargeRows(1);
     return OptionalStep(block + 1, on_row);
   }
   const PhysicalPattern& pp = po.steps[idx];
@@ -264,7 +280,7 @@ util::Status JoinRunner::OptionalPattern(size_t block, size_t idx,
   for (const rdf::EncodedTriple& t : store_.Match(q)) {
     if (stopped_) return util::Status::OK();
     if (profiling_) ++opt_prof_[block].scanned;
-    RE2X_RETURN_IF_ERROR(CheckTimeout());
+    RE2X_RETURN_IF_ERROR(CheckGuard());
     int newly_bound[3];
     int n_new = 0;
     bool consistent = true;

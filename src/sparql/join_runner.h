@@ -60,7 +60,10 @@ std::string PatternLabel(const rdf::TripleStore& store,
                          const PhysicalPattern& pp, const char* prefix);
 
 /// Join executor: index nested loop join over the planned steps with
-/// early filters and timeout checks.
+/// early filters and timeout/guard checks. When ExecOptions carries an
+/// ExecGuard, the runner polls its deadline at the scan-interval
+/// boundaries, charges every produced binding against its row budget, and
+/// re-checks the budgets on each emitted row.
 class JoinRunner {
  public:
   JoinRunner(const rdf::TripleStore& store, const Plan& plan,
@@ -80,7 +83,7 @@ class JoinRunner {
 
  private:
   void FlushStats();
-  util::Status CheckTimeout();
+  util::Status CheckGuard();
   Cell LookupVar(const std::string& name) const;
   util::Status ApplyFiltersAfter(size_t step, bool* pass);
   util::Status Step(size_t step, const RowSink& on_row);

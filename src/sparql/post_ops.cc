@@ -9,6 +9,34 @@
 
 namespace re2xolap::sparql {
 
+namespace {
+
+/// How many comparator invocations / loop iterations between guard polls
+/// inside the post-join operators. Sorts do a clock read only every
+/// kGuardPollInterval comparisons; the rest of the time the poll is two
+/// relaxed atomic loads.
+constexpr uint64_t kGuardPollInterval = 1024;
+
+/// std::sort comparators cannot return a Status, so a tripped guard is
+/// reported by throwing this (internal to this TU) and converting it back
+/// to a Status at the operator boundary. The sort is abandoned mid-way;
+/// the row vector stays valid (possibly permuted) because comparators
+/// never mutate rows.
+struct GuardInterrupted {
+  util::Status status;
+};
+
+/// Polls the guard every kGuardPollInterval calls; throws GuardInterrupted
+/// on violation. `counter` is owned by the calling operator.
+void PollGuardOrThrow(const util::ExecGuard* guard, uint64_t* counter) {
+  if (guard == nullptr) return;
+  if (++*counter % kGuardPollInterval != 0) return;
+  util::Status st = guard->Check();
+  if (!st.ok()) throw GuardInterrupted{std::move(st)};
+}
+
+}  // namespace
+
 void AggState::Update(double v) {
   sum += v;
   min = std::min(min, v);
@@ -35,11 +63,13 @@ double AggState::Finish(AggFunc f) const {
 GroupAggregator::GroupAggregator(const rdf::TripleStore& store,
                                  const std::vector<SelectItem>& items,
                                  const std::vector<int>& item_slots,
-                                 std::vector<int> group_slots)
+                                 std::vector<int> group_slots,
+                                 const util::ExecGuard* guard)
     : store_(store),
       items_(items),
       item_slots_(item_slots),
-      group_slots_(std::move(group_slots)) {
+      group_slots_(std::move(group_slots)),
+      guard_(guard) {
   for (const SelectItem& it : items_) n_aggs_ += it.is_aggregate ? 1 : 0;
 }
 
@@ -51,7 +81,16 @@ void GroupAggregator::Accumulate(const std::vector<rdf::TermId>& bindings) {
   }
   // A pure GROUP BY without aggregates still registers the group here.
   Group& g = groups_[key];
-  if (g.aggs.empty()) g.aggs.resize(n_aggs_);
+  if (g.aggs.empty()) {
+    g.aggs.resize(n_aggs_);
+    if (guard_ != nullptr) {
+      // New group: charge key + aggregate state. The violation (if any)
+      // surfaces at the join loop's next budget poll — Accumulate itself
+      // cannot fail.
+      guard_->ChargeBytes(key.size() * sizeof(rdf::TermId) +
+                          n_aggs_ * sizeof(AggState) + sizeof(Group));
+    }
+  }
   size_t agg_idx = 0;
   for (size_t i = 0; i < items_.size(); ++i) {
     if (!items_[i].is_aggregate) continue;
@@ -62,6 +101,11 @@ void GroupAggregator::Accumulate(const std::vector<rdf::TermId>& bindings) {
       int slot = item_slots_[i];
       if (slot >= 0 && bindings[slot] != rdf::kInvalidTermId) {
         if (items_[i].distinct_agg) {
+          if (guard_ != nullptr &&
+              state.distinct_terms.find(bindings[slot]) ==
+                  state.distinct_terms.end()) {
+            guard_->ChargeBytes(sizeof(rdf::TermId) * 4);  // ~set node
+          }
           state.UpdateDistinct(bindings[slot]);
         } else {
           state.Update(store_.term(bindings[slot]).AsDouble());
@@ -71,9 +115,14 @@ void GroupAggregator::Accumulate(const std::vector<rdf::TermId>& bindings) {
   }
 }
 
-size_t GroupAggregator::Emit(const std::vector<Variable>& group_by,
-                             ResultTable* table) {
+util::Result<size_t> GroupAggregator::Emit(
+    const std::vector<Variable>& group_by, ResultTable* table) {
+  if (guard_ != nullptr) RE2X_RETURN_IF_ERROR(guard_->Check());
+  uint64_t polls = 0;
   for (const auto& [key, group] : groups_) {
+    if (guard_ != nullptr && ++polls % kGuardPollInterval == 0) {
+      RE2X_RETURN_IF_ERROR(guard_->Check());
+    }
     Row row(items_.size());
     size_t agg_idx = 0;
     size_t key_pos;
@@ -103,15 +152,22 @@ size_t GroupAggregator::Emit(const std::vector<Variable>& group_by,
   return groups_.size();
 }
 
-void ApplyHaving(const rdf::TripleStore& store, const SelectQuery& query,
-                 ResultTable* table, std::vector<PostOpProf>* post_ops) {
-  if (query.having.empty()) return;
+util::Status ApplyHaving(const rdf::TripleStore& store,
+                         const SelectQuery& query, ResultTable* table,
+                         std::vector<PostOpProf>* post_ops,
+                         const util::ExecGuard* guard) {
+  if (query.having.empty()) return util::Status::OK();
+  if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->Check());
   util::WallTimer op_timer;
   std::vector<Row>& rows = table->mutable_rows();
   const uint64_t rows_in = rows.size();
   std::vector<Row> kept;
   kept.reserve(rows.size());
+  uint64_t polls = 0;
   for (Row& row : rows) {
+    if (guard != nullptr && ++polls % kGuardPollInterval == 0) {
+      RE2X_RETURN_IF_ERROR(guard->Check());
+    }
     auto lookup = [&](const std::string& name) -> Cell {
       int idx = table->ColumnIndex(name);
       return idx < 0 ? Cell::Null() : row[idx];
@@ -128,29 +184,41 @@ void ApplyHaving(const rdf::TripleStore& store, const SelectQuery& query,
   rows.swap(kept);
   post_ops->push_back(
       {"having", rows_in, rows.size(), op_timer.ElapsedMillis()});
+  return util::Status::OK();
 }
 
-void ApplyDistinct(const rdf::TripleStore& store, ResultTable* table,
-                   std::vector<PostOpProf>* post_ops) {
+util::Status ApplyDistinct(const rdf::TripleStore& store, ResultTable* table,
+                           std::vector<PostOpProf>* post_ops,
+                           const util::ExecGuard* guard) {
+  if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->Check());
   util::WallTimer op_timer;
   std::vector<Row>& rows = table->mutable_rows();
   const uint64_t rows_in = rows.size();
+  uint64_t polls = 0;
   auto row_less = [&](const Row& a, const Row& b) {
+    PollGuardOrThrow(guard, &polls);
     for (size_t i = 0; i < a.size(); ++i) {
       int c = OrderCells(store, a[i], b[i]);
       if (c != 0) return c < 0;
     }
     return false;
   };
-  std::sort(rows.begin(), rows.end(), row_less);
+  try {
+    std::sort(rows.begin(), rows.end(), row_less);
+  } catch (const GuardInterrupted& gi) {
+    return gi.status;
+  }
   rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
   post_ops->push_back(
       {"distinct", rows_in, rows.size(), op_timer.ElapsedMillis()});
+  return util::Status::OK();
 }
 
 util::Status ApplyOrderBy(const rdf::TripleStore& store,
                           const SelectQuery& query, ResultTable* table,
-                          std::vector<PostOpProf>* post_ops) {
+                          std::vector<PostOpProf>* post_ops,
+                          const util::ExecGuard* guard) {
+  if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->Check());
   util::WallTimer op_timer;
   std::vector<std::pair<int, bool>> keys;  // column index, ascending
   for (const OrderKey& k : query.order_by) {
@@ -162,20 +230,29 @@ util::Status ApplyOrderBy(const rdf::TripleStore& store,
     keys.emplace_back(idx, k.ascending);
   }
   std::vector<Row>& rows = table->mutable_rows();
-  std::stable_sort(rows.begin(), rows.end(), [&](const Row& a, const Row& b) {
-    for (auto [idx, asc] : keys) {
-      int c = OrderCells(store, a[idx], b[idx]);
-      if (c != 0) return asc ? c < 0 : c > 0;
-    }
-    return false;
-  });
+  uint64_t polls = 0;
+  try {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       PollGuardOrThrow(guard, &polls);
+                       for (auto [idx, asc] : keys) {
+                         int c = OrderCells(store, a[idx], b[idx]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  } catch (const GuardInterrupted& gi) {
+    return gi.status;
+  }
   post_ops->push_back(
       {"order-by", rows.size(), rows.size(), op_timer.ElapsedMillis()});
   return util::Status::OK();
 }
 
-void ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
-                      std::vector<PostOpProf>* post_ops) {
+util::Status ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
+                              std::vector<PostOpProf>* post_ops,
+                              const util::ExecGuard* guard) {
+  if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->Check());
   util::WallTimer op_timer;
   std::vector<Row>& rows = table->mutable_rows();
   const uint64_t rows_in = rows.size();
@@ -188,6 +265,7 @@ void ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
   rows.swap(sliced);
   post_ops->push_back(
       {"limit/offset", rows_in, rows.size(), op_timer.ElapsedMillis()});
+  return util::Status::OK();
 }
 
 }  // namespace re2xolap::sparql

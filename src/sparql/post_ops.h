@@ -10,6 +10,8 @@
 #include "rdf/triple_store.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
+#include "util/exec_guard.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace re2xolap::sparql {
@@ -17,6 +19,13 @@ namespace re2xolap::sparql {
 /// Coarse observation of one post-join operator (HAVING / DISTINCT /
 /// ORDER BY / LIMIT-OFFSET) for the profile tree: two clock reads per
 /// operator per query.
+///
+/// Every post-join operator takes an optional ExecGuard: it is checked
+/// unconditionally at operator entry and polled periodically inside the
+/// row loops / sort comparators, so an expired deadline surfaces from the
+/// middle of aggregation or sorting — not only from the join loop. A
+/// tripped guard returns kTimeout / kResourceExhausted / kCancelled and
+/// leaves the table in a valid (possibly partially processed) state.
 struct PostOpProf {
   const char* label;
   uint64_t rows_in;
@@ -55,18 +64,24 @@ class GroupAggregator {
  public:
   /// `items` / `item_slots` are the projected columns and their binding
   /// slots (-1 for COUNT(*)); `group_slots` the GROUP BY slots in declared
-  /// order. All referenced vectors must outlive the aggregator.
+  /// order. All referenced vectors must outlive the aggregator. When a
+  /// `guard` is supplied, each newly created group (and each distinct term
+  /// retained for COUNT(DISTINCT)) is charged against its byte budget;
+  /// the violation surfaces at the join loop's next budget poll.
   GroupAggregator(const rdf::TripleStore& store,
                   const std::vector<SelectItem>& items,
                   const std::vector<int>& item_slots,
-                  std::vector<int> group_slots);
+                  std::vector<int> group_slots,
+                  const util::ExecGuard* guard = nullptr);
 
   /// Folds one complete join binding into its group.
   void Accumulate(const std::vector<rdf::TermId>& bindings);
 
   /// Emits one row per group into `table` (group-by columns resolved via
-  /// `group_by` order). Returns the number of groups.
-  size_t Emit(const std::vector<Variable>& group_by, ResultTable* table);
+  /// `group_by` order). Polls the guard at entry and every few hundred
+  /// groups. Returns the number of groups.
+  util::Result<size_t> Emit(const std::vector<Variable>& group_by,
+                            ResultTable* table);
 
   size_t group_count() const { return groups_.size(); }
 
@@ -79,28 +94,34 @@ class GroupAggregator {
   const std::vector<SelectItem>& items_;
   const std::vector<int>& item_slots_;
   std::vector<int> group_slots_;
+  const util::ExecGuard* guard_;
   size_t n_aggs_ = 0;
   std::unordered_map<std::vector<rdf::TermId>, Group, TermVecHash> groups_;
 };
 
 /// HAVING: keeps rows whose post-aggregation filters all evaluate to true
 /// (lookups by output column name). Appends one profile record.
-void ApplyHaving(const rdf::TripleStore& store, const SelectQuery& query,
-                 ResultTable* table, std::vector<PostOpProf>* post_ops);
+util::Status ApplyHaving(const rdf::TripleStore& store,
+                         const SelectQuery& query, ResultTable* table,
+                         std::vector<PostOpProf>* post_ops,
+                         const util::ExecGuard* guard = nullptr);
 
 /// DISTINCT: sorts rows canonically and drops duplicates.
-void ApplyDistinct(const rdf::TripleStore& store, ResultTable* table,
-                   std::vector<PostOpProf>* post_ops);
+util::Status ApplyDistinct(const rdf::TripleStore& store, ResultTable* table,
+                           std::vector<PostOpProf>* post_ops,
+                           const util::ExecGuard* guard = nullptr);
 
 /// ORDER BY: stable-sorts rows by the query's sort keys. Fails when a key
 /// references an unknown output column.
 util::Status ApplyOrderBy(const rdf::TripleStore& store,
                           const SelectQuery& query, ResultTable* table,
-                          std::vector<PostOpProf>* post_ops);
+                          std::vector<PostOpProf>* post_ops,
+                          const util::ExecGuard* guard = nullptr);
 
 /// OFFSET / LIMIT: slices the row window.
-void ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
-                      std::vector<PostOpProf>* post_ops);
+util::Status ApplyLimitOffset(const SelectQuery& query, ResultTable* table,
+                              std::vector<PostOpProf>* post_ops,
+                              const util::ExecGuard* guard = nullptr);
 
 }  // namespace re2xolap::sparql
 

@@ -1,0 +1,116 @@
+#include "util/exec_guard.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace re2xolap::util {
+
+namespace {
+
+struct GuardMetrics {
+  obs::Counter& timeouts;
+  obs::Counter& budget_aborts;
+  obs::Counter& cancellations;
+
+  static GuardMetrics& Get() {
+    auto& reg = obs::MetricsRegistry::Global();
+    static GuardMetrics m{
+        reg.GetCounter("guard.timeouts"),
+        reg.GetCounter("guard.budget_aborts"),
+        reg.GetCounter("guard.cancellations"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+ExecGuard::ExecGuard(const Limits& limits, CancellationToken* token)
+    : limits_(limits), token_(token) {
+  if (limits.deadline_millis != 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits.deadline_millis);
+  }
+}
+
+ExecGuard ExecGuard::WithDeadline(uint64_t deadline_millis) {
+  Limits limits;
+  limits.deadline_millis = deadline_millis;
+  return ExecGuard(limits);
+}
+
+ExecGuard& ExecGuard::operator=(ExecGuard&& other) noexcept {
+  limits_ = other.limits_;
+  has_deadline_ = other.has_deadline_;
+  deadline_ = other.deadline_;
+  token_ = other.token_;
+  bytes_.store(other.bytes_.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+  rows_.store(other.rows_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+  reported_.store(other.reported_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+  return *this;
+}
+
+void ExecGuard::ReportOnce(unsigned flag) const {
+  unsigned prev = reported_.fetch_or(flag, std::memory_order_relaxed);
+  if ((prev & flag) != 0) return;
+  GuardMetrics& m = GuardMetrics::Get();
+  if (flag == kReportedTimeout) m.timeouts.Inc();
+  if (flag == kReportedBudget) m.budget_aborts.Inc();
+  if (flag == kReportedCancel) m.cancellations.Inc();
+}
+
+Status ExecGuard::CheckBudgets() const {
+  if (limits_.max_bytes != 0) {
+    uint64_t b = bytes_.load(std::memory_order_relaxed);
+    if (b > limits_.max_bytes) {
+      ReportOnce(kReportedBudget);
+      return Status::ResourceExhausted(
+          "memory budget exceeded: " + std::to_string(b) + " bytes charged, " +
+          std::to_string(limits_.max_bytes) + " allowed");
+    }
+  }
+  if (limits_.max_rows != 0) {
+    uint64_t r = rows_.load(std::memory_order_relaxed);
+    if (r > limits_.max_rows) {
+      ReportOnce(kReportedBudget);
+      return Status::ResourceExhausted(
+          "row budget exceeded: " + std::to_string(r) + " rows charged, " +
+          std::to_string(limits_.max_rows) + " allowed");
+    }
+  }
+  return Status::OK();
+}
+
+Status ExecGuard::Check() const {
+  if (token_ != nullptr && token_->cancelled()) {
+    ReportOnce(kReportedCancel);
+    return Status::Cancelled("request cancelled");
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() > deadline_) {
+    ReportOnce(kReportedTimeout);
+    return Status::Timeout("deadline of " +
+                           std::to_string(limits_.deadline_millis) +
+                           " ms exceeded");
+  }
+  return CheckBudgets();
+}
+
+uint64_t ExecGuard::remaining_millis() const {
+  if (!has_deadline_) return UINT64_MAX;
+  auto now = std::chrono::steady_clock::now();
+  if (now >= deadline_) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline_ - now)
+          .count());
+}
+
+bool ExecGuard::expired() const {
+  return has_deadline_ && std::chrono::steady_clock::now() > deadline_;
+}
+
+}  // namespace re2xolap::util

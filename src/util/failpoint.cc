@@ -1,0 +1,205 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace re2xolap::util {
+
+namespace {
+
+/// Parses one `<name>=<action>` entry. Returns false on grammar errors.
+bool ParseEntry(std::string_view entry, std::string* name,
+                FailpointAction* action) {
+  size_t eq = entry.find('=');
+  if (eq == std::string_view::npos || eq == 0) return false;
+  *name = std::string(entry.substr(0, eq));
+  std::string_view spec = entry.substr(eq + 1);
+  if (spec.empty()) return false;
+
+  // Optional fire budget suffix: `*N`.
+  action->remaining = -1;
+  size_t star = spec.rfind('*');
+  if (star != std::string_view::npos) {
+    std::string_view count = spec.substr(star + 1);
+    if (count.empty()) return false;
+    int64_t n = 0;
+    for (char c : count) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + (c - '0');
+    }
+    if (n <= 0) return false;
+    action->remaining = n;
+    spec = spec.substr(0, star);
+  }
+
+  if (spec == "off") {
+    action->kind = FailpointKind::kOff;
+  } else if (spec == "error") {
+    action->kind = FailpointKind::kError;
+  } else if (spec == "skip") {
+    action->kind = FailpointKind::kSkip;
+  } else if (spec.rfind("delay:", 0) == 0) {
+    std::string_view ms = spec.substr(6);
+    if (ms.size() >= 2 && ms.substr(ms.size() - 2) == "ms") {
+      ms = ms.substr(0, ms.size() - 2);
+    }
+    if (ms.empty()) return false;
+    uint64_t n = 0;
+    for (char c : ms) {
+      if (c < '0' || c > '9') return false;
+      n = n * 10 + static_cast<uint64_t>(c - '0');
+    }
+    action->kind = FailpointKind::kDelay;
+    action->delay_millis = n;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+obs::Counter& HitsCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("failpoint.hits");
+  return c;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::Global() {
+  static FailpointRegistry* registry = [] {
+    auto* r = new FailpointRegistry();
+    if (const char* env = std::getenv("RE2XOLAP_FAILPOINTS")) {
+      // Env misconfiguration must not abort the process; a bad spec is
+      // simply ignored (Configure applies nothing on parse errors).
+      (void)r->Configure(env);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Status FailpointRegistry::Configure(std::string_view spec) {
+  std::vector<std::pair<std::string, FailpointAction>> parsed;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t sep = spec.find(';', pos);
+    if (sep == std::string_view::npos) sep = spec.size();
+    std::string_view entry = spec.substr(pos, sep - pos);
+    pos = sep + 1;
+    if (entry.empty()) continue;
+    std::string name;
+    FailpointAction action;
+    if (!ParseEntry(entry, &name, &action)) {
+      return Status::InvalidArgument("bad failpoint spec entry: \"" +
+                                     std::string(entry) + "\"");
+    }
+    parsed.emplace_back(std::move(name), action);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  for (auto& [name, action] : parsed) {
+    entries_[name] = Entry{action, 0};
+  }
+  RecountArmedLocked();
+  return Status::OK();
+}
+
+void FailpointRegistry::Arm(std::string_view name, FailpointAction action) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[std::string(name)];
+  e.action = action;
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(std::string(name));
+  if (it != entries_.end()) it->second.action.kind = FailpointKind::kOff;
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : entries_) e.action.kind = FailpointKind::kOff;
+  RecountArmedLocked();
+}
+
+void FailpointRegistry::RecountArmedLocked() {
+  int armed = 0;
+  for (const auto& [name, e] : entries_) {
+    if (e.action.kind != FailpointKind::kOff) ++armed;
+  }
+  armed_.store(armed, std::memory_order_release);
+}
+
+FailpointAction FailpointRegistry::Evaluate(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(std::string(name));
+  if (it == entries_.end() ||
+      it->second.action.kind == FailpointKind::kOff) {
+    return FailpointAction{};
+  }
+  Entry& e = it->second;
+  FailpointAction fired = e.action;
+  ++e.hits;
+  HitsCounter().Inc();
+  if (e.action.remaining > 0 && --e.action.remaining == 0) {
+    e.action.kind = FailpointKind::kOff;
+    RecountArmedLocked();
+  }
+  return fired;
+}
+
+uint64_t FailpointRegistry::hits(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(std::string(name));
+  return it == entries_.end() ? 0 : it->second.hits;
+}
+
+Status FailpointStatus(const char* name) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  if (!reg.any_armed()) return Status::OK();
+  FailpointAction action = reg.Evaluate(name);
+  switch (action.kind) {
+    case FailpointKind::kOff:
+    case FailpointKind::kSkip:
+      return Status::OK();
+    case FailpointKind::kDelay:
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(action.delay_millis));
+      return Status::OK();
+    case FailpointKind::kError:
+      return Status::Unavailable(std::string("transient fault injected at "
+                                             "failpoint ") +
+                                 name);
+  }
+  return Status::OK();
+}
+
+bool FailpointSkip(const char* name) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  if (!reg.any_armed()) return false;
+  FailpointAction action = reg.Evaluate(name);
+  if (action.kind == FailpointKind::kDelay) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(action.delay_millis));
+    return false;
+  }
+  return action.kind == FailpointKind::kSkip;
+}
+
+void FailpointPause(const char* name) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  if (!reg.any_armed()) return;
+  FailpointAction action = reg.Evaluate(name);
+  if (action.kind == FailpointKind::kDelay) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(action.delay_millis));
+  }
+}
+
+}  // namespace re2xolap::util

@@ -1,0 +1,116 @@
+#ifndef RE2XOLAP_UTIL_FAILPOINT_H_
+#define RE2XOLAP_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace re2xolap::util {
+
+/// Named fault-injection sites (RocksDB-style failpoints), the substrate
+/// for deterministic fault tests and the chaos CI job. A disarmed
+/// failpoint costs one relaxed atomic load and a branch (the process-wide
+/// armed count), so sites can sit on hot paths.
+///
+/// Sites in the codebase (see DESIGN.md §11 for the full contract):
+///   store.scan       join-runner index scan       (error, delay)
+///   engine.execute   QueryEngine::Execute         (error, delay)
+///   cache.insert     engine result-cache insert   (skip, delay)
+///   pool.task        thread-pool task start       (delay only)
+///   reolap.validate  ReOLAP validation probe      (error, delay)
+///
+/// Configuration comes from the environment on first use —
+///   RE2XOLAP_FAILPOINTS="engine.execute=error;store.scan=delay:50ms;cache.insert=skip"
+/// — or programmatically (tests). Spec grammar, per `;`-separated entry:
+///   <name>=error            inject a transient kUnavailable error
+///   <name>=delay:<N>[ms]    sleep N milliseconds at the site
+///   <name>=skip             skip the guarded operation (cache.insert)
+///   <name>=off              explicitly disarmed
+/// Any action may carry a fire budget: `error*3` fires three times, then
+/// the failpoint disarms itself. Injected errors use StatusCode
+/// kUnavailable, which the engine's bounded retry treats as transient.
+enum class FailpointKind { kOff, kError, kDelay, kSkip };
+
+struct FailpointAction {
+  FailpointKind kind = FailpointKind::kOff;
+  uint64_t delay_millis = 0;
+  /// Remaining fires; negative = unlimited.
+  int64_t remaining = -1;
+};
+
+class FailpointRegistry {
+ public:
+  /// The process-wide registry. The first call parses RE2XOLAP_FAILPOINTS
+  /// (when set) into the initial configuration.
+  static FailpointRegistry& Global();
+
+  /// Replaces the whole configuration with `spec` (grammar above).
+  /// Unparseable entries fail the call without applying anything.
+  Status Configure(std::string_view spec);
+
+  /// Arms one failpoint (replacing any previous action for the name).
+  void Arm(std::string_view name, FailpointAction action);
+  void Disarm(std::string_view name);
+  void DisarmAll();
+
+  /// Fast path: true when at least one failpoint is armed. Sites branch
+  /// on this before doing any registry lookup.
+  bool any_armed() const {
+    return armed_.load(std::memory_order_acquire) > 0;
+  }
+
+  /// Consumes one fire of `name`: returns the action to take now and
+  /// decrements a finite fire budget (a budget reaching zero disarms the
+  /// point). Delay sleeping is the caller's job (see FailpointStatus /
+  /// FailpointSkip / FailpointPause below).
+  FailpointAction Evaluate(std::string_view name);
+
+  /// Times `name` fired so far (for tests and diagnostics).
+  uint64_t hits(std::string_view name) const;
+
+ private:
+  FailpointRegistry() = default;
+
+  struct Entry {
+    FailpointAction action;
+    uint64_t hits = 0;
+  };
+
+  void RecountArmedLocked();
+
+  std::atomic<int> armed_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+/// Site helper for Status-returning code: applies a delay inline, returns
+/// a transient kUnavailable error when armed as `error`, OK otherwise.
+Status FailpointStatus(const char* name);
+
+/// Site helper for skippable operations: applies a delay inline, returns
+/// true when the operation should be skipped.
+bool FailpointSkip(const char* name);
+
+/// Site helper for void contexts (task start): applies a delay when armed
+/// as `delay`; every other action is ignored.
+void FailpointPause(const char* name);
+
+}  // namespace re2xolap::util
+
+/// Propagates an injected transient error from the current function when
+/// the named failpoint is armed as `error` (applies delays inline).
+#define RE2X_FAILPOINT(name)                                           \
+  do {                                                                 \
+    if (::re2xolap::util::FailpointRegistry::Global().any_armed()) {   \
+      ::re2xolap::util::Status _fp_st =                                \
+          ::re2xolap::util::FailpointStatus(name);                     \
+      if (!_fp_st.ok()) return _fp_st;                                 \
+    }                                                                  \
+  } while (false)
+
+#endif  // RE2XOLAP_UTIL_FAILPOINT_H_

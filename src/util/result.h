@@ -1,7 +1,8 @@
 #ifndef RE2XOLAP_UTIL_RESULT_H_
 #define RE2XOLAP_UTIL_RESULT_H_
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <optional>
 #include <utility>
 
@@ -9,9 +10,25 @@
 
 namespace re2xolap::util {
 
+namespace internal {
+
+/// Prints `what` plus the status and aborts. Out of line of the template
+/// so every instantiation shares one cold path.
+[[noreturn]] inline void DieOnErrorResult(const char* what,
+                                          const Status& status) {
+  std::fprintf(stderr, "FATAL: %s on errored Result: %s\n", what,
+               status.ToString().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+
 /// Holds either a value of type T or an error Status. Analogous to
 /// arrow::Result / absl::StatusOr. Accessing the value of an errored
-/// Result is a programming error (asserted in debug builds).
+/// Result is a programming error and aborts loudly (with the status
+/// message) in every build mode — an assert compiled out in Release would
+/// instead dereference an empty optional and corrupt downstream state.
 template <typename T>
 class Result {
  public:
@@ -21,7 +38,9 @@ class Result {
 
   /// Implicit from error status — allows `return Status::NotFound(...)`.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      internal::DieOnErrorResult("Result constructed from OK status", status_);
+    }
   }
 
   Result(const Result&) = default;
@@ -33,15 +52,15 @@ class Result {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    if (!ok()) internal::DieOnErrorResult("value() accessed", status_);
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    if (!ok()) internal::DieOnErrorResult("value() accessed", status_);
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    if (!ok()) internal::DieOnErrorResult("value() accessed", status_);
     return std::move(*value_);
   }
 
@@ -53,6 +72,18 @@ class Result {
   /// Returns the contained value or `fallback` when errored.
   T value_or(T fallback) const {
     return ok() ? *value_ : std::move(fallback);
+  }
+
+  /// Like value(), but the abort message names the caller's expectation
+  /// ("loading schema", "fig7 bootstrap"), making the crash line
+  /// self-explanatory in CI logs. Status-or-die style accessor.
+  const T& expect(const char* what) const& {
+    if (!ok()) internal::DieOnErrorResult(what, status_);
+    return *value_;
+  }
+  T&& expect(const char* what) && {
+    if (!ok()) internal::DieOnErrorResult(what, status_);
+    return std::move(*value_);
   }
 
  private:

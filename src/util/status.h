@@ -21,6 +21,11 @@ enum class StatusCode {
   kTimeout,
   kResourceExhausted,
   kInternal,
+  /// Transient condition worth retrying (injected faults, briefly
+  /// unavailable resources). The engine's bounded retry targets this code.
+  kUnavailable,
+  /// The request's CancellationToken fired (see util::ExecGuard).
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -70,6 +75,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -81,6 +92,11 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsTimeout() const { return code_ == StatusCode::kTimeout; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

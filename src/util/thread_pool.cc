@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace.h"
+#include "util/failpoint.h"
 
 namespace re2xolap::util {
 
@@ -35,6 +36,9 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    // Fault-injection site at task start (delay only: tasks have no
+    // status channel, and errors would mask real loop exceptions).
+    FailpointPause("pool.task");
     task();
   }
 }

@@ -16,11 +16,17 @@ namespace re2xolap::util {
 /// Cooperative cancellation flag shared between a caller and the tasks it
 /// fans out. Tasks poll cancelled() at convenient boundaries; the flag
 /// never interrupts a task preemptively.
+///
+/// Memory-ordering contract: Cancel() is a release store and cancelled()
+/// an acquire load, so everything the cancelling thread wrote *before*
+/// calling Cancel() — a reason string, a Status, a partial result — is
+/// visible to any thread that observes cancelled() == true. Pollers may
+/// therefore read the cancel reason without extra synchronization.
 class CancellationToken {
  public:
-  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
-  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
-  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+  void Reset() { cancelled_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> cancelled_{false};

@@ -17,6 +17,8 @@
 #include "sparql/executor.h"
 #include "sparql/parser.h"
 #include "tests/test_data.h"
+#include "util/exec_guard.h"
+#include "util/failpoint.h"
 
 namespace re2xolap::engine {
 namespace {
@@ -326,6 +328,103 @@ TEST_F(EngineReolapTest, ConcurrentValidationThreadsShareOneEngine) {
   for (auto& t : workers) t.join();
   for (int w = 0; w < kThreads; ++w) EXPECT_EQ(failures[w], 0) << w;
   EXPECT_GT(engine.cache_stats().result_hits, 0u);
+}
+
+// --- execution guardrails & fault injection ---------------------------------------
+
+/// Replaces whatever the environment armed (e.g. the chaos CI job's
+/// RE2XOLAP_FAILPOINTS) with a per-test configuration, so these tests are
+/// deterministic under fault injection too.
+class EngineFailpointTest : public EngineTest {
+ protected:
+  void SetUp() override {
+    EngineTest::SetUp();
+    util::FailpointRegistry::Global().DisarmAll();
+  }
+  void TearDown() override { util::FailpointRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(EngineFailpointTest, TransientInjectedErrorsAreRetriedAway) {
+  ASSERT_TRUE(util::FailpointRegistry::Global()
+                  .Configure("engine.execute=error*2")
+                  .ok());
+  obs::Counter& retries_metric =
+      obs::MetricsRegistry::Global().GetCounter("engine.retries");
+  const uint64_t retries_before = retries_metric.value();
+
+  QueryEngine engine(*store);  // default config: two transient retries
+  auto r = engine.ExecuteText(kObsQuery);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->row_count(), 5u);
+
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.retries, 2u);
+  // Cache lookups run once per logical Execute, retries notwithstanding.
+  EXPECT_EQ(stats.result_misses, 1u);
+  EXPECT_EQ(stats.result_hits, 0u);
+  EXPECT_EQ(retries_metric.value(), retries_before + 2);
+}
+
+TEST_F(EngineFailpointTest, RetryBudgetExhaustionSurfacesTheError) {
+  ASSERT_TRUE(util::FailpointRegistry::Global()
+                  .Configure("engine.execute=error*9")
+                  .ok());
+  EngineConfig config;
+  config.max_transient_retries = 1;
+  config.retry_backoff_millis = 0;
+  QueryEngine engine(*store, config);
+  auto r = engine.ExecuteText(kObsQuery);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+  EXPECT_EQ(engine.cache_stats().retries, 1u);
+  // Failures are never cached.
+  EXPECT_EQ(engine.cache_stats().result_entries, 0u);
+
+  // Once the fault clears, the same query executes and caches normally.
+  util::FailpointRegistry::Global().DisarmAll();
+  auto ok = engine.ExecuteText(kObsQuery);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.result_hits, 0u);
+  EXPECT_EQ(stats.result_misses, 2u);
+  EXPECT_EQ(stats.result_entries, 1u);
+}
+
+TEST_F(EngineFailpointTest, CacheInsertSkipKeepsResultsUncached) {
+  ASSERT_TRUE(
+      util::FailpointRegistry::Global().Configure("cache.insert=skip").ok());
+  QueryEngine engine(*store);
+  auto first = engine.ExecuteText(kObsQuery);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = engine.ExecuteText(kObsQuery);
+  ASSERT_TRUE(second.ok());
+  // Execution still works, but nothing was retained: both runs miss.
+  EXPECT_EQ((*first)->row_count(), (*second)->row_count());
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.result_hits, 0u);
+  EXPECT_EQ(stats.result_misses, 2u);
+  EXPECT_EQ(stats.result_entries, 0u);
+}
+
+TEST_F(EngineTest, ExpiredGuardRejectsBeforeCacheProbe) {
+  QueryEngine engine(*store);
+  util::ExecGuard guard = util::ExecGuard::WithDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  sparql::ExecOptions opts;
+  opts.guard = &guard;
+  auto r = engine.ExecuteText(kObsQuery, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+  // The dead request did no work: no cache probe, nothing cached.
+  EngineCacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.result_hits, 0u);
+  EXPECT_EQ(stats.result_misses, 0u);
+  EXPECT_EQ(stats.result_entries, 0u);
+
+  // The same query without the guard is a plain first miss.
+  auto ok = engine.ExecuteText(kObsQuery);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(engine.cache_stats().result_misses, 1u);
 }
 
 }  // namespace

@@ -1,9 +1,13 @@
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/exref.h"
 #include "core/session.h"
 #include "sparql/executor.h"
 #include "tests/test_data.h"
+#include "util/exec_guard.h"
 
 namespace re2xolap::core {
 namespace {
@@ -362,6 +366,51 @@ TEST_F(RollUpSliceTest, SessionRollUpAndSlice) {
   ASSERT_TRUE(t.ok());
   session.Back();  // undo slice
   ASSERT_TRUE(session.Execute().ok());
+}
+
+// --- graceful degradation under deadlines -----------------------------------
+
+TEST_F(ExrefTest, ExpiredGuardEvaluatesFirstStateAndSkipsTheRest) {
+  ExploreState st = StateFor({"Germany", "2014"});
+  std::vector<ExploreState> states = Disaggregate(*vsg, *store, st);
+  ASSERT_GE(states.size(), 2u);
+
+  util::ExecGuard guard = util::ExecGuard::WithDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  util::Degradation degradation;
+  auto tables =
+      EvaluateStates(*store, states, {}, nullptr, nullptr, &guard,
+                     &degradation);
+  ASSERT_EQ(tables.size(), states.size());
+  // Min-progress: the first preview always runs even under an expired
+  // deadline; every later one is skipped with the guard's status.
+  ASSERT_TRUE(tables[0].ok()) << tables[0].status().ToString();
+  EXPECT_GT(tables[0]->row_count(), 0u);
+  for (size_t i = 1; i < tables.size(); ++i) {
+    ASSERT_FALSE(tables[i].ok()) << "state " << i;
+    EXPECT_TRUE(tables[i].status().IsTimeout())
+        << tables[i].status().ToString();
+  }
+  EXPECT_TRUE(degradation.truncated);
+  EXPECT_NE(degradation.degraded_reason.find("preview evaluations skipped"),
+            std::string::npos)
+      << degradation.degraded_reason;
+}
+
+TEST_F(ExrefTest, HealthyGuardEvaluatesAllStates) {
+  ExploreState st = StateFor({"Germany", "2014"});
+  std::vector<ExploreState> states = Disaggregate(*vsg, *store, st);
+  util::ExecGuard guard = util::ExecGuard::WithDeadline(60 * 1000);
+  util::Degradation degradation;
+  auto tables =
+      EvaluateStates(*store, states, {}, nullptr, nullptr, &guard,
+                     &degradation);
+  ASSERT_EQ(tables.size(), states.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    EXPECT_TRUE(tables[i].ok()) << tables[i].status().ToString();
+  }
+  EXPECT_FALSE(degradation.truncated);
+  EXPECT_TRUE(degradation.degraded_reason.empty());
 }
 
 }  // namespace

@@ -1,0 +1,119 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.h"
+
+namespace re2xolap::util {
+namespace {
+
+/// Every test leaves the process-global registry clean; the fixture makes
+/// that explicit (and robust against mid-test failures).
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FailpointRegistry::Global().DisarmAll(); }
+  void TearDown() override { FailpointRegistry::Global().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedRegistryFastPath) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  EXPECT_FALSE(reg.any_armed());
+  EXPECT_EQ(reg.Evaluate("store.scan").kind, FailpointKind::kOff);
+  EXPECT_TRUE(FailpointStatus("store.scan").ok());
+  EXPECT_FALSE(FailpointSkip("cache.insert"));
+}
+
+TEST_F(FailpointTest, ConfigureParsesTheDocumentedGrammar) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("engine.execute=error;store.scan=delay:50ms;"
+                            "cache.insert=skip;pool.task=off")
+                  .ok());
+  EXPECT_TRUE(reg.any_armed());
+
+  FailpointAction a = reg.Evaluate("engine.execute");
+  EXPECT_EQ(a.kind, FailpointKind::kError);
+  a = reg.Evaluate("store.scan");
+  EXPECT_EQ(a.kind, FailpointKind::kDelay);
+  EXPECT_EQ(a.delay_millis, 50u);
+  a = reg.Evaluate("cache.insert");
+  EXPECT_EQ(a.kind, FailpointKind::kSkip);
+  a = reg.Evaluate("pool.task");
+  EXPECT_EQ(a.kind, FailpointKind::kOff);
+}
+
+TEST_F(FailpointTest, BadSpecIsRejectedWithoutApplyingAnything) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  EXPECT_FALSE(reg.Configure("store.scan=error;bogus").ok());
+  EXPECT_FALSE(reg.Configure("store.scan=explode").ok());
+  EXPECT_FALSE(reg.Configure("store.scan=delay:abc").ok());
+  // Nothing was applied by the failed calls.
+  EXPECT_FALSE(reg.any_armed());
+}
+
+TEST_F(FailpointTest, FireBudgetSelfDisarms) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("engine.execute=error*2").ok());
+  EXPECT_EQ(reg.Evaluate("engine.execute").kind, FailpointKind::kError);
+  EXPECT_EQ(reg.Evaluate("engine.execute").kind, FailpointKind::kError);
+  // Budget exhausted: the point disarmed itself.
+  EXPECT_EQ(reg.Evaluate("engine.execute").kind, FailpointKind::kOff);
+  EXPECT_FALSE(reg.any_armed());
+  EXPECT_EQ(reg.hits("engine.execute"), 2u);
+}
+
+TEST_F(FailpointTest, StatusHelperReturnsTransientError) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("engine.execute=error").ok());
+  Status st = FailpointStatus("engine.execute");
+  ASSERT_FALSE(st.ok());
+  // Injected errors are transient: the engine's retry loop must see
+  // kUnavailable, nothing else.
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  // Other sites stay clean.
+  EXPECT_TRUE(FailpointStatus("store.scan").ok());
+}
+
+TEST_F(FailpointTest, SkipHelper) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("cache.insert=skip*1").ok());
+  EXPECT_TRUE(FailpointSkip("cache.insert"));
+  EXPECT_FALSE(FailpointSkip("cache.insert"));  // budget consumed
+}
+
+TEST_F(FailpointTest, DelayHelperSleeps) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("pool.task=delay:20").ok());
+  WallTimer timer;
+  FailpointPause("pool.task");
+  EXPECT_GE(timer.ElapsedMillis(), 15.0);  // scheduling slop tolerated
+}
+
+TEST_F(FailpointTest, ArmReplacesAndDisarmRemoves) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  FailpointAction err;
+  err.kind = FailpointKind::kError;
+  reg.Arm("store.scan", err);
+  EXPECT_TRUE(reg.any_armed());
+  EXPECT_EQ(reg.Evaluate("store.scan").kind, FailpointKind::kError);
+
+  FailpointAction delay;
+  delay.kind = FailpointKind::kDelay;
+  delay.delay_millis = 1;
+  reg.Arm("store.scan", delay);
+  EXPECT_EQ(reg.Evaluate("store.scan").kind, FailpointKind::kDelay);
+
+  reg.Disarm("store.scan");
+  EXPECT_EQ(reg.Evaluate("store.scan").kind, FailpointKind::kOff);
+  EXPECT_FALSE(reg.any_armed());
+}
+
+TEST_F(FailpointTest, HitsAccumulateAcrossEvaluations) {
+  FailpointRegistry& reg = FailpointRegistry::Global();
+  ASSERT_TRUE(reg.Configure("store.scan=error").ok());
+  const uint64_t before = reg.hits("store.scan");
+  for (int i = 0; i < 3; ++i) reg.Evaluate("store.scan");
+  EXPECT_EQ(reg.hits("store.scan"), before + 3);
+}
+
+}  // namespace
+}  // namespace re2xolap::util

@@ -1,8 +1,13 @@
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "core/reolap.h"
+#include "obs/metrics.h"
 #include "sparql/executor.h"
 #include "tests/test_data.h"
+#include "util/exec_guard.h"
 
 namespace re2xolap::core {
 namespace {
@@ -175,6 +180,85 @@ TEST_F(ReolapTest, AllAggregatesOffProducesSumOnly) {
   ASSERT_TRUE(r.ok());
   ASSERT_EQ(r->size(), 1u);
   EXPECT_EQ((*r)[0].measure_columns.size(), 1u);
+}
+
+// --- graceful degradation under deadlines ------------------------------------------
+
+/// Returns an ExecGuard whose deadline has already passed.
+util::ExecGuard ExpiredGuard() {
+  util::ExecGuard guard = util::ExecGuard::WithDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  return guard;
+}
+
+TEST_F(ReolapTest, TinyDeadlineStillProducesTheFirstBlock) {
+  // Min-progress guarantee: even a 1 ms overall budget yields the
+  // validated candidates of the first block instead of erroring.
+  ReolapOptions opts;
+  opts.overall_deadline_millis = 1;
+  opts.num_threads = 1;
+  ReolapStats stats;
+  auto r = reolap->Synthesize({"Germany", "2014"}, opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST_F(ReolapTest, ExpiredGuardTruncatesCombinationEnumeration) {
+  // A second interpretation of "Germany" (also an origin country below)
+  // creates a two-combination space. Under an already-expired guard,
+  // serial synthesis still processes the first one-combination block
+  // (min-progress) and then degrades: partial candidates come back with
+  // the truncated flag and a reason instead of an error.
+  using rdf::Term;
+  const Term origin_de = Term::Iri("http://test/origin/germany");
+  store->Add(origin_de, Term::Iri(re2xolap::testing::kLabelIri),
+             Term::StringLiteral("Germany"));
+  store->Add(Term::Iri("http://test/obs/0"),
+             Term::Iri("http://test/countryOrigin"), origin_de);
+  store->Freeze();
+  auto rebuilt = VirtualSchemaGraph::Build(*store, kObsClass);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  vsg = std::make_unique<VirtualSchemaGraph>(std::move(rebuilt).value());
+  text = std::make_unique<rdf::TextIndex>(*store);
+  reolap = std::make_unique<Reolap>(store.get(), vsg.get(), text.get());
+  ASSERT_EQ(reolap->MatchValue("Germany").size(), 2u);
+
+  obs::Counter& timeouts =
+      obs::MetricsRegistry::Global().GetCounter("guard.timeouts");
+  const uint64_t timeouts_before = timeouts.value();
+
+  util::ExecGuard guard = ExpiredGuard();
+  ReolapOptions opts;
+  opts.guard = &guard;
+  opts.num_threads = 1;  // serial: one combination per validation block
+  ReolapStats stats;
+  auto r = reolap->Synthesize({"Germany", "2014"}, opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_EQ(stats.combinations_checked, 1u);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_NE(stats.degraded_reason.find("remaining combinations skipped"),
+            std::string::npos)
+      << stats.degraded_reason;
+  // The guard's timeout is reported to metrics exactly once per guard no
+  // matter how many phases observed it.
+  EXPECT_EQ(timeouts.value(), timeouts_before + 1);
+}
+
+TEST_F(ReolapTest, SynthesizeMultiSkipsFilteringUnderExpiredDeadline) {
+  util::ExecGuard guard = ExpiredGuard();
+  ReolapOptions opts;
+  opts.guard = &guard;
+  opts.num_threads = 1;
+  ReolapStats stats;
+  auto r = reolap->SynthesizeMulti({{"Germany"}, {"France"}}, opts, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The first tuple's candidates survive unfiltered, explicitly flagged.
+  EXPECT_EQ(r->size(), 1u);
+  EXPECT_TRUE(stats.truncated);
+  EXPECT_NE(stats.degraded_reason.find("multi-tuple filtering"),
+            std::string::npos)
+      << stats.degraded_reason;
 }
 
 }  // namespace

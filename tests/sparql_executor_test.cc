@@ -1,8 +1,14 @@
+#include <chrono>
+#include <thread>
+
 #include <gtest/gtest.h>
 
+#include "qb/datasets.h"
+#include "qb/generator.h"
 #include "sparql/executor.h"
 #include "sparql/parser.h"
 #include "tests/test_data.h"
+#include "util/exec_guard.h"
 
 namespace re2xolap::sparql {
 namespace {
@@ -326,6 +332,136 @@ TEST_F(ExecutorTest, GroupByWithoutAggregates) {
       ?o <http://test/countryDestination> ?dest .
     } GROUP BY ?dest)");
   EXPECT_EQ(t.row_count(), 2u);
+}
+
+// --- execution guardrails ----------------------------------------------------------
+
+/// Returns an ExecGuard whose deadline has already passed.
+util::ExecGuard ExpiredGuard() {
+  util::ExecGuard guard = util::ExecGuard::WithDeadline(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  return guard;
+}
+
+TEST_F(ExecutorTest, ExpiredDeadlineTripsSortButNotSmallJoin) {
+  // Regression: the join's periodic deadline check fires only every few
+  // thousand scanned entries, so on a tiny store an expired deadline is
+  // never noticed there. The sort must still observe it — previously a
+  // long ORDER BY could run unbounded after the join finished in time.
+  util::ExecGuard guard = ExpiredGuard();
+  ExecOptions opts;
+  opts.guard = &guard;
+  const std::string base =
+      "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }";
+  auto plain = ExecuteText(*store, base, opts);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->row_count(), 5u);
+
+  auto sorted = ExecuteText(*store, base + " ORDER BY ?v", opts);
+  ASSERT_FALSE(sorted.ok());
+  EXPECT_TRUE(sorted.status().IsTimeout()) << sorted.status().ToString();
+}
+
+TEST_F(ExecutorTest, ExpiredDeadlineTripsAggregationEmit) {
+  util::ExecGuard guard = ExpiredGuard();
+  ExecOptions opts;
+  opts.guard = &guard;
+  auto r = ExecuteText(*store, R"(
+    SELECT ?dest (SUM(?v) AS ?total) WHERE {
+      ?obs <http://test/countryDestination> ?dest .
+      ?obs <http://test/numApplicants> ?v .
+    } GROUP BY ?dest)",
+                       opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+}
+
+TEST_F(ExecutorTest, RowBudgetViolationSurfacesAsResourceExhausted) {
+  util::ExecGuard::Limits limits;
+  limits.max_rows = 2;  // the pattern matches 5 observations
+  util::ExecGuard guard(limits);
+  ExecOptions opts;
+  opts.guard = &guard;
+  auto r = ExecuteText(
+      *store, "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }",
+      opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+}
+
+TEST_F(ExecutorTest, ByteBudgetViolationSurfacesAsResourceExhausted) {
+  util::ExecGuard::Limits limits;
+  limits.max_bytes = 32;  // a couple of result cells
+  util::ExecGuard guard(limits);
+  ExecOptions opts;
+  opts.guard = &guard;
+  auto r = ExecuteText(
+      *store, "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }",
+      opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+}
+
+TEST_F(ExecutorTest, GenerousGuardChargesButDoesNotTrip) {
+  util::ExecGuard::Limits limits;
+  limits.deadline_millis = 60 * 1000;
+  limits.max_rows = 1u << 20;
+  limits.max_bytes = 1u << 30;
+  util::ExecGuard guard(limits);
+  ExecOptions opts;
+  opts.guard = &guard;
+  auto r = ExecuteText(
+      *store, "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }",
+      opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->row_count(), 5u);
+  EXPECT_GT(guard.charged_rows(), 0u);
+  EXPECT_GT(guard.charged_bytes(), 0u);
+}
+
+TEST(GuardScaleTest, ShortDeadlineTripsInsideAggregationOnFig7Cube) {
+  // Acceptance shape: a 10 ms deadline against the fig7-style generated
+  // Eurostat cube returns kTimeout from within aggregation/sort. 2000
+  // observations keep the join below its periodic full-check interval,
+  // so the trip provably happens at the aggregation boundary, not in the
+  // join loop.
+  auto ds = qb::Generate(qb::EurostatSpec(2000));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  const qb::DatasetSpec& spec = ds->spec;
+  const std::string query =
+      "SELECT ?d (SUM(?v) AS ?total) WHERE { ?o <" + spec.iri_base +
+      spec.dimensions[0].predicate + "> ?d . ?o <" + spec.iri_base +
+      spec.measure_predicates[0] +
+      "> ?v . } GROUP BY ?d ORDER BY ?total";
+
+  util::ExecGuard guard = util::ExecGuard::WithDeadline(10);
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  ExecOptions opts;
+  opts.guard = &guard;
+  auto r = ExecuteText(*ds->store, query, opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+
+  // Sanity: the same query completes without the guard.
+  auto ok = ExecuteText(*ds->store, query);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_GT(ok->row_count(), 0u);
+}
+
+TEST_F(ExecutorTest, CancellationAbortsExecution) {
+  util::CancellationToken token;
+  token.Cancel();
+  util::ExecGuard guard({}, &token);
+  ExecOptions opts;
+  opts.guard = &guard;
+  // ORDER BY forces a full guard check at the sort boundary, where the
+  // cancellation is observed even though the tiny join finished first.
+  auto r = ExecuteText(*store,
+                       "SELECT ?obs ?v WHERE "
+                       "{ ?obs <http://test/numApplicants> ?v } ORDER BY ?v",
+                       opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
 }
 
 }  // namespace

@@ -106,6 +106,25 @@ TEST(ResultTest, MoveOutValue) {
   EXPECT_EQ(s, "hello");
 }
 
+TEST(ResultTest, ValueOrFallsBackOnError) {
+  Result<int> err = Status::NotFound("nope");
+  EXPECT_EQ(err.value_or(42), 42);
+  Result<int> ok = 7;
+  EXPECT_EQ(ok.value_or(42), 7);
+}
+
+TEST(ResultDeathTest, ValueAccessOnErrorAborts) {
+  Result<int> err = Status::NotFound("missing row");
+  EXPECT_DEATH_IF_SUPPORTED((void)err.value(), "value\\(\\) accessed");
+  EXPECT_DEATH_IF_SUPPORTED((void)*err, "missing row");
+}
+
+TEST(ResultDeathTest, ExpectNamesTheCallerOnAbort) {
+  Result<int> err = Status::Internal("disk gone");
+  EXPECT_DEATH_IF_SUPPORTED((void)err.expect("loading schema"),
+                            "loading schema");
+}
+
 // --- string utils ------------------------------------------------------------------
 
 TEST(StringUtilsTest, ToLower) {
