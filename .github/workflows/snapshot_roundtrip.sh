@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# End-to-end exercise of the snapshot subsystem against a real build:
+# build an image from N-Triples, verify it, export it back (must be the
+# same triple set), then flip one bit and require verification to fail.
+# Run under each sanitizer job so the loader's corruption paths stay
+# ASan/TSan-clean.
+set -euo pipefail
+
+BUILD_DIR="${1:?usage: snapshot_roundtrip.sh <build-dir>}"
+CLI="$BUILD_DIR/examples/re2xolap_snapshot"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+cat > "$WORK/data.nt" <<'EOF'
+<http://e/obs1> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Obs> .
+<http://e/obs1> <http://e/dest> <http://e/de> .
+<http://e/obs1> <http://e/count> "42"^^xsd:integer .
+<http://e/obs2> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Obs> .
+<http://e/obs2> <http://e/dest> <http://e/fr> .
+<http://e/obs2> <http://e/count> "7"^^xsd:integer .
+<http://e/de> <http://e/label> "Germany" .
+<http://e/fr> <http://e/label> "France" .
+EOF
+
+"$CLI" build "$WORK/data.nt" "$WORK/data.snap" http://e/Obs
+"$CLI" inspect "$WORK/data.snap"
+"$CLI" verify "$WORK/data.snap"
+
+"$CLI" export "$WORK/data.snap" "$WORK/export.nt"
+sort "$WORK/data.nt" > "$WORK/a"
+sort "$WORK/export.nt" > "$WORK/b"
+diff "$WORK/a" "$WORK/b"
+
+# Flip one bit mid-file; verification must now fail with a typed error.
+python3 - "$WORK/data.snap" <<'EOF'
+import pathlib, sys
+p = pathlib.Path(sys.argv[1])
+b = bytearray(p.read_bytes())
+b[len(b) // 2] ^= 0x40
+p.write_bytes(b)
+EOF
+if "$CLI" verify "$WORK/data.snap"; then
+  echo "ERROR: verify succeeded on a corrupted image" >&2
+  exit 1
+fi
+echo "snapshot round-trip OK"

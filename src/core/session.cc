@@ -193,4 +193,51 @@ void Session::Back() {
   }
 }
 
+// SnapshotSession's special members live out of line because the struct is
+// declared before Session is complete (it holds a unique_ptr<Session>).
+SnapshotSession::SnapshotSession() = default;
+SnapshotSession::SnapshotSession(SnapshotSession&&) noexcept = default;
+SnapshotSession& SnapshotSession::operator=(SnapshotSession&&) noexcept =
+    default;
+SnapshotSession::~SnapshotSession() = default;
+
+util::Status Session::SaveSnapshot(
+    const std::string& path,
+    const storage::SnapshotWriteOptions& options) const {
+  if (text_ == nullptr || vsg_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "Session::SaveSnapshot needs the text index and schema graph; use "
+        "engine().SaveSnapshot() for a store-only image");
+  }
+  storage::VsgImage image = storage::MakeVsgImage(*vsg_);
+  return storage::SaveSnapshot(path, *store_, text_, &image, options);
+}
+
+util::Result<SnapshotSession> Session::OpenSnapshot(
+    const std::string& path, const storage::SnapshotLoadOptions& options,
+    sparql::ExecOptions exec_options, engine::EngineConfig engine_config) {
+  RE2X_ASSIGN_OR_RETURN(storage::LoadedSnapshot data,
+                        storage::LoadSnapshot(path, options));
+  if (data.text == nullptr || !data.vsg.has_value()) {
+    return util::Status::InvalidArgument(
+        "snapshot lacks the text-index and/or schema-graph sections a "
+        "session needs; load it with storage::LoadSnapshot or "
+        "engine::QueryEngine::OpenSnapshot instead");
+  }
+  SnapshotSession out;
+  out.data = std::move(data);
+  RE2X_ASSIGN_OR_RETURN(
+      VirtualSchemaGraph graph,
+      VirtualSchemaGraph::FromParts(std::move(out.data.vsg->nodes),
+                                    std::move(out.data.vsg->edges),
+                                    std::move(out.data.vsg->measures),
+                                    std::move(out.data.vsg->observation_attrs)));
+  out.vsg = std::make_unique<VirtualSchemaGraph>(std::move(graph));
+  out.data.vsg.reset();  // parts were consumed by FromParts
+  out.session = std::make_unique<Session>(out.data.store.get(), out.vsg.get(),
+                                          out.data.text.get(), exec_options,
+                                          engine_config);
+  return out;
+}
+
 }  // namespace re2xolap::core

@@ -10,9 +10,28 @@
 #include "core/reolap.h"
 #include "engine/query_engine.h"
 #include "sparql/executor.h"
+#include "storage/snapshot.h"
 #include "util/result.h"
 
 namespace re2xolap::core {
+
+class Session;
+
+/// A full exploration environment reconstructed from a snapshot image by
+/// Session::OpenSnapshot: the dataset (`data`), the rebuilt schema graph,
+/// and a Session wired to them. `session` holds pointers into `data` and
+/// `vsg`; moving the struct is fine (the unique_ptr targets are stable),
+/// but the parts must stay together for the session's lifetime.
+struct SnapshotSession {
+  storage::LoadedSnapshot data;
+  std::unique_ptr<VirtualSchemaGraph> vsg;
+  std::unique_ptr<Session> session;
+
+  SnapshotSession();
+  SnapshotSession(SnapshotSession&&) noexcept;
+  SnapshotSession& operator=(SnapshotSession&&) noexcept;
+  ~SnapshotSession();
+};
 
 /// The refinement methods offered each round (ExRef in Algorithm 2; the
 /// cluster method is the user-study prototype's alternative to TopK).
@@ -130,6 +149,27 @@ class Session {
   /// most recent cache-missing Execute(). Zeroed until the first query
   /// runs.
   const sparql::ExecStats& last_exec_stats() const { return last_exec_; }
+
+  /// Serializes the session's full dataset image — store, text index, and
+  /// schema graph — into a snapshot at `path`, so a later process can boot
+  /// with OpenSnapshot instead of re-parsing and re-crawling. Honors
+  /// `options.guard` (deadline/cancel) and the `snapshot.save` failpoint.
+  util::Status SaveSnapshot(
+      const std::string& path,
+      const storage::SnapshotWriteOptions& options = {}) const;
+
+  /// Boots a complete exploration environment from a snapshot image
+  /// written by SaveSnapshot. The image must carry the text-index and
+  /// schema-graph sections (ReOLAP needs both); store-only images can
+  /// still be loaded with storage::LoadSnapshot or
+  /// engine::QueryEngine::OpenSnapshot. The schema graph is reconstructed
+  /// via VirtualSchemaGraph::FromParts, which re-derives level paths and
+  /// the member index and re-validates edges.
+  static util::Result<SnapshotSession> OpenSnapshot(
+      const std::string& path,
+      const storage::SnapshotLoadOptions& options = {},
+      sparql::ExecOptions exec_options = {},
+      engine::EngineConfig engine_config = {});
 
  private:
   void InvalidateResults() { results_.reset(); }

@@ -305,4 +305,22 @@ util::Result<TableHandle> QueryEngine::ExecuteText(
   return Execute(query, options, stats);
 }
 
+util::Status QueryEngine::SaveSnapshot(
+    const std::string& path,
+    const storage::SnapshotWriteOptions& options) const {
+  return storage::SaveSnapshot(path, store_, /*text=*/nullptr,
+                               /*vsg=*/nullptr, options);
+}
+
+util::Result<EngineSnapshot> QueryEngine::OpenSnapshot(
+    const std::string& path, const storage::SnapshotLoadOptions& options,
+    EngineConfig config) {
+  RE2X_ASSIGN_OR_RETURN(storage::LoadedSnapshot data,
+                        storage::LoadSnapshot(path, options));
+  EngineSnapshot out;
+  out.data = std::move(data);
+  out.engine = std::make_unique<QueryEngine>(*out.data.store, config);
+  return out;
+}
+
 }  // namespace re2xolap::engine

@@ -15,9 +15,20 @@
 #include "sparql/executor.h"
 #include "sparql/plan.h"
 #include "sparql/result_table.h"
+#include "storage/snapshot.h"
 #include "util/result.h"
 
 namespace re2xolap::engine {
+
+class QueryEngine;
+
+/// A dataset + engine pair reconstructed from a snapshot image by
+/// QueryEngine::OpenSnapshot. `engine` reads `data.store`, so keep the pair
+/// together (moving the struct is fine; the unique_ptr targets are stable).
+struct EngineSnapshot {
+  storage::LoadedSnapshot data;
+  std::unique_ptr<QueryEngine> engine;
+};
 
 /// Shared, immutable handle to a materialized result. Cache hits hand the
 /// same table to every caller, so results must never be mutated through a
@@ -117,6 +128,22 @@ class QueryEngine {
   /// Drops every cached plan and result and records the store's current
   /// freeze epoch. Called automatically when the epoch moves.
   void InvalidateCaches();
+
+  /// Serializes this engine's (frozen) store into a snapshot image at
+  /// `path`. Store-only: text-index and schema-graph sections are written
+  /// by core::Session::SaveSnapshot, which sees those structures.
+  util::Status SaveSnapshot(
+      const std::string& path,
+      const storage::SnapshotWriteOptions& options = {}) const;
+
+  /// Boots a store + engine from a snapshot image. The engine's caches
+  /// start empty but are keyed on the image's restored freeze_epoch, so
+  /// they behave exactly as they would on the store the image was saved
+  /// from.
+  static util::Result<EngineSnapshot> OpenSnapshot(
+      const std::string& path,
+      const storage::SnapshotLoadOptions& options = {},
+      EngineConfig config = {});
 
   /// Snapshot of this instance's cache counters.
   EngineCacheStats cache_stats() const;

@@ -1,27 +1,50 @@
 #include "rdf/dictionary.h"
 
+#include <utility>
+
 namespace re2xolap::rdf {
 
 TermId Dictionary::Intern(const Term& term) {
   auto it = index_.find(term);
-  if (it != index_.end()) return it->second;
+  if (it != index_.end()) return *it;
   TermId id = static_cast<TermId>(terms_.size());
+  // Push before inserting the id: the index hashes ids through terms_.
   terms_.push_back(term);
-  index_.emplace(term, id);
+  index_.insert(id);
+  return id;
+}
+
+TermId Dictionary::Intern(Term&& term) {
+  // Insert-first: push the term, then let the single hash of insert()
+  // either claim the new id or reveal the existing one. Bulk loaders
+  // (snapshot restore) intern mostly-new terms, and this halves the hash
+  // computations versus find-then-insert.
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(std::move(term));
+  auto [it, inserted] = index_.insert(id);
+  if (!inserted) {
+    terms_.pop_back();
+    return *it;
+  }
   return id;
 }
 
 TermId Dictionary::Lookup(const Term& term) const {
   auto it = index_.find(term);
-  return it == index_.end() ? kInvalidTermId : it->second;
+  return it == index_.end() ? kInvalidTermId : *it;
+}
+
+void Dictionary::Reserve(size_t n) {
+  terms_.reserve(n + 1);
+  index_.reserve(n);
 }
 
 size_t Dictionary::MemoryUsage() const {
   size_t bytes = terms_.capacity() * sizeof(Term);
   for (const Term& t : terms_) bytes += t.value.capacity();
-  // Rough estimate of the hash index: bucket array + nodes.
+  // The id index stores 4-byte ids, not Term copies: bucket array + nodes.
   bytes += index_.bucket_count() * sizeof(void*);
-  bytes += index_.size() * (sizeof(Term) + sizeof(TermId) + 2 * sizeof(void*));
+  bytes += index_.size() * (sizeof(TermId) + 2 * sizeof(void*));
   return bytes;
 }
 

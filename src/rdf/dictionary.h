@@ -2,7 +2,7 @@
 #define RE2XOLAP_RDF_DICTIONARY_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "rdf/term.h"
@@ -18,6 +18,11 @@ inline constexpr TermId kInvalidTermId = 0;
 /// Bidirectional Term <-> TermId mapping. Interning terms once lets the
 /// triple store and all query processing work on fixed-width integers.
 ///
+/// Each term is stored exactly once, in `terms_`: the reverse index is an
+/// unordered_set of TermIds whose transparent hash/equality functors look
+/// the term text up through `terms_`, so interning N terms costs N Term
+/// objects plus N 4-byte ids — not 2N Terms as a Term-keyed map would.
+///
 /// Concurrent-read contract: once loading finishes (in practice: once the
 /// owning TripleStore is Freeze()-d), Lookup()/term()/IsValid()/ForEach()
 /// are safe from any number of threads — they are const hash/vector reads
@@ -26,7 +31,8 @@ inline constexpr TermId kInvalidTermId = 0;
 /// this in debug builds.
 class Dictionary {
  public:
-  Dictionary() {
+  Dictionary()
+      : index_(/*bucket_count=*/16, IdHash{&terms_}, IdEq{&terms_}) {
     // Slot 0 is the invalid id.
     terms_.emplace_back();
   }
@@ -36,6 +42,9 @@ class Dictionary {
 
   /// Interns `term`, returning its id (existing id if already present).
   TermId Intern(const Term& term);
+  /// Move-interning overload: bulk loaders (snapshot restore, parsers)
+  /// hand the Term over instead of paying a lexical-form copy per call.
+  TermId Intern(Term&& term);
 
   /// Looks up an existing term; kInvalidTermId when absent.
   TermId Lookup(const Term& term) const;
@@ -48,6 +57,10 @@ class Dictionary {
   /// Number of interned terms (excluding the reserved invalid slot).
   size_t size() const { return terms_.size() - 1; }
 
+  /// Pre-sizes the term vector and hash index for `n` terms (snapshot
+  /// restore knows the exact count up front).
+  void Reserve(size_t n);
+
   /// Iterates every interned (id, term) pair in id order. Fn is called as
   /// fn(TermId, const Term&).
   template <typename Fn>
@@ -59,8 +72,33 @@ class Dictionary {
   size_t MemoryUsage() const;
 
  private:
+  /// Transparent hash/equality pair for the id index: an id hashes/compares
+  /// as the Term it denotes, so lookups by `const Term&` need no Term copy.
+  /// The functors hold a pointer to the vector object (not its data), so
+  /// term-vector reallocation is harmless; Dictionary is neither copyable
+  /// nor movable, so the pointer never dangles.
+  struct IdHash {
+    using is_transparent = void;
+    const std::vector<Term>* terms;
+    size_t operator()(TermId id) const { return TermHash()((*terms)[id]); }
+    size_t operator()(const Term& t) const { return TermHash()(t); }
+  };
+  struct IdEq {
+    using is_transparent = void;
+    const std::vector<Term>* terms;
+    // Id-id equality goes through the terms (not id identity) so the
+    // move-Intern's insert-first path can detect that a freshly pushed
+    // term equals an already-indexed one. Stored ids always denote
+    // distinct terms, so behavior for existing elements is unchanged.
+    bool operator()(TermId a, TermId b) const {
+      return a == b || (*terms)[a] == (*terms)[b];
+    }
+    bool operator()(TermId a, const Term& b) const { return (*terms)[a] == b; }
+    bool operator()(const Term& a, TermId b) const { return (*terms)[b] == a; }
+  };
+
   std::vector<Term> terms_;
-  std::unordered_map<Term, TermId, TermHash> index_;
+  std::unordered_set<TermId, IdHash, IdEq> index_;
 };
 
 }  // namespace re2xolap::rdf

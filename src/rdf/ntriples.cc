@@ -40,7 +40,17 @@ bool ParseTerm(std::string_view line, size_t* i, Term* out,
     size_t end = *i + 1;
     std::string lex;
     while (end < line.size() && line[end] != '"') {
-      if (line[end] == '\\' && end + 1 < line.size()) ++end;
+      if (line[end] == '\\' && end + 1 < line.size()) {
+        ++end;
+        switch (line[end]) {
+          case 'n': lex += '\n'; break;
+          case 'r': lex += '\r'; break;
+          case 't': lex += '\t'; break;
+          default: lex += line[end]; break;  // \\ and \" decode here too
+        }
+        ++end;
+        continue;
+      }
       lex += line[end];
       ++end;
     }
@@ -78,11 +88,53 @@ bool ParseTerm(std::string_view line, size_t* i, Term* out,
 
 }  // namespace
 
+namespace {
+
+// Escapes a literal lexical form for embedding between the writer's quotes.
+std::string EscapeLexical(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToNTriples(const Term& term) {
+  switch (term.kind) {
+    case TermKind::kIri:
+      return "<" + term.value + ">";
+    case TermKind::kBlankNode:
+      return "_:" + term.value;
+    case TermKind::kLiteral: {
+      std::string quoted = "\"" + EscapeLexical(term.value) + "\"";
+      switch (term.literal_type) {
+        case LiteralType::kString: return quoted;
+        case LiteralType::kInteger: return quoted + "^^xsd:integer";
+        case LiteralType::kDouble: return quoted + "^^xsd:double";
+        case LiteralType::kBoolean: return quoted + "^^xsd:boolean";
+        case LiteralType::kDate: return quoted + "^^xsd:date";
+        case LiteralType::kOther: return quoted + "^^<unknown>";
+      }
+      return quoted;
+    }
+  }
+  return term.value;
+}
+
 void WriteNTriples(const TripleStore& store, std::ostream& os) {
-  for (const EncodedTriple& t :
-       store.Match(TriplePattern{})) {
-    os << store.term(t.s).ToString() << " " << store.term(t.p).ToString()
-       << " " << store.term(t.o).ToString() << " .\n";
+  for (const EncodedTriple& t : store.Match(TriplePattern{})) {
+    os << ToNTriples(store.term(t.s)) << " " << ToNTriples(store.term(t.p))
+       << " " << ToNTriples(store.term(t.o)) << " .\n";
   }
 }
 

@@ -2,6 +2,7 @@
 #define RE2XOLAP_RDF_NTRIPLES_H_
 
 #include <ostream>
+#include <string>
 #include <string_view>
 
 #include "rdf/triple_store.h"
@@ -9,15 +10,27 @@
 
 namespace re2xolap::rdf {
 
-/// Serializes the store's triples in an N-Triples-like line format:
+/// Renders one term in the writer's N-Triples-like syntax: <iri>, _:label,
+/// or "literal"^^type-suffix with backslash escapes (\\ \" \n \r \t) in the
+/// lexical form, so literals containing quotes or newlines survive a
+/// write → parse round trip (unlike Term::ToString(), which is display-
+/// oriented and escapes nothing).
+std::string ToNTriples(const Term& term);
+
+/// Serializes the store's triples (canonical SPO order) in an N-Triples-
+/// like line format:
 ///   <s-iri> <p-iri> <o-term> .
-/// Literals are rendered with a datatype suffix as in Term::ToString().
+/// The store must be frozen. Together with ParseNTriples this round-trips:
+/// parse(write(store)) reproduces the exact same term values and triple
+/// set, so any loaded snapshot can be exported back to text.
 void WriteNTriples(const TripleStore& store, std::ostream& os);
 
 /// Parses N-Triples-like text (one `<s> <p> o .` statement per line; `#`
 /// comments and blank lines allowed) into `store`. Supported object forms:
 /// <iri>, _:blank, "string", "lex"^^xsd:integer|xsd:double|xsd:boolean|
-/// xsd:date. The caller still needs to Freeze() the store.
+/// xsd:date. Backslash escapes \\ \" \n \r \t in literals are decoded;
+/// an unknown escape keeps the escaped character. The caller still needs
+/// to Freeze() the store.
 util::Status ParseNTriples(std::string_view text, TripleStore* store);
 
 }  // namespace re2xolap::rdf

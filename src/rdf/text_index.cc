@@ -19,6 +19,17 @@ TextIndex::TextIndex(const TripleStore& store) {
   // ForEach visits ids in increasing order, so posting lists are sorted.
 }
 
+std::unique_ptr<TextIndex> TextIndex::FromParts(
+    std::unordered_map<std::string, std::vector<TermId>> postings,
+    std::unordered_map<std::string, std::vector<TermId>> exact,
+    size_t indexed_literals) {
+  std::unique_ptr<TextIndex> index(new TextIndex());
+  index->postings_ = std::move(postings);
+  index->exact_ = std::move(exact);
+  index->indexed_literals_ = indexed_literals;
+  return index;
+}
+
 std::vector<TermId> TextIndex::ExactMatch(std::string_view text) const {
   auto it = exact_.find(util::ToLower(text));
   return it == exact_.end() ? std::vector<TermId>{} : it->second;

@@ -1,6 +1,7 @@
 #ifndef RE2XOLAP_RDF_TEXT_INDEX_H_
 #define RE2XOLAP_RDF_TEXT_INDEX_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -35,6 +36,26 @@ class TextIndex {
   TextIndex(const TextIndex&) = delete;
   TextIndex& operator=(const TextIndex&) = delete;
 
+  /// Restores an index image captured by the snapshot subsystem
+  /// (src/storage/) without re-tokenizing the store: `postings` and
+  /// `exact` must be exactly what postings_map()/exact_map() of the saved
+  /// index contained (posting lists sorted by id).
+  static std::unique_ptr<TextIndex> FromParts(
+      std::unordered_map<std::string, std::vector<TermId>> postings,
+      std::unordered_map<std::string, std::vector<TermId>> exact,
+      size_t indexed_literals);
+
+  /// Raw postings (token -> sorted literal ids) and exact-match (lowercase
+  /// full text -> sorted literal ids) maps, for snapshot serialization.
+  const std::unordered_map<std::string, std::vector<TermId>>& postings_map()
+      const {
+    return postings_;
+  }
+  const std::unordered_map<std::string, std::vector<TermId>>& exact_map()
+      const {
+    return exact_;
+  }
+
   /// Literal term ids whose full lowercase text equals `text` (lowercased).
   std::vector<TermId> ExactMatch(std::string_view text) const;
 
@@ -62,6 +83,8 @@ class TextIndex {
   size_t MemoryUsage() const;
 
  private:
+  TextIndex() = default;  // FromParts
+
   std::unordered_map<std::string, std::vector<TermId>> postings_;
   std::unordered_map<std::string, std::vector<TermId>> exact_;
   size_t indexed_literals_ = 0;

@@ -38,7 +38,7 @@ struct OspLess {
 // match the prefix encoded in lo/hi sentinel triples.
 template <typename Cmp>
 std::span<const EncodedTriple> EqualRange(
-    const std::vector<EncodedTriple>& index, const EncodedTriple& lo,
+    std::span<const EncodedTriple> index, const EncodedTriple& lo,
     const EncodedTriple& hi, Cmp cmp) {
   auto first = std::lower_bound(index.begin(), index.end(), lo, cmp);
   auto last = std::upper_bound(index.begin(), index.end(), hi, cmp);
@@ -59,14 +59,75 @@ void TripleStore::AddEncoded(EncodedTriple t) {
   assert(dict_.IsValid(t.s) && dict_.IsValid(t.p) && dict_.IsValid(t.o));
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::Add() during concurrent reads of a frozen store");
+  Materialize();
   spo_.push_back(t);
   frozen_ = false;
+}
+
+void TripleStore::Materialize() {
+  if (keepalive_ == nullptr) return;
+  spo_.assign(spo_view_.begin(), spo_view_.end());
+  pos_.assign(pos_view_.begin(), pos_view_.end());
+  osp_.assign(osp_view_.begin(), osp_view_.end());
+  spo_view_ = {};
+  pos_view_ = {};
+  osp_view_ = {};
+  keepalive_.reset();
+}
+
+void TripleStore::AdoptFrozen(std::vector<EncodedTriple> spo,
+                              std::vector<EncodedTriple> pos,
+                              std::vector<EncodedTriple> osp,
+                              std::unordered_map<TermId, PredicateStats> stats,
+                              uint64_t epoch) {
+  assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+         "TripleStore::AdoptFrozen() during concurrent reads");
+  spo_ = std::move(spo);
+  pos_ = std::move(pos);
+  osp_ = std::move(osp);
+  spo_view_ = {};
+  pos_view_ = {};
+  osp_view_ = {};
+  keepalive_.reset();
+  stats_ = std::move(stats);
+  frozen_ = true;
+  freeze_epoch_ = epoch;
+  obs::MetricsRegistry::Global()
+      .GetGauge("store.triples")
+      .Set(static_cast<double>(size()));
+}
+
+void TripleStore::AdoptFrozenView(
+    std::span<const EncodedTriple> spo, std::span<const EncodedTriple> pos,
+    std::span<const EncodedTriple> osp,
+    std::unordered_map<TermId, PredicateStats> stats, uint64_t epoch,
+    std::shared_ptr<const void> keepalive) {
+  assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+         "TripleStore::AdoptFrozenView() during concurrent reads");
+  assert(keepalive != nullptr && "view adoption requires a keepalive");
+  spo_.clear();
+  spo_.shrink_to_fit();
+  pos_.clear();
+  pos_.shrink_to_fit();
+  osp_.clear();
+  osp_.shrink_to_fit();
+  spo_view_ = spo;
+  pos_view_ = pos;
+  osp_view_ = osp;
+  keepalive_ = std::move(keepalive);
+  stats_ = std::move(stats);
+  frozen_ = true;
+  freeze_epoch_ = epoch;
+  obs::MetricsRegistry::Global()
+      .GetGauge("store.triples")
+      .Set(static_cast<double>(size()));
 }
 
 void TripleStore::Freeze(util::ThreadPool* pool) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::Freeze() during concurrent reads");
   obs::Span span("store.freeze");
+  Materialize();
   span.SetAttr("triples", static_cast<uint64_t>(spo_.size()));
   {
     obs::Span child("store.build_indexes");
@@ -177,25 +238,26 @@ std::span<const EncodedTriple> TripleStore::Match(
   if (bs) {
     // SPO serves s / s,p / s,p,o; OSP serves s,o.
     if (!bp && bo) {
-      return EqualRange(osp_, EncodedTriple{q.s, kInvalidTermId, q.o},
+      return EqualRange(OspView(), EncodedTriple{q.s, kInvalidTermId, q.o},
                         EncodedTriple{q.s, kMaxId, q.o}, OspLess());
     }
     EncodedTriple lo{q.s, bp ? q.p : kInvalidTermId, bo ? q.o : kInvalidTermId};
     EncodedTriple hi{q.s, bp ? q.p : kMaxId, bo ? q.o : kMaxId};
-    return EqualRange(spo_, lo, hi, SpoLess());
+    return EqualRange(SpoView(), lo, hi, SpoLess());
   }
   if (bp) {
     // POS serves p / p,o.
     EncodedTriple lo{kInvalidTermId, q.p, bo ? q.o : kInvalidTermId};
     EncodedTriple hi{kMaxId, q.p, bo ? q.o : kMaxId};
-    return EqualRange(pos_, lo, hi, PosLess());
+    return EqualRange(PosView(), lo, hi, PosLess());
   }
   if (bo) {
     // OSP serves o.
-    return EqualRange(osp_, EncodedTriple{kInvalidTermId, kInvalidTermId, q.o},
+    return EqualRange(OspView(),
+                      EncodedTriple{kInvalidTermId, kInvalidTermId, q.o},
                       EncodedTriple{kMaxId, kMaxId, q.o}, OspLess());
   }
-  return std::span<const EncodedTriple>(spo_.data(), spo_.size());
+  return SpoView();
 }
 
 uint64_t TripleStore::CountMatches(const TriplePattern& pattern) const {
@@ -242,6 +304,8 @@ PredicateStats TripleStore::predicate_stats(TermId p) const {
 }
 
 size_t TripleStore::MemoryUsage() const {
+  // Borrowed (mmap-backed) indexes are file-backed pages, not heap: the
+  // owned vectors are empty then and contribute zero.
   return dict_.MemoryUsage() +
          (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
              sizeof(EncodedTriple) +

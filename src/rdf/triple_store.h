@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -35,6 +36,13 @@ struct PredicateStats {
 /// Further Add() calls invalidate the indexes; Freeze() rebuilds them.
 /// This mirrors the paper's setting: the KG is loaded/bootstrapped once and
 /// then queried read-only.
+///
+/// Index storage is either owned (std::vector, the normal build path) or
+/// borrowed (std::span into a memory-mapped snapshot image installed by
+/// AdoptFrozenView; see src/storage/). Borrowed indexes serve the exact
+/// same read paths with zero copies; the first mutation (Add/AddEncoded/
+/// Freeze) transparently materializes owned copies and releases the
+/// mapping, so the mutable API keeps working after a zero-copy load.
 ///
 /// Concurrent-read contract: after Freeze() returns, every const member
 /// (Match, CountMatches, Exists, Lookup, term, predicate_stats, ...) is
@@ -72,7 +80,36 @@ class TripleStore {
   /// results (e.g. engine::QueryEngine) include the epoch in their keys so
   /// a re-Freeze() — the only way new data becomes visible — invalidates
   /// every entry derived from the previous index state. 0 = never frozen.
+  /// Snapshot restore (AdoptFrozen*) reinstalls the epoch the image was
+  /// saved at, so cache keys behave identically across a save/load cycle.
   uint64_t freeze_epoch() const { return freeze_epoch_; }
+
+  /// --- Snapshot restore (src/storage/) -----------------------------------
+
+  /// Installs a fully built frozen image: the three arrays must already be
+  /// sorted in their permutation orders and deduplicated, `stats` must
+  /// match them, and every id must be interned in dictionary(). Marks the
+  /// store frozen at `epoch`. Replaces any previous triple data.
+  void AdoptFrozen(std::vector<EncodedTriple> spo,
+                   std::vector<EncodedTriple> pos,
+                   std::vector<EncodedTriple> osp,
+                   std::unordered_map<TermId, PredicateStats> stats,
+                   uint64_t epoch);
+
+  /// Zero-copy variant: the spans alias externally owned memory (typically
+  /// a memory-mapped snapshot) which `keepalive` keeps valid; the store
+  /// holds the keepalive until destruction or the first mutation (which
+  /// materializes owned copies first). Same preconditions as AdoptFrozen.
+  void AdoptFrozenView(std::span<const EncodedTriple> spo,
+                       std::span<const EncodedTriple> pos,
+                       std::span<const EncodedTriple> osp,
+                       std::unordered_map<TermId, PredicateStats> stats,
+                       uint64_t epoch, std::shared_ptr<const void> keepalive);
+
+  /// True while the indexes borrow a loaded snapshot image — mapped file
+  /// or heap buffer (diagnostics; flips to false when a mutation
+  /// materializes owned copies).
+  bool borrows_snapshot() const { return keepalive_ != nullptr; }
 
   /// --- Term access -------------------------------------------------------
 
@@ -118,10 +155,24 @@ class TripleStore {
   /// Statistics for a predicate (zeroes for unknown predicates).
   PredicateStats predicate_stats(TermId p) const;
 
+  /// All predicate statistics (snapshot serialization).
+  const std::unordered_map<TermId, PredicateStats>& all_predicate_stats()
+      const {
+    return stats_;
+  }
+
+  /// The three sorted index permutations as contiguous spans (canonical
+  /// triple list = spo_span()). Snapshot serialization reads these; they
+  /// require frozen().
+  std::span<const EncodedTriple> spo_span() const { return SpoView(); }
+  std::span<const EncodedTriple> pos_span() const { return PosView(); }
+  std::span<const EncodedTriple> osp_span() const { return OspView(); }
+
   /// --- Size accounting ----------------------------------------------------
 
-  uint64_t size() const { return spo_.size(); }
-  /// Approximate heap footprint in bytes (dictionary + 3 indexes).
+  uint64_t size() const { return SpoView().size(); }
+  /// Approximate heap footprint in bytes (dictionary + 3 indexes). Borrowed
+  /// (mmap-backed) indexes are not heap and count as zero.
   size_t MemoryUsage() const;
 
  private:
@@ -145,6 +196,22 @@ class TripleStore {
 #endif
   };
 
+  /// Owned-or-borrowed view selection. While keepalive_ is set the spans
+  /// alias the mapped image; otherwise they are the owned vectors.
+  std::span<const EncodedTriple> SpoView() const {
+    return keepalive_ ? spo_view_ : std::span<const EncodedTriple>(spo_);
+  }
+  std::span<const EncodedTriple> PosView() const {
+    return keepalive_ ? pos_view_ : std::span<const EncodedTriple>(pos_);
+  }
+  std::span<const EncodedTriple> OspView() const {
+    return keepalive_ ? osp_view_ : std::span<const EncodedTriple>(osp_);
+  }
+
+  /// Copies borrowed views into owned vectors and drops the keepalive, so
+  /// mutation can proceed on owned storage. No-op for owned stores.
+  void Materialize();
+
   /// Reorders [first,last) of spo_ range helpers.
   void BuildIndexes(util::ThreadPool* pool);
   void ComputeStats(util::ThreadPool* pool);
@@ -155,6 +222,11 @@ class TripleStore {
   std::vector<EncodedTriple> spo_;  // sorted by (s, p, o)
   std::vector<EncodedTriple> pos_;  // sorted by (p, o, s)
   std::vector<EncodedTriple> osp_;  // sorted by (o, s, p)
+  // Borrowed-index state (AdoptFrozenView): spans into `keepalive_`.
+  std::span<const EncodedTriple> spo_view_;
+  std::span<const EncodedTriple> pos_view_;
+  std::span<const EncodedTriple> osp_view_;
+  std::shared_ptr<const void> keepalive_;
   std::unordered_map<TermId, PredicateStats> stats_;
   bool frozen_ = false;
   uint64_t freeze_epoch_ = 0;

@@ -1,0 +1,955 @@
+#include "storage/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstring>
+#include <type_traits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/snapshot_io.h"
+#include "util/failpoint.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace re2xolap::storage {
+
+// The triple-index sections are raw memory images of EncodedTriple arrays;
+// the format is only valid if the in-memory layout is the expected packed
+// little-endian (u32 s, u32 p, u32 o).
+static_assert(sizeof(rdf::EncodedTriple) == 12,
+              "EncodedTriple layout is part of the snapshot format");
+static_assert(std::is_trivially_copyable_v<rdf::EncodedTriple>);
+static_assert(std::endian::native == std::endian::little,
+              "snapshot images are little-endian");
+
+namespace {
+
+using rdf::EncodedTriple;
+using rdf::TermId;
+
+// Fixed header prefix: magic(8) version(4) section_count(4) file_bytes(8)
+// freeze_epoch(8) triple_count(8) term_count(8) flags(8).
+constexpr uint64_t kFixedHeaderBytes = 56;
+constexpr uint64_t kSectionEntryBytes = 32;
+constexpr uint32_t kMaxSections = 64;
+// Poll the ExecGuard every this many loop iterations in term/posting loops.
+constexpr size_t kGuardStride = 1 << 16;
+
+uint64_t AlignUp(uint64_t v) {
+  return (v + kSectionAlignment - 1) & ~(kSectionAlignment - 1);
+}
+
+uint64_t HeaderBytes(size_t section_count) {
+  return kFixedHeaderBytes + section_count * kSectionEntryBytes + 8;
+}
+
+// Permutation orders, mirroring the (internal) comparators the TripleStore
+// sorts with; load-time validation re-checks sortedness so binary searches
+// on an adopted image behave exactly like on a freshly frozen store.
+// Functors (not functions) so the validation loop instantiates per order
+// and the comparison inlines instead of going through a function pointer.
+struct SpoLessCmp {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct PosLessCmp {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OspLessCmp {
+  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+inline constexpr SpoLessCmp SpoLess{};
+inline constexpr PosLessCmp PosLess{};
+inline constexpr OspLessCmp OspLess{};
+
+util::Status GuardCheck(const util::ExecGuard* guard) {
+  return guard == nullptr ? util::Status::OK() : guard->Check();
+}
+
+/// Runs fn(i) for i in [0, n), across `pool` when available. `fn` must be
+/// exception-free (it reports problems through per-index slots).
+void RunParallel(util::ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool != nullptr && pool->size() > 0) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+// --- section payload encoders ------------------------------------------------
+
+util::Status EncodeDictionary(const rdf::Dictionary& dict,
+                              const util::ExecGuard* guard,
+                              std::string* out) {
+  ByteWriter w;
+  w.Reserve(dict.size() * 24);
+  w.U64(dict.size());
+  util::Status st;
+  size_t i = 0;
+  dict.ForEach([&](TermId, const rdf::Term& t) {
+    if (!st.ok()) return;
+    if (++i % kGuardStride == 0) st = GuardCheck(guard);
+    w.U8(static_cast<uint8_t>(t.kind));
+    w.U8(static_cast<uint8_t>(t.literal_type));
+    w.Str(t.value);
+  });
+  RE2X_RETURN_IF_ERROR(st);
+  *out = w.Take();
+  return util::Status::OK();
+}
+
+util::Status EncodeStats(
+    const std::unordered_map<TermId, rdf::PredicateStats>& stats,
+    std::string* out) {
+  // Deterministic images: emit in predicate-id order.
+  std::vector<TermId> keys;
+  keys.reserve(stats.size());
+  for (const auto& [p, st] : stats) keys.push_back(p);
+  std::sort(keys.begin(), keys.end());
+  ByteWriter w;
+  w.Reserve(8 + keys.size() * 28);
+  w.U64(keys.size());
+  for (TermId p : keys) {
+    const rdf::PredicateStats& st = stats.at(p);
+    w.U32(p);
+    w.U64(st.triple_count);
+    w.U64(st.distinct_subjects);
+    w.U64(st.distinct_objects);
+  }
+  *out = w.Take();
+  return util::Status::OK();
+}
+
+void EncodePostingsMap(
+    const std::unordered_map<std::string, std::vector<TermId>>& map,
+    ByteWriter* w) {
+  // Deterministic images: emit entries in key order.
+  std::vector<const std::pair<const std::string, std::vector<TermId>>*> order;
+  order.reserve(map.size());
+  for (const auto& entry : map) order.push_back(&entry);
+  std::sort(order.begin(), order.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  w->U64(order.size());
+  for (const auto* entry : order) {
+    w->Str(entry->first);
+    w->U64(entry->second.size());
+    for (TermId id : entry->second) w->U32(id);
+  }
+}
+
+util::Status EncodeTextIndex(const rdf::TextIndex& text,
+                             const util::ExecGuard* guard, std::string* out) {
+  RE2X_RETURN_IF_ERROR(GuardCheck(guard));
+  ByteWriter w;
+  w.U64(text.indexed_literal_count());
+  EncodePostingsMap(text.exact_map(), &w);
+  RE2X_RETURN_IF_ERROR(GuardCheck(guard));
+  EncodePostingsMap(text.postings_map(), &w);
+  *out = w.Take();
+  return util::Status::OK();
+}
+
+util::Status EncodeVsg(const VsgImage& vsg, std::string* out) {
+  ByteWriter w;
+  w.U64(vsg.nodes.size());
+  for (const core::VsgNode& n : vsg.nodes) {
+    w.I32(n.id);
+    w.U8(n.is_root ? 1 : 0);
+    w.Str(n.name);
+    w.U64(n.members.size());
+    for (TermId m : n.members) w.U32(m);
+    w.U64(n.attribute_predicates.size());
+    for (TermId a : n.attribute_predicates) w.U32(a);
+  }
+  w.U64(vsg.edges.size());
+  for (const core::VsgEdge& e : vsg.edges) {
+    w.I32(e.from);
+    w.I32(e.to);
+    w.U32(e.predicate);
+  }
+  w.U64(vsg.measures.size());
+  for (TermId m : vsg.measures) w.U32(m);
+  w.U64(vsg.observation_attrs.size());
+  for (TermId a : vsg.observation_attrs) w.U32(a);
+  *out = w.Take();
+  return util::Status::OK();
+}
+
+// --- section payload decoders ------------------------------------------------
+
+util::Status CheckTermId(uint32_t id, uint64_t term_count, const char* what) {
+  if (id == rdf::kInvalidTermId || id > term_count) {
+    return util::Status::ParseError(
+        std::string("snapshot ") + what + " references term id " +
+        std::to_string(id) + " outside the dictionary (" +
+        std::to_string(term_count) + " terms)");
+  }
+  return util::Status::OK();
+}
+
+/// Reads a u64-counted list of term ids, bounds-checking the count against
+/// the remaining payload before reserving and every id against the
+/// dictionary size.
+util::Status ReadIdList(ByteReader* r, uint64_t term_count, const char* what,
+                        std::vector<TermId>* out) {
+  uint64_t n = 0;
+  RE2X_RETURN_IF_ERROR(r->U64(&n));
+  if (n * sizeof(TermId) > r->remaining()) {
+    return util::Status::ParseError(
+        std::string("snapshot ") + what + " id list overruns payload");
+  }
+  // Bulk-copy the array (bounds were checked above), then range-check with
+  // plain compares; a Status is only built on the failure path. Id lists
+  // appear once per posting / member list, so this loop is hot.
+  out->resize(n);
+  if (n > 0) {
+    std::memcpy(out->data(), r->cursor(), n * sizeof(TermId));
+    RE2X_RETURN_IF_ERROR(r->Skip(n * sizeof(TermId)));
+  }
+  const uint32_t max_id =
+      static_cast<uint32_t>(std::min<uint64_t>(term_count, UINT32_MAX));
+  for (uint32_t id : *out) {
+    if (id - 1 >= max_id) [[unlikely]] {
+      return CheckTermId(id, term_count, what);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status DecodeDictionary(const std::byte* data, size_t bytes,
+                              uint64_t term_count,
+                              const util::ExecGuard* guard,
+                              rdf::Dictionary* dict) {
+  ByteReader r(data, bytes);
+  uint64_t count = 0;
+  RE2X_RETURN_IF_ERROR(r.U64(&count));
+  if (count != term_count) {
+    return util::Status::ParseError(
+        "snapshot dictionary declares " + std::to_string(count) +
+        " terms but the header says " + std::to_string(term_count));
+  }
+  // Each term occupies at least 6 bytes (kind + type + length), so a
+  // crafted count cannot force an oversized reservation.
+  if (count * 6 > r.remaining()) {
+    return util::Status::ParseError("snapshot dictionary overruns payload");
+  }
+  dict->Reserve(count);
+  std::string value;
+  for (uint64_t i = 0; i < count; ++i) {
+    if ((i + 1) % kGuardStride == 0) RE2X_RETURN_IF_ERROR(GuardCheck(guard));
+    uint8_t kind = 0, lt = 0;
+    RE2X_RETURN_IF_ERROR(r.U8(&kind));
+    RE2X_RETURN_IF_ERROR(r.U8(&lt));
+    RE2X_RETURN_IF_ERROR(r.Str(&value));
+    if (kind > static_cast<uint8_t>(rdf::TermKind::kBlankNode) ||
+        lt > static_cast<uint8_t>(rdf::LiteralType::kOther)) {
+      return util::Status::ParseError(
+          "snapshot dictionary term " + std::to_string(i + 1) +
+          " has invalid kind/type tags");
+    }
+    rdf::Term term(static_cast<rdf::TermKind>(kind), std::move(value),
+                   static_cast<rdf::LiteralType>(lt));
+    TermId id = dict->Intern(std::move(term));
+    if (id != static_cast<TermId>(i + 1)) {
+      return util::Status::ParseError(
+          "snapshot dictionary contains a duplicate term at id " +
+          std::to_string(i + 1));
+    }
+  }
+  if (r.remaining() != 0) {
+    return util::Status::ParseError(
+        "snapshot dictionary has trailing garbage");
+  }
+  return util::Status::OK();
+}
+
+util::Status DecodeStats(const std::byte* data, size_t bytes,
+                         uint64_t term_count,
+                         std::unordered_map<TermId, rdf::PredicateStats>* out) {
+  ByteReader r(data, bytes);
+  uint64_t count = 0;
+  RE2X_RETURN_IF_ERROR(r.U64(&count));
+  if (count * 28 > r.remaining()) {
+    return util::Status::ParseError(
+        "snapshot predicate stats overrun payload");
+  }
+  out->clear();
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t p = 0;
+    rdf::PredicateStats st;
+    RE2X_RETURN_IF_ERROR(r.U32(&p));
+    RE2X_RETURN_IF_ERROR(r.U64(&st.triple_count));
+    RE2X_RETURN_IF_ERROR(r.U64(&st.distinct_subjects));
+    RE2X_RETURN_IF_ERROR(r.U64(&st.distinct_objects));
+    RE2X_RETURN_IF_ERROR(CheckTermId(p, term_count, "predicate stats"));
+    if (!out->emplace(p, st).second) {
+      return util::Status::ParseError(
+          "snapshot predicate stats repeat predicate " + std::to_string(p));
+    }
+  }
+  if (r.remaining() != 0) {
+    return util::Status::ParseError(
+        "snapshot predicate stats have trailing garbage");
+  }
+  return util::Status::OK();
+}
+
+util::Status DecodePostingsMap(
+    ByteReader* r, uint64_t term_count, const char* what,
+    const util::ExecGuard* guard,
+    std::unordered_map<std::string, std::vector<TermId>>* out) {
+  uint64_t entries = 0;
+  RE2X_RETURN_IF_ERROR(r->U64(&entries));
+  // Each entry needs at least 12 bytes (key length + list length).
+  if (entries * 12 > r->remaining()) {
+    return util::Status::ParseError(std::string("snapshot ") + what +
+                                    " overruns payload");
+  }
+  out->clear();
+  out->reserve(entries);
+  std::string key;
+  for (uint64_t i = 0; i < entries; ++i) {
+    if ((i + 1) % kGuardStride == 0) RE2X_RETURN_IF_ERROR(GuardCheck(guard));
+    RE2X_RETURN_IF_ERROR(r->Str(&key));
+    std::vector<TermId> ids;
+    RE2X_RETURN_IF_ERROR(ReadIdList(r, term_count, what, &ids));
+    // Posting lists must be strictly increasing: KeywordMatch intersects
+    // them with std::set_intersection, which requires sorted input.
+    for (size_t j = 1; j < ids.size(); ++j) {
+      if (ids[j] <= ids[j - 1]) [[unlikely]] {
+        return util::Status::ParseError(std::string("snapshot ") + what +
+                                        " posting list for \"" + key +
+                                        "\" is not sorted/unique");
+      }
+    }
+    if (!out->emplace(std::move(key), std::move(ids)).second) {
+      return util::Status::ParseError(std::string("snapshot ") + what +
+                                      " repeats a key");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status DecodeTextIndex(const std::byte* data, size_t bytes,
+                             uint64_t term_count,
+                             const util::ExecGuard* guard,
+                             std::unique_ptr<rdf::TextIndex>* out) {
+  ByteReader r(data, bytes);
+  uint64_t indexed = 0;
+  RE2X_RETURN_IF_ERROR(r.U64(&indexed));
+  std::unordered_map<std::string, std::vector<TermId>> exact, postings;
+  RE2X_RETURN_IF_ERROR(
+      DecodePostingsMap(&r, term_count, "text exact index", guard, &exact));
+  RE2X_RETURN_IF_ERROR(
+      DecodePostingsMap(&r, term_count, "text postings", guard, &postings));
+  if (r.remaining() != 0) {
+    return util::Status::ParseError("snapshot text index has trailing garbage");
+  }
+  *out = rdf::TextIndex::FromParts(std::move(postings), std::move(exact),
+                                   static_cast<size_t>(indexed));
+  return util::Status::OK();
+}
+
+util::Status DecodeVsg(const std::byte* data, size_t bytes,
+                       uint64_t term_count, VsgImage* out) {
+  ByteReader r(data, bytes);
+  uint64_t node_count = 0;
+  RE2X_RETURN_IF_ERROR(r.U64(&node_count));
+  if (node_count * 22 > r.remaining()) {
+    return util::Status::ParseError("snapshot graph nodes overrun payload");
+  }
+  out->nodes.clear();
+  out->nodes.reserve(node_count);
+  for (uint64_t i = 0; i < node_count; ++i) {
+    core::VsgNode n;
+    uint8_t is_root = 0;
+    RE2X_RETURN_IF_ERROR(r.I32(&n.id));
+    RE2X_RETURN_IF_ERROR(r.U8(&is_root));
+    n.is_root = is_root != 0;
+    RE2X_RETURN_IF_ERROR(r.Str(&n.name));
+    RE2X_RETURN_IF_ERROR(
+        ReadIdList(&r, term_count, "graph node members", &n.members));
+    RE2X_RETURN_IF_ERROR(ReadIdList(&r, term_count, "graph node attributes",
+                                    &n.attribute_predicates));
+    out->nodes.push_back(std::move(n));
+  }
+  uint64_t edge_count = 0;
+  RE2X_RETURN_IF_ERROR(r.U64(&edge_count));
+  if (edge_count * 12 > r.remaining()) {
+    return util::Status::ParseError("snapshot graph edges overrun payload");
+  }
+  out->edges.clear();
+  out->edges.reserve(edge_count);
+  for (uint64_t i = 0; i < edge_count; ++i) {
+    core::VsgEdge e;
+    uint32_t pred = 0;
+    RE2X_RETURN_IF_ERROR(r.I32(&e.from));
+    RE2X_RETURN_IF_ERROR(r.I32(&e.to));
+    RE2X_RETURN_IF_ERROR(r.U32(&pred));
+    RE2X_RETURN_IF_ERROR(CheckTermId(pred, term_count, "graph edge"));
+    e.predicate = pred;
+    out->edges.push_back(e);
+  }
+  RE2X_RETURN_IF_ERROR(
+      ReadIdList(&r, term_count, "graph measures", &out->measures));
+  RE2X_RETURN_IF_ERROR(ReadIdList(&r, term_count, "graph observation attrs",
+                                  &out->observation_attrs));
+  if (r.remaining() != 0) {
+    return util::Status::ParseError("snapshot graph has trailing garbage");
+  }
+  return util::Status::OK();
+}
+
+// --- triple-index validation -------------------------------------------------
+
+/// Validates one permutation array: every id within the dictionary and the
+/// array sorted by `less` (binary search on an adopted image must behave
+/// exactly like on a freshly frozen store). Chunked so a pool can fan the
+/// scan across cores; the per-chunk boundary element overlaps its
+/// predecessor so sortedness across chunk seams is covered.
+template <typename Less>
+util::Status ValidateTriples(std::span<const EncodedTriple> triples,
+                             uint64_t term_count, Less less,
+                             const char* what, util::ThreadPool* pool,
+                             const util::ExecGuard* guard) {
+  RE2X_RETURN_IF_ERROR(GuardCheck(guard));
+  obs::Span span("snapshot.load.validate");
+  span.SetAttr("index", what);
+  constexpr size_t kChunk = 1 << 20;
+  const size_t n = triples.size();
+  const size_t chunks = (n + kChunk - 1) / kChunk;
+  std::vector<util::Status> statuses(chunks);
+  // The id bound fits u32 (term ids are u32), so the hot loop compares
+  // 32-bit values and only the failure path builds a Status.
+  const uint32_t max_id =
+      static_cast<uint32_t>(std::min<uint64_t>(term_count, UINT32_MAX));
+  RunParallel(pool, chunks, [&](size_t c) {
+    const size_t begin = c * kChunk;
+    const size_t end = std::min(n, begin + kChunk);
+    for (size_t i = begin; i < end; ++i) {
+      const EncodedTriple& t = triples[i];
+      if (t.s - 1 >= max_id || t.p - 1 >= max_id || t.o - 1 >= max_id)
+          [[unlikely]] {
+        uint32_t bad = t.s - 1 >= max_id ? t.s : (t.p - 1 >= max_id ? t.p : t.o);
+        statuses[c] = CheckTermId(bad, term_count, what);
+        return;
+      }
+      if (i > 0 && !less(triples[i - 1], t)) [[unlikely]] {
+        statuses[c] = util::Status::ParseError(
+            std::string("snapshot ") + what +
+            " index is not strictly sorted at position " + std::to_string(i));
+        return;
+      }
+    }
+  });
+  for (const util::Status& st : statuses) RE2X_RETURN_IF_ERROR(st);
+  return util::Status::OK();
+}
+
+// --- header ------------------------------------------------------------------
+
+std::string EncodeHeader(const SnapshotInfo& info) {
+  ByteWriter w;
+  w.Bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.U32(info.version);
+  w.U32(static_cast<uint32_t>(info.sections.size()));
+  w.U64(info.file_bytes);
+  w.U64(info.freeze_epoch);
+  w.U64(info.triple_count);
+  w.U64(info.term_count);
+  uint64_t flags = (info.has_text_index ? kFlagHasTextIndex : 0) |
+                   (info.has_vsg ? kFlagHasVsg : 0);
+  w.U64(flags);
+  for (const SectionInfo& s : info.sections) {
+    w.U32(static_cast<uint32_t>(s.id));
+    w.U32(0);  // padding / reserved
+    w.U64(s.offset);
+    w.U64(s.bytes);
+    w.U64(s.checksum);
+  }
+  w.U64(Xxh64(w.data().data(), w.size()));
+  return w.Take();
+}
+
+/// Parses + validates the header and section table. `header_region` must
+/// hold at least the full header (callers over-read); `file_bytes` is the
+/// actual on-disk size, compared against the declared size to detect
+/// truncation.
+util::Result<SnapshotInfo> ParseHeader(const std::byte* data,
+                                       size_t header_region,
+                                       uint64_t file_bytes) {
+  if (header_region < kFixedHeaderBytes) {
+    return util::Status::ParseError(
+        "truncated snapshot: " + std::to_string(header_region) +
+        " bytes is smaller than the fixed header");
+  }
+  ByteReader r(data, header_region);
+  if (std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return util::Status::ParseError(
+        "bad magic: not a re2xolap snapshot image");
+  }
+  RE2X_RETURN_IF_ERROR(r.Skip(sizeof(kSnapshotMagic)));
+  SnapshotInfo info;
+  uint32_t section_count = 0;
+  uint64_t flags = 0;
+  RE2X_RETURN_IF_ERROR(r.U32(&info.version));
+  RE2X_RETURN_IF_ERROR(r.U32(&section_count));
+  RE2X_RETURN_IF_ERROR(r.U64(&info.file_bytes));
+  RE2X_RETURN_IF_ERROR(r.U64(&info.freeze_epoch));
+  RE2X_RETURN_IF_ERROR(r.U64(&info.triple_count));
+  RE2X_RETURN_IF_ERROR(r.U64(&info.term_count));
+  RE2X_RETURN_IF_ERROR(r.U64(&flags));
+  if (info.version != kSnapshotVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(info.version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+  if (section_count == 0 || section_count > kMaxSections) {
+    return util::Status::ParseError("snapshot section count " +
+                                    std::to_string(section_count) +
+                                    " is implausible");
+  }
+  const uint64_t header_bytes = HeaderBytes(section_count);
+  if (header_region < header_bytes) {
+    return util::Status::ParseError(
+        "truncated snapshot: header needs " + std::to_string(header_bytes) +
+        " bytes, file provides " + std::to_string(header_region));
+  }
+  if (info.file_bytes != file_bytes) {
+    return util::Status::ParseError(
+        "truncated snapshot: header declares " +
+        std::to_string(info.file_bytes) + " bytes, file has " +
+        std::to_string(file_bytes));
+  }
+  // Header checksum covers everything before the trailing u64, so a bit
+  // flip anywhere in the header or section table is caught here.
+  uint64_t declared = 0;
+  std::memcpy(&declared, data + header_bytes - 8, sizeof(declared));
+  uint64_t actual = Xxh64(data, header_bytes - 8);
+  if (declared != actual) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("storage.checksum_failures")
+        .Inc();
+    return util::Status::ParseError("snapshot header checksum mismatch");
+  }
+  info.has_text_index = (flags & kFlagHasTextIndex) != 0;
+  info.has_vsg = (flags & kFlagHasVsg) != 0;
+  info.sections.reserve(section_count);
+  for (uint32_t i = 0; i < section_count; ++i) {
+    uint32_t id = 0, pad = 0;
+    SectionInfo s;
+    RE2X_RETURN_IF_ERROR(r.U32(&id));
+    RE2X_RETURN_IF_ERROR(r.U32(&pad));
+    RE2X_RETURN_IF_ERROR(r.U64(&s.offset));
+    RE2X_RETURN_IF_ERROR(r.U64(&s.bytes));
+    RE2X_RETURN_IF_ERROR(r.U64(&s.checksum));
+    if (id < static_cast<uint32_t>(SectionId::kDictionary) ||
+        id > static_cast<uint32_t>(SectionId::kVsg)) {
+      return util::Status::ParseError("snapshot contains unknown section id " +
+                                      std::to_string(id));
+    }
+    s.id = static_cast<SectionId>(id);
+    if (s.offset % kSectionAlignment != 0 || s.offset < header_bytes ||
+        s.bytes > info.file_bytes || s.offset > info.file_bytes - s.bytes) {
+      return util::Status::ParseError(
+          std::string("snapshot section ") + SectionName(s.id) +
+          " lies outside the file or is misaligned");
+    }
+    for (const SectionInfo& prev : info.sections) {
+      if (prev.id == s.id) {
+        return util::Status::ParseError(std::string("snapshot repeats section ") +
+                                        SectionName(s.id));
+      }
+    }
+    info.sections.push_back(s);
+  }
+  return info;
+}
+
+const SectionInfo* FindSection(const SnapshotInfo& info, SectionId id) {
+  for (const SectionInfo& s : info.sections) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+util::Status VerifySectionChecksums(const std::byte* base,
+                                    const SnapshotInfo& info,
+                                    util::ThreadPool* pool,
+                                    const util::ExecGuard* guard) {
+  RE2X_RETURN_IF_ERROR(GuardCheck(guard));
+  obs::Span span("snapshot.verify_checksums");
+  std::vector<util::Status> statuses(info.sections.size());
+  RunParallel(pool, info.sections.size(), [&](size_t i) {
+    const SectionInfo& s = info.sections[i];
+    if (Xxh64(base + s.offset, s.bytes) != s.checksum) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("storage.checksum_failures")
+          .Inc();
+      statuses[i] = util::Status::ParseError(
+          std::string("snapshot section ") + SectionName(s.id) +
+          " checksum mismatch (corrupted image)");
+    }
+  });
+  for (const util::Status& st : statuses) RE2X_RETURN_IF_ERROR(st);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+const char* SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kDictionary: return "dictionary";
+    case SectionId::kSpo: return "spo";
+    case SectionId::kPos: return "pos";
+    case SectionId::kOsp: return "osp";
+    case SectionId::kPredicateStats: return "predicate_stats";
+    case SectionId::kTextIndex: return "text_index";
+    case SectionId::kVsg: return "vsg";
+  }
+  return "unknown";
+}
+
+// --- save --------------------------------------------------------------------
+
+util::Status SaveSnapshot(const std::string& path,
+                          const rdf::TripleStore& store,
+                          const rdf::TextIndex* text, const VsgImage* vsg,
+                          const SnapshotWriteOptions& options) {
+  obs::Span span("snapshot.save");
+  RE2X_FAILPOINT("snapshot.save");
+  if (!store.frozen()) {
+    return util::Status::InvalidArgument(
+        "snapshot requires a frozen store (call Freeze() first)");
+  }
+  if (store.size() == 0) {
+    return util::Status::InvalidArgument(
+        "refusing to snapshot an empty store: nothing to persist");
+  }
+  RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
+  util::WallTimer timer;
+
+  struct Pending {
+    SectionId id;
+    const void* data = nullptr;  // raw span (triple indexes) or buf below
+    size_t bytes = 0;
+    std::string buf;
+    uint64_t checksum = 0;
+    util::Status status;
+  };
+  std::vector<Pending> sections;
+  sections.reserve(7);
+  auto add = [&](SectionId id, const void* data = nullptr,
+                 size_t bytes = 0) {
+    Pending p;
+    p.id = id;
+    p.data = data;
+    p.bytes = bytes;
+    sections.push_back(std::move(p));
+  };
+  add(SectionId::kDictionary);
+  add(SectionId::kSpo, store.spo_span().data(),
+      store.spo_span().size_bytes());
+  add(SectionId::kPos, store.pos_span().data(),
+      store.pos_span().size_bytes());
+  add(SectionId::kOsp, store.osp_span().data(),
+      store.osp_span().size_bytes());
+  add(SectionId::kPredicateStats);
+  if (text != nullptr) add(SectionId::kTextIndex);
+  if (vsg != nullptr) add(SectionId::kVsg);
+
+  static obs::Histogram& encode_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "storage.section.encode.millis");
+  RunParallel(options.pool, sections.size(), [&](size_t i) {
+    Pending& s = sections[i];
+    obs::Span sec_span("snapshot.save.section");
+    sec_span.SetAttr("section", SectionName(s.id));
+    util::WallTimer sec_timer;
+    switch (s.id) {
+      case SectionId::kDictionary:
+        s.status =
+            EncodeDictionary(store.dictionary(), options.guard, &s.buf);
+        break;
+      case SectionId::kPredicateStats:
+        s.status = EncodeStats(store.all_predicate_stats(), &s.buf);
+        break;
+      case SectionId::kTextIndex:
+        s.status = EncodeTextIndex(*text, options.guard, &s.buf);
+        break;
+      case SectionId::kVsg:
+        s.status = EncodeVsg(*vsg, &s.buf);
+        break;
+      default:
+        break;  // raw triple sections: data/bytes already set
+    }
+    if (s.status.ok() && s.data == nullptr) {
+      s.data = s.buf.data();
+      s.bytes = s.buf.size();
+    }
+    if (s.status.ok()) s.checksum = Xxh64(s.data, s.bytes);
+    encode_hist.Observe(sec_timer.ElapsedMillis());
+    sec_span.SetAttr("bytes", static_cast<uint64_t>(s.bytes));
+  });
+  for (const Pending& s : sections) RE2X_RETURN_IF_ERROR(s.status);
+  RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
+
+  SnapshotInfo info;
+  info.version = kSnapshotVersion;
+  info.freeze_epoch = store.freeze_epoch();
+  info.triple_count = store.size();
+  info.term_count = store.dictionary().size();
+  info.has_text_index = text != nullptr;
+  info.has_vsg = vsg != nullptr;
+  uint64_t offset = AlignUp(HeaderBytes(sections.size()));
+  for (const Pending& s : sections) {
+    info.sections.push_back({s.id, offset, s.bytes, s.checksum});
+    offset = AlignUp(offset + s.bytes);
+  }
+  // The file ends right after the last payload (no trailing pad).
+  info.file_bytes = info.sections.back().offset + info.sections.back().bytes;
+
+  std::string header = EncodeHeader(info);
+  static const char kZeros[kSectionAlignment] = {};
+  std::vector<std::pair<const void*, size_t>> blobs;
+  blobs.reserve(2 * sections.size() + 1);
+  blobs.emplace_back(header.data(), header.size());
+  uint64_t written = header.size();
+  for (size_t i = 0; i < sections.size(); ++i) {
+    uint64_t pad = info.sections[i].offset - written;
+    if (pad > 0) blobs.emplace_back(kZeros, pad);
+    blobs.emplace_back(sections[i].data, sections[i].bytes);
+    written = info.sections[i].offset + sections[i].bytes;
+  }
+  RE2X_RETURN_IF_ERROR(WriteFileAtomic(path, blobs));
+
+  obs::MetricsRegistry::Global().GetCounter("storage.saves").Inc();
+  obs::MetricsRegistry::Global()
+      .GetCounter("storage.save.bytes")
+      .Inc(info.file_bytes);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("storage.save.millis")
+      .Observe(timer.ElapsedMillis());
+  span.SetAttr("bytes", info.file_bytes);
+  span.SetAttr("sections", static_cast<uint64_t>(sections.size()));
+  return util::Status::OK();
+}
+
+// --- load --------------------------------------------------------------------
+
+util::Result<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                          const SnapshotLoadOptions& options) {
+  obs::Span span("snapshot.load");
+  span.SetAttr("mmap", options.use_mmap ? "true" : "false");
+  RE2X_FAILPOINT("snapshot.load");
+  RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
+  util::WallTimer timer;
+
+  // Source bytes: one mapping (zero-copy candidate) or one heap read.
+  const std::byte* base = nullptr;
+  size_t size = 0;
+  std::shared_ptr<const void> keepalive;
+  if (options.use_mmap) {
+    RE2X_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> mapped,
+                          MappedFile::Open(path));
+    base = mapped->data();
+    size = mapped->size();
+    keepalive = std::move(mapped);
+  } else {
+    RE2X_ASSIGN_OR_RETURN(std::shared_ptr<std::vector<std::byte>> buf,
+                          ReadFileBytes(path));
+    base = buf->data();
+    size = buf->size();
+    keepalive = std::move(buf);
+  }
+
+  RE2X_ASSIGN_OR_RETURN(SnapshotInfo info, ParseHeader(base, size, size));
+  if (options.verify_checksums) {
+    RE2X_RETURN_IF_ERROR(
+        VerifySectionChecksums(base, info, options.pool, options.guard));
+  }
+
+  // Required sections.
+  const SectionInfo* dict_sec = FindSection(info, SectionId::kDictionary);
+  const SectionInfo* spo_sec = FindSection(info, SectionId::kSpo);
+  const SectionInfo* pos_sec = FindSection(info, SectionId::kPos);
+  const SectionInfo* osp_sec = FindSection(info, SectionId::kOsp);
+  const SectionInfo* stats_sec = FindSection(info, SectionId::kPredicateStats);
+  if (dict_sec == nullptr || spo_sec == nullptr || pos_sec == nullptr ||
+      osp_sec == nullptr || stats_sec == nullptr) {
+    return util::Status::ParseError(
+        "snapshot is missing a required section (dictionary/spo/pos/osp/"
+        "predicate_stats)");
+  }
+  if (info.triple_count == 0 || info.term_count == 0) {
+    return util::Status::ParseError(
+        "snapshot declares an empty store; images of empty stores are "
+        "never written");
+  }
+
+  // Triple index sections: structural validation before any adoption.
+  auto triple_view = [&](const SectionInfo& s)
+      -> util::Result<std::span<const EncodedTriple>> {
+    if (s.bytes % sizeof(EncodedTriple) != 0) {
+      return util::Status::ParseError(
+          std::string("snapshot section ") + SectionName(s.id) +
+          " is not a whole number of triples");
+    }
+    uint64_t count = s.bytes / sizeof(EncodedTriple);
+    if (count != info.triple_count) {
+      return util::Status::ParseError(
+          std::string("snapshot section ") + SectionName(s.id) + " holds " +
+          std::to_string(count) + " triples, header declares " +
+          std::to_string(info.triple_count));
+    }
+    return std::span<const EncodedTriple>(
+        reinterpret_cast<const EncodedTriple*>(base + s.offset), count);
+  };
+  RE2X_ASSIGN_OR_RETURN(std::span<const EncodedTriple> spo,
+                        triple_view(*spo_sec));
+  RE2X_ASSIGN_OR_RETURN(std::span<const EncodedTriple> pos,
+                        triple_view(*pos_sec));
+  RE2X_ASSIGN_OR_RETURN(std::span<const EncodedTriple> osp,
+                        triple_view(*osp_sec));
+  RE2X_RETURN_IF_ERROR(ValidateTriples(spo, info.term_count, SpoLess, "spo",
+                                       options.pool, options.guard));
+  RE2X_RETURN_IF_ERROR(ValidateTriples(pos, info.term_count, PosLess, "pos",
+                                       options.pool, options.guard));
+  RE2X_RETURN_IF_ERROR(ValidateTriples(osp, info.term_count, OspLess, "osp",
+                                       options.pool, options.guard));
+
+  LoadedSnapshot out;
+  out.info = info;
+  out.store = std::make_unique<rdf::TripleStore>();
+
+  // Decode the heap-materialized sections; dictionary / text / graph are
+  // independent targets, so they fan out across the pool.
+  const SectionInfo* text_sec = FindSection(info, SectionId::kTextIndex);
+  const SectionInfo* vsg_sec = FindSection(info, SectionId::kVsg);
+  if (info.has_text_index != (text_sec != nullptr) ||
+      info.has_vsg != (vsg_sec != nullptr)) {
+    return util::Status::ParseError(
+        "snapshot header flags disagree with the section table");
+  }
+  std::unordered_map<TermId, rdf::PredicateStats> stats;
+  VsgImage vsg_image;
+  static obs::Histogram& decode_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "storage.section.decode.millis");
+  struct DecodeTask {
+    const SectionInfo* sec;
+    std::function<util::Status()> run;
+    util::Status status;
+  };
+  std::vector<DecodeTask> tasks;
+  auto add_task = [&](const SectionInfo* sec,
+                      std::function<util::Status()> run) {
+    tasks.push_back(DecodeTask{sec, std::move(run), util::Status::OK()});
+  };
+  add_task(dict_sec, [&] {
+    return DecodeDictionary(base + dict_sec->offset, dict_sec->bytes,
+                            info.term_count, options.guard,
+                            &out.store->dictionary());
+  });
+  add_task(stats_sec, [&] {
+    return DecodeStats(base + stats_sec->offset, stats_sec->bytes,
+                       info.term_count, &stats);
+  });
+  if (text_sec != nullptr) {
+    add_task(text_sec, [&] {
+      return DecodeTextIndex(base + text_sec->offset, text_sec->bytes,
+                             info.term_count, options.guard, &out.text);
+    });
+  }
+  if (vsg_sec != nullptr) {
+    add_task(vsg_sec, [&] {
+      return DecodeVsg(base + vsg_sec->offset, vsg_sec->bytes,
+                       info.term_count, &vsg_image);
+    });
+  }
+  RunParallel(options.pool, tasks.size(), [&](size_t i) {
+    obs::Span sec_span("snapshot.load.section");
+    sec_span.SetAttr("section", SectionName(tasks[i].sec->id));
+    util::WallTimer sec_timer;
+    tasks[i].status = tasks[i].run();
+    decode_hist.Observe(sec_timer.ElapsedMillis());
+  });
+  for (const DecodeTask& t : tasks) RE2X_RETURN_IF_ERROR(t.status);
+  RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
+  if (vsg_sec != nullptr) out.vsg = std::move(vsg_image);
+
+  // Both modes adopt the index arrays as views into the loaded image — a
+  // mapped file or an owned heap buffer — with the image as keepalive, so
+  // no index bytes are copied. The first mutation materializes owned
+  // vectors either way; heap-mode loads are file-independent the moment
+  // this returns (the buffer, not the file, backs the views).
+  out.store->AdoptFrozenView(spo, pos, osp, std::move(stats),
+                             info.freeze_epoch, keepalive);
+
+  obs::MetricsRegistry::Global().GetCounter("storage.loads").Inc();
+  obs::MetricsRegistry::Global()
+      .GetCounter("storage.load.bytes")
+      .Inc(info.file_bytes);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("storage.load.millis")
+      .Observe(timer.ElapsedMillis());
+  span.SetAttr("bytes", info.file_bytes);
+  span.SetAttr("triples", info.triple_count);
+  return out;
+}
+
+// --- inspect / verify --------------------------------------------------------
+
+util::Result<SnapshotInfo> InspectSnapshot(const std::string& path) {
+  // Two bounded reads: the fixed prefix tells us the table size, then the
+  // exact header region is re-read and validated. Payload stays untouched.
+  uint64_t file_size = 0;
+  RE2X_ASSIGN_OR_RETURN(
+      std::vector<std::byte> prefix,
+      ReadFilePrefix(path, kFixedHeaderBytes, &file_size));
+  if (prefix.size() < kFixedHeaderBytes) {
+    return util::Status::ParseError(
+        "truncated snapshot: file is smaller than the fixed header");
+  }
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, prefix.data() + 12, sizeof(section_count));
+  if (section_count == 0 || section_count > kMaxSections) {
+    return util::Status::ParseError("snapshot section count " +
+                                    std::to_string(section_count) +
+                                    " is implausible");
+  }
+  RE2X_ASSIGN_OR_RETURN(
+      std::vector<std::byte> header,
+      ReadFilePrefix(path, HeaderBytes(section_count), &file_size));
+  return ParseHeader(header.data(), header.size(), file_size);
+}
+
+util::Result<SnapshotInfo> VerifySnapshot(const std::string& path,
+                                          util::ThreadPool* pool) {
+  obs::Span span("snapshot.verify");
+  RE2X_ASSIGN_OR_RETURN(std::shared_ptr<std::vector<std::byte>> buf,
+                        ReadFileBytes(path));
+  RE2X_ASSIGN_OR_RETURN(SnapshotInfo info,
+                        ParseHeader(buf->data(), buf->size(), buf->size()));
+  RE2X_RETURN_IF_ERROR(
+      VerifySectionChecksums(buf->data(), info, pool, nullptr));
+  return info;
+}
+
+}  // namespace re2xolap::storage

@@ -23,6 +23,8 @@ namespace re2xolap::util {
 ///   cache.insert     engine result-cache insert   (skip, delay)
 ///   pool.task        thread-pool task start       (delay only)
 ///   reolap.validate  ReOLAP validation probe      (error, delay)
+///   snapshot.save    storage::SaveSnapshot entry  (error, delay)
+///   snapshot.load    storage::LoadSnapshot entry  (error, delay)
 ///
 /// Configuration comes from the environment on first use —
 ///   RE2XOLAP_FAILPOINTS="engine.execute=error;store.scan=delay:50ms;cache.insert=skip"

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -279,6 +280,73 @@ TEST(NTriplesTest, ParsesTypedLiterals) {
             kInvalidTermId);
   EXPECT_NE(store.Lookup(Term::BooleanLiteral(true)), kInvalidTermId);
   EXPECT_NE(store.Lookup(Term::DateLiteral("2014-10-01")), kInvalidTermId);
+}
+
+TEST(NTriplesTest, EscapesSurviveRoundTrip) {
+  TripleStore store;
+  const std::string nasty = "line1\nline2\t\"quoted\" back\\slash\rend";
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+            Term::StringLiteral(nasty));
+  store.Add(Term::Iri("http://x/s"), Term::Iri("http://x/p"),
+            Term::StringLiteral("plain"));
+  store.Freeze();
+
+  std::ostringstream os;
+  WriteNTriples(store, os);
+  // The writer must keep every triple on its own line despite the newline
+  // in the lexical form.
+  const std::string text = os.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+
+  TripleStore back;
+  ASSERT_TRUE(ParseNTriples(os.str(), &back).ok());
+  back.Freeze();
+  EXPECT_EQ(back.size(), store.size());
+  EXPECT_NE(back.Lookup(Term::StringLiteral(nasty)), kInvalidTermId);
+}
+
+TEST(NTriplesTest, ParserDecodesEscapes) {
+  TripleStore store;
+  ASSERT_TRUE(ParseNTriples(
+                  "<a> <p> \"tab\\there \\\"q\\\" back\\\\slash\\nnl\" .\n",
+                  &store)
+                  .ok());
+  store.Freeze();
+  EXPECT_NE(store.Lookup(Term::StringLiteral("tab\there \"q\" back\\slash\nnl")),
+            kInvalidTermId);
+}
+
+TEST(DictionaryTest, TermsStoredOnceNotTwice) {
+  // The reverse index keys by TermId (4 bytes) through a transparent
+  // hash, so big term texts are resident exactly once. With 100 terms of
+  // ~4 KB each (~400 KB of text), a Term-keyed index would hold ~800 KB;
+  // assert the accounting stays well under that.
+  Dictionary d;
+  constexpr size_t kTerms = 100;
+  constexpr size_t kValueBytes = 4096;
+  for (size_t i = 0; i < kTerms; ++i) {
+    std::string value(kValueBytes, 'a' + (i % 26));
+    value += std::to_string(i);
+    d.Intern(Term::Iri(value));
+  }
+  EXPECT_EQ(d.size(), kTerms);
+  const size_t text_bytes = kTerms * kValueBytes;
+  EXPECT_LT(d.MemoryUsage(), text_bytes + text_bytes / 2);
+  // Lookup still works through the transparent path.
+  std::string probe(kValueBytes, 'a');
+  probe += "0";
+  EXPECT_NE(d.Lookup(Term::Iri(probe)), kInvalidTermId);
+  EXPECT_EQ(d.Lookup(Term::Iri("absent")), kInvalidTermId);
+}
+
+TEST(DictionaryTest, ReserveKeepsIdsAndLookupsStable) {
+  Dictionary d;
+  TermId a = d.Intern(Term::Iri("a"));
+  d.Reserve(1000);
+  EXPECT_EQ(d.Lookup(Term::Iri("a")), a);
+  TermId b = d.Intern(Term::Iri("b"));
+  EXPECT_EQ(b, a + 1);
+  EXPECT_EQ(d.term(a), Term::Iri("a"));
 }
 
 }  // namespace
