@@ -22,6 +22,7 @@
 #include "bench/bench_common.h"
 #include "engine/query_engine.h"
 #include "sparql/ast.h"
+#include "sparql/executor.h"
 
 namespace {
 
@@ -219,6 +220,40 @@ int main() {
           .Num("pass2_speedup_vs_nocache", speedup)
           .Int("result_cache_hits", static_cast<long long>(cache.result_hits))
           .Int("plan_cache_hits", static_cast<long long>(cache.plan_hits));
+    }
+
+    // --- Executor-mode delta: run every synthesized candidate, uncached -
+    // The "execute what ReOLAP synthesized" workload through each join
+    // core (raw Execute, no engine cache): the pure executor cost of
+    // materializing candidate answers.
+    core::Reolap plain(env.dataset.store.get(), env.vsg.get(),
+                       env.text.get());
+    std::vector<sparql::SelectQuery> candidates;
+    for (const auto& tuple : tuples) {
+      auto queries = plain.Synthesize(tuple);
+      if (!queries.ok()) continue;
+      for (const auto& c : *queries) candidates.push_back(c.query);
+    }
+    for (sparql::ExecutorKind kind :
+         {sparql::ExecutorKind::kVolcano, sparql::ExecutorKind::kVectorized}) {
+      sparql::ExecOptions exec;
+      exec.timeout_millis = 60000;
+      exec.executor = kind;
+      size_t rows = 0;
+      util::WallTimer timer;
+      for (const auto& q : candidates) {
+        auto table = sparql::Execute(env.store(), q, exec);
+        if (table.ok()) rows += table->row_count();
+      }
+      log.AddRecord()
+          .Str("dataset", name)
+          .Str("mode", "executor_delta_uncached")
+          .Str("executor",
+               kind == sparql::ExecutorKind::kVolcano ? "volcano"
+                                                      : "vectorized")
+          .Int("candidates", static_cast<long long>(candidates.size()))
+          .Num("eval_ms", timer.ElapsedMillis())
+          .Int("result_rows", static_cast<long long>(rows));
     }
   }
   ablation.Print(std::cout);

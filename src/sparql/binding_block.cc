@@ -1,0 +1,49 @@
+#include "sparql/binding_block.h"
+
+#include <cassert>
+
+namespace re2xolap::sparql {
+
+void BindingBlock::Reset(size_t slot_count, size_t capacity) {
+  assert(capacity > 0);
+  slot_count_ = slot_count;
+  capacity_ = capacity;
+  size_ = 0;
+  data_.resize(slot_count * capacity);
+}
+
+void BindingBlock::AppendUnboundRow() {
+  assert(!full());
+  size_t row = GrowRows(1);
+  for (size_t s = 0; s < slot_count_; ++s) {
+    column(s)[row] = rdf::kInvalidTermId;
+  }
+}
+
+void BindingBlock::AppendRow(const std::vector<rdf::TermId>& row) {
+  assert(!full());
+  assert(row.size() == slot_count_);
+  size_t r = GrowRows(1);
+  for (size_t s = 0; s < slot_count_; ++s) {
+    column(s)[r] = row[s];
+  }
+}
+
+void BindingBlock::ExtractRow(size_t row,
+                              std::vector<rdf::TermId>* out) const {
+  out->resize(slot_count_);
+  for (size_t s = 0; s < slot_count_; ++s) {
+    (*out)[s] = column(s)[row];
+  }
+}
+
+void BindingBlock::Compact(size_t from, const std::vector<uint32_t>& keep) {
+  for (size_t s = 0; s < slot_count_; ++s) {
+    rdf::TermId* col = column(s);
+    size_t dst = from;
+    for (uint32_t src : keep) col[dst++] = col[src];
+  }
+  size_ = from + keep.size();
+}
+
+}  // namespace re2xolap::sparql

@@ -6,6 +6,9 @@
 #include "sparql/executor.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -15,11 +18,33 @@
 #include "sparql/join_runner.h"
 #include "sparql/parser.h"
 #include "sparql/post_ops.h"
+#include "sparql/vectorized_runner.h"
 #include "util/timer.h"
 
 namespace re2xolap::sparql {
 
+ExecutorKind DefaultExecutorKind() {
+  static const ExecutorKind kind = [] {
+    const char* env = std::getenv("RE2XOLAP_EXECUTOR");
+    if (env != nullptr && std::strcmp(env, "volcano") == 0) {
+      return ExecutorKind::kVolcano;
+    }
+    return ExecutorKind::kVectorized;
+  }();
+  return kind;
+}
+
 namespace {
+
+std::unique_ptr<JoinExecutor> MakeJoinExecutor(const rdf::TripleStore& store,
+                                               const Plan& plan,
+                                               const ExecOptions& options,
+                                               ExecStats* stats) {
+  if (ResolveExecutor(options.executor) == ExecutorKind::kVolcano) {
+    return std::make_unique<JoinRunner>(store, plan, options, stats);
+  }
+  return std::make_unique<VectorizedRunner>(store, plan, options, stats);
+}
 
 /// ASK: rewrite into an early-exiting LIMIT-1 existence probe and wrap
 /// the answer as a one-cell boolean table (column "ask", 1 or 0).
@@ -134,12 +159,12 @@ util::Status DeriveItems(const SelectQuery& query, const Plan& plan,
   return util::Status::OK();
 }
 
-/// Assembles the per-operator profile tree for one run. The index
-/// nested-loop join renders as a chain: each mandatory step nests under
-/// the previous one, then the OPTIONAL blocks, innermost last — mirroring
-/// the recursion order at execution time.
+/// Assembles the per-operator profile tree for one run. The join renders
+/// as a chain: each mandatory step nests under the previous one, then the
+/// OPTIONAL blocks, innermost last — mirroring the pipeline order at
+/// execution time (identical for both join cores).
 void BuildProfileTree(const rdf::TripleStore& store, const SelectQuery& query,
-                      const Plan& plan, const JoinRunner& runner,
+                      const Plan& plan, const JoinExecutor& runner,
                       bool aggregating, double join_ms, double agg_ms,
                       size_t group_count,
                       const std::vector<PostOpProf>& post_ops,
@@ -161,7 +186,7 @@ void BuildProfileTree(const rdf::TripleStore& store, const SelectQuery& query,
     pn.timed = true;
   }
 
-  obs::ProfileNode join("join (index nested loop)");
+  obs::ProfileNode join(runner.join_label());
   join.rows_out = runner.emitted();
   join.millis = join_ms;
   join.timed = true;
@@ -284,7 +309,9 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     }
   }
 
-  JoinRunner runner(store, plan, options, stats);
+  std::unique_ptr<JoinExecutor> runner_ptr =
+      MakeJoinExecutor(store, plan, options, stats);
+  JoinExecutor& runner = *runner_ptr;
 
   // Coarse per-operator observations for the profile tree: two clock
   // reads per operator per query, collected whenever a stats sink is
@@ -331,9 +358,11 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
     GroupAggregator agg(store, items, item_slots, std::move(group_slots),
                         options.guard);
     util::WallTimer join_timer;
-    util::Status st = runner.Run([&](const std::vector<rdf::TermId>& bindings) {
-      agg.Accumulate(bindings);
-    });
+    util::Status st = runner.Run(
+        [&](const std::vector<rdf::TermId>& bindings) {
+          agg.Accumulate(bindings);
+        },
+        /*row_cap=*/0);
     join_ms = join_timer.ElapsedMillis();
     RE2X_RETURN_IF_ERROR(st);
 

@@ -109,8 +109,9 @@ util::Status JoinRunner::CheckGuard() {
   if (options_.timeout_millis == 0 && guard == nullptr) {
     return util::Status::OK();
   }
-  // Budgets are a pair of relaxed loads — cheap enough per scanned entry.
-  if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->CheckBudgets());
+  // Everything — budgets included — is amortized behind the interval
+  // counter. Budget violations between interval crossings still surface
+  // within one row of the overrun via the emit-path recheck.
   if (++ops_ % kGuardCheckInterval != 0) return util::Status::OK();
   if (options_.timeout_millis != 0 &&
       timer_.ElapsedMillis() > static_cast<double>(options_.timeout_millis)) {
@@ -122,8 +123,7 @@ util::Status JoinRunner::CheckGuard() {
   return util::Status::OK();
 }
 
-Cell JoinRunner::LookupVar(const std::string& name) const {
-  int slot = plan_.SlotOf(name);
+Cell JoinRunner::CellAtSlot(int slot) const {
   if (slot < 0 || bindings_[slot] == rdf::kInvalidTermId) {
     return Cell::Null();
   }
@@ -134,8 +134,9 @@ util::Status JoinRunner::ApplyFiltersAfter(size_t step, bool* pass) {
   *pass = true;
   for (const PlannedFilter& pf : plan_.filters) {
     if (pf.apply_after_step != step) continue;
-    Ebv v = EvalExpr(store_, *pf.expr,
-                     [this](const std::string& n) { return LookupVar(n); });
+    Ebv v = EvalExpr(store_, *pf.expr, [this, &pf](const std::string& n) {
+      return CellAtSlot(pf.slots.SlotOf(n));
+    });
     if (v != Ebv::kTrue) {
       *pass = false;
       return util::Status::OK();
@@ -220,9 +221,9 @@ util::Status JoinRunner::OptionalStep(size_t block, const RowSink& on_row) {
   if (stopped_) return util::Status::OK();
   if (block == plan_.optionals.size()) {
     // Filters that could not be attached to the mandatory join.
-    for (const ExprPtr& f : plan_.post_optional_filters) {
-      Ebv v = EvalExpr(store_, *f, [this](const std::string& n) {
-        return LookupVar(n);
+    for (const PlannedFilter& pf : plan_.post_optional_filters) {
+      Ebv v = EvalExpr(store_, *pf.expr, [this, &pf](const std::string& n) {
+        return CellAtSlot(pf.slots.SlotOf(n));
       });
       if (v != Ebv::kTrue) return util::Status::OK();
     }

@@ -59,32 +59,55 @@ std::string PatternLabel(const rdf::TripleStore& store,
                          const std::vector<std::string>& slot_names,
                          const PhysicalPattern& pp, const char* prefix);
 
-/// Join executor: index nested loop join over the planned steps with
-/// early filters and timeout/guard checks. When ExecOptions carries an
-/// ExecGuard, the runner polls its deadline at the scan-interval
-/// boundaries, charges every produced binding against its row budget, and
-/// re-checks the budgets on each emitted row.
-class JoinRunner {
+/// Abstract join core. Both runners (volcano JoinRunner, vectorized
+/// VectorizedRunner) implement this so the executor can dispatch on
+/// ExecOptions::executor and build the profile tree from either.
+class JoinExecutor {
  public:
-  JoinRunner(const rdf::TripleStore& store, const Plan& plan,
-             const ExecOptions& options, ExecStats* stats);
+  virtual ~JoinExecutor() = default;
 
   /// Runs the join; calls `on_row(bindings)` for every complete binding.
   /// When `row_cap` is non-zero the join stops early after producing that
   /// many rows (safe only when no later operator reorders/merges rows).
-  /// Returns non-OK on timeout. The per-step counters are flushed into the
-  /// ExecStats sink on both the success and the error path.
-  util::Status Run(RowSink on_row, uint64_t row_cap = 0);
+  /// Returns non-OK on timeout / guard violation. The per-step counters
+  /// are flushed into the ExecStats sink on both success and error paths.
+  virtual util::Status Run(RowSink on_row, uint64_t row_cap) = 0;
 
-  const std::vector<StepProf>& step_prof() const { return step_prof_; }
-  const std::vector<StepProf>& opt_prof() const { return opt_prof_; }
-  uint64_t emitted() const { return emitted_; }
-  bool timing() const { return timing_; }
+  virtual const std::vector<StepProf>& step_prof() const = 0;
+  virtual const std::vector<StepProf>& opt_prof() const = 0;
+  virtual uint64_t emitted() const = 0;
+  virtual bool timing() const = 0;
+  /// Display label of the join operator in EXPLAIN output.
+  virtual const char* join_label() const = 0;
+};
+
+/// Volcano join executor: row-at-a-time index nested loop join over the
+/// planned steps with early filters and timeout/guard checks. When
+/// ExecOptions carries an ExecGuard, the runner polls it (cancellation,
+/// deadline, budgets) at the scan-interval boundaries, charges every
+/// produced binding against its row budget, and re-checks the budgets on
+/// each emitted row so sink-side charges surface promptly.
+class JoinRunner : public JoinExecutor {
+ public:
+  JoinRunner(const rdf::TripleStore& store, const Plan& plan,
+             const ExecOptions& options, ExecStats* stats);
+
+  util::Status Run(RowSink on_row, uint64_t row_cap = 0) override;
+
+  const std::vector<StepProf>& step_prof() const override {
+    return step_prof_;
+  }
+  const std::vector<StepProf>& opt_prof() const override { return opt_prof_; }
+  uint64_t emitted() const override { return emitted_; }
+  bool timing() const override { return timing_; }
+  const char* join_label() const override {
+    return "join (index nested loop)";
+  }
 
  private:
   void FlushStats();
   util::Status CheckGuard();
-  Cell LookupVar(const std::string& name) const;
+  Cell CellAtSlot(int slot) const;
   util::Status ApplyFiltersAfter(size_t step, bool* pass);
   util::Status Step(size_t step, const RowSink& on_row);
   util::Status OptionalStep(size_t block, const RowSink& on_row);

@@ -24,11 +24,40 @@ struct PhysicalPattern {
   int o_slot = -1;
 };
 
+/// Plan-time resolution of a filter expression's variable names to binding
+/// slots, so runtime evaluation never hashes a string per row. The keys
+/// point at the `Expr::var.name` strings of the very expression tree the
+/// plan holds alive (filters are evaluated from the plan, not the query),
+/// so the common lookup is a pointer compare; the value compare is a
+/// fallback for callers that pass an equal string from elsewhere.
+class FilterSlots {
+ public:
+  void Add(const std::string* name, int slot) {
+    entries_.emplace_back(name, slot);
+  }
+  int SlotOf(const std::string& name) const {
+    for (const auto& [key, slot] : entries_) {
+      if (key == &name || *key == name) return slot;
+    }
+    return -1;
+  }
+  size_t size() const { return entries_.size(); }
+  const std::vector<std::pair<const std::string*, int>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<const std::string*, int>> entries_;
+};
+
 /// A filter expression plus the index of the plan step after which all of
-/// its variables are bound (so it can run as early as possible).
+/// its variables are bound (so it can run as early as possible), and its
+/// variables pre-resolved to slots (`slots` references names inside
+/// `expr`, which the plan keeps alive).
 struct PlannedFilter {
   ExprPtr expr;
   size_t apply_after_step = 0;
+  FilterSlots slots;
 };
 
 /// One planned OPTIONAL block: its lowered patterns in parse order.
@@ -50,7 +79,8 @@ struct Plan {
   std::vector<PlannedFilter> filters;
   /// Filters over variables only bound by OPTIONAL blocks; evaluated on
   /// each fully-extended binding (unbound variables fail the filter).
-  std::vector<ExprPtr> post_optional_filters;
+  /// `apply_after_step` is meaningless for these.
+  std::vector<PlannedFilter> post_optional_filters;
   std::unordered_map<std::string, int> var_slots;
   size_t slot_count = 0;
   bool impossible = false;

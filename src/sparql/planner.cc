@@ -23,6 +23,23 @@ void CollectExprVars(const Expr& e, std::set<std::string>* out) {
   for (const ExprPtr& c : e.children) CollectExprVars(*c, out);
 }
 
+/// Resolves every variable reference of an expression tree to its binding
+/// slot, keyed by the address of the name inside the tree (see
+/// FilterSlots). One entry per occurrence; duplicates of the same name at
+/// different nodes each get their own (pointer-keyed) entry.
+void ResolveFilterSlots(const Plan& plan, const Expr& e, FilterSlots* out) {
+  switch (e.kind) {
+    case ExprKind::kVariable:
+    case ExprKind::kIn:
+    case ExprKind::kBound:
+      if (!e.var.name.empty()) out->Add(&e.var.name, plan.SlotOf(e.var.name));
+      break;
+    default:
+      break;
+  }
+  for (const ExprPtr& c : e.children) ResolveFilterSlots(plan, *c, out);
+}
+
 struct LoweredPattern {
   PhysicalPattern phys;
   // Variable names per position ("" = constant).
@@ -204,15 +221,23 @@ util::Result<Plan> PlanQuery(const rdf::TripleStore& store,
         }
       }
       if (all_bound) {
-        plan.filters.push_back(PlannedFilter{f, step});
+        plan.filters.push_back(PlannedFilter{f, step, {}});
         found_step = true;
       }
     }
     if (!found_step) {
       // References variables only OPTIONAL blocks can bind (or unbound
       // variables): evaluate after the optional extension.
-      plan.post_optional_filters.push_back(f);
+      plan.post_optional_filters.push_back(PlannedFilter{f, 0, {}});
     }
+  }
+  // Slot resolution happens last so filters over projection-only /
+  // group-by variables (slots assigned above) resolve too.
+  for (PlannedFilter& pf : plan.filters) {
+    ResolveFilterSlots(plan, *pf.expr, &pf.slots);
+  }
+  for (PlannedFilter& pf : plan.post_optional_filters) {
+    ResolveFilterSlots(plan, *pf.expr, &pf.slots);
   }
   return plan;
 }

@@ -1,0 +1,681 @@
+#include "sparql/vectorized_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "sparql/ebv.h"
+#include "util/failpoint.h"
+
+namespace re2xolap::sparql {
+
+namespace {
+
+// Same amortization interval as the volcano runner, counted in scanned
+// index entries, so both executors poll deadlines at the same granularity.
+constexpr uint64_t kGuardCheckInterval = 8192;
+
+constexpr rdf::TermId kMaxTermId = ~rdf::TermId{0};
+
+inline rdf::TermId Comp(const rdf::EncodedTriple& t, int pos) {
+  return pos == 0 ? t.s : pos == 1 ? t.p : t.o;
+}
+
+inline void SetComp(rdf::EncodedTriple* t, int pos, rdf::TermId v) {
+  if (pos == 0) {
+    t->s = v;
+  } else if (pos == 1) {
+    t->p = v;
+  } else {
+    t->o = v;
+  }
+}
+
+// Key comparators of the three index permutations (mirrors the sort
+// orders built by TripleStore::Freeze).
+struct SpoLess {
+  bool operator()(const rdf::EncodedTriple& a,
+                  const rdf::EncodedTriple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct PosLess {
+  bool operator()(const rdf::EncodedTriple& a,
+                  const rdf::EncodedTriple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OspLess {
+  bool operator()(const rdf::EncodedTriple& a,
+                  const rdf::EncodedTriple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+/// A per-row probe key: up to three (triple position, value) components in
+/// the index permutation's key order, following the step's constant-prefix
+/// run. Candidate triples within the run are sorted by exactly these
+/// components, so the matching sub-run is a contiguous equal range.
+struct ProbeKey {
+  size_t n = 0;
+  int pos[3] = {0, 0, 0};
+  rdf::TermId val[3] = {0, 0, 0};
+};
+
+inline bool TripleLessKey(const rdf::EncodedTriple& t, const ProbeKey& k) {
+  for (size_t i = 0; i < k.n; ++i) {
+    rdf::TermId c = Comp(t, k.pos[i]);
+    if (c != k.val[i]) return c < k.val[i];
+  }
+  return false;
+}
+
+inline bool KeyLessTriple(const ProbeKey& k, const rdf::EncodedTriple& t) {
+  for (size_t i = 0; i < k.n; ++i) {
+    rdf::TermId c = Comp(t, k.pos[i]);
+    if (c != k.val[i]) return k.val[i] < c;
+  }
+  return false;
+}
+
+/// Lexicographic compare of two probe keys over the same part layout.
+inline int CompareKeys(const ProbeKey& a, const ProbeKey& b) {
+  for (size_t i = 0; i < a.n; ++i) {
+    if (a.val[i] != b.val[i]) return a.val[i] < b.val[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+/// lower_bound that gallops from `first`: exponential doubling to bracket
+/// the key, then binary search inside the bracket. This is what makes the
+/// merge path linear-ish when consecutive probe keys advance by small
+/// steps through the run.
+const rdf::EncodedTriple* GallopLowerBound(const rdf::EncodedTriple* first,
+                                           const rdf::EncodedTriple* last,
+                                           const ProbeKey& k) {
+  const size_t len = static_cast<size_t>(last - first);
+  size_t lo = 0;
+  size_t step = 1;
+  while (lo + step <= len && TripleLessKey(first[lo + step - 1], k)) {
+    lo += step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(lo + step - 1, len);
+  return std::lower_bound(first + lo, first + hi, k, TripleLessKey);
+}
+
+/// upper_bound that gallops from `first` (typically the matching range's
+/// lower bound). Match ranges are usually a handful of entries, so this
+/// beats a binary search over the run's whole tail by a wide margin on
+/// probe-heavy joins.
+const rdf::EncodedTriple* GallopUpperBound(const rdf::EncodedTriple* first,
+                                           const rdf::EncodedTriple* last,
+                                           const ProbeKey& k) {
+  const size_t len = static_cast<size_t>(last - first);
+  size_t lo = 0;
+  size_t step = 1;
+  while (lo + step <= len && !KeyLessTriple(k, first[lo + step - 1])) {
+    lo += step;
+    step <<= 1;
+  }
+  const size_t hi = std::min(lo + step - 1, len);
+  return std::upper_bound(first + lo, first + hi, k, KeyLessTriple);
+}
+
+/// Accumulates inclusive wall time into `*acc`; null disables the clock.
+class TimeGuard {
+ public:
+  explicit TimeGuard(double* acc) : acc_(acc) {
+    if (acc_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~TimeGuard() {
+    if (acc_ != nullptr) {
+      *acc_ += std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count();
+    }
+  }
+  TimeGuard(const TimeGuard&) = delete;
+  TimeGuard& operator=(const TimeGuard&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+VectorizedRunner::VectorizedRunner(const rdf::TripleStore& store,
+                                   const Plan& plan,
+                                   const ExecOptions& options,
+                                   ExecStats* stats)
+    : store_(store),
+      plan_(plan),
+      options_(options),
+      stats_(stats),
+      profiling_(stats != nullptr),
+      timing_(stats != nullptr && options.profile) {}
+
+void VectorizedRunner::CompileSteps() {
+  steps_.clear();
+  steps_.resize(plan_.steps.size());
+  std::vector<bool> bound(plan_.slot_count, false);
+  for (size_t i = 0; i < plan_.steps.size(); ++i) {
+    const PhysicalPattern& pp = plan_.steps[i];
+    CompiledStep& cs = steps_[i];
+    const rdf::TermId ids[3] = {pp.s_id, pp.p_id, pp.o_id};
+    const int slots[3] = {pp.s_slot, pp.p_slot, pp.o_slot};
+    for (size_t s = 0; s < plan_.slot_count; ++s) {
+      if (bound[s]) cs.broadcast_slots.push_back(static_cast<int>(s));
+    }
+    bool known[3];
+    for (int pos = 0; pos < 3; ++pos) {
+      known[pos] = ids[pos] != rdf::kInvalidTermId ||
+                   (slots[pos] >= 0 && bound[slots[pos]]);
+    }
+    // Index selection mirrors TripleStore::Match exactly: every known
+    // position forms a prefix of the chosen permutation's key order, so
+    // the matching triples are one contiguous sorted range — and the
+    // per-step scanned counts equal the volcano runner's.
+    const bool bs = known[0], bp = known[1], bo = known[2];
+    int key_pos[3];
+    size_t nkey = 0;
+    if (bs && !bp && bo) {
+      cs.perm = Perm::kOsp;  // key (o, s, p), prefix [o, s]
+      key_pos[nkey++] = 2;
+      key_pos[nkey++] = 0;
+    } else if (bs) {
+      cs.perm = Perm::kSpo;  // prefix [s], [s,p] or [s,p,o]
+      key_pos[nkey++] = 0;
+      if (bp) key_pos[nkey++] = 1;
+      if (bp && bo) key_pos[nkey++] = 2;
+    } else if (bp) {
+      cs.perm = Perm::kPos;  // prefix [p] or [p,o]
+      key_pos[nkey++] = 1;
+      if (bo) key_pos[nkey++] = 2;
+    } else if (bo) {
+      cs.perm = Perm::kOsp;  // prefix [o]
+      key_pos[nkey++] = 2;
+    } else {
+      cs.perm = Perm::kSpo;  // full scan
+    }
+    for (size_t j = 0; j < nkey; ++j) {
+      KeyPart kp;
+      kp.pos = key_pos[j];
+      if (ids[kp.pos] != rdf::kInvalidTermId) {
+        kp.is_const = true;
+        kp.cid = ids[kp.pos];
+      } else {
+        kp.slot = slots[kp.pos];
+      }
+      cs.key.push_back(kp);
+    }
+    while (cs.const_prefix < cs.key.size() &&
+           cs.key[cs.const_prefix].is_const) {
+      ++cs.const_prefix;
+    }
+    // Unknown positions bind their slot on first occurrence; a repeated
+    // variable within the same pattern becomes a component-equality check
+    // against its first occurrence (candidates are only constrained on
+    // known positions, so repeats must be verified per triple).
+    for (int pos = 0; pos < 3; ++pos) {
+      if (known[pos]) continue;
+      int first_pos = -1;
+      for (int q = 0; q < pos; ++q) {
+        if (!known[q] && slots[q] == slots[pos]) {
+          first_pos = q;
+          break;
+        }
+      }
+      if (first_pos >= 0) {
+        cs.check_pairs.emplace_back(pos, first_pos);
+      } else {
+        cs.bind_slot[pos] = slots[pos];
+      }
+    }
+    for (int pos = 0; pos < 3; ++pos) {
+      if (slots[pos] >= 0) bound[slots[pos]] = true;
+    }
+    for (const PlannedFilter& pf : plan_.filters) {
+      if (pf.apply_after_step == i + 1) cs.has_filters = true;
+    }
+  }
+  if (!steps_.empty()) {
+    // `bound` now covers every slot some mandatory pattern mentions; the
+    // rest are OPTIONAL-only and must read as unbound downstream.
+    for (size_t s = 0; s < plan_.slot_count; ++s) {
+      if (!bound[s]) steps_.back().invalidate_slots.push_back(
+          static_cast<int>(s));
+    }
+  }
+}
+
+util::Status VectorizedRunner::Run(RowSink on_row, uint64_t row_cap) {
+  on_row_ = &on_row;
+  row_cap_ = row_cap;
+  rows_emitted_ = 0;
+  emitted_ = 0;
+  ops_ = 0;
+  stopped_ = false;
+  if (profiling_) {
+    step_prof_.assign(plan_.steps.size(), StepProf{});
+    opt_prof_.assign(plan_.optionals.size(), StepProf{});
+  }
+  timer_.Restart();
+  CompileSteps();
+  // Row-capped runs (LIMIT probes, ASK) degrade to single-row blocks so
+  // the early exit stops scanning exactly where the volcano runner would —
+  // batching there would overproduce intermediate bindings past the cap.
+  const size_t cap = row_cap != 0 ? 1 : BindingBlock::kDefaultCapacity;
+  blocks_.resize(plan_.steps.size());
+  for (BindingBlock& b : blocks_) b.Reset(plan_.slot_count, cap);
+  opt_blocks_.resize(plan_.optionals.size());
+  for (BindingBlock& b : opt_blocks_) b.Reset(plan_.slot_count, cap);
+  opt_match_bits_.resize(plan_.optionals.size());
+
+  BindingBlock seed;
+  seed.Reset(plan_.slot_count, 1);
+  seed.AppendUnboundRow();
+  // Variable-free filters (apply_after_step == 0) gate the whole query.
+  bool pass = true;
+  for (const PlannedFilter& pf : plan_.filters) {
+    if (pf.apply_after_step != 0) continue;
+    Ebv v = EvalExpr(store_, *pf.expr,
+                     [](const std::string&) { return Cell::Null(); });
+    if (v != Ebv::kTrue) {
+      pass = false;
+      break;
+    }
+  }
+  util::Status st = util::Status::OK();
+  if (pass) st = RunStage(0, seed);
+  FlushStats();
+  on_row_ = nullptr;
+  return st;
+}
+
+void VectorizedRunner::FlushStats() {
+  if (!profiling_) return;
+  uint64_t scanned = 0;
+  uint64_t produced = 0;
+  for (const StepProf& sp : step_prof_) {
+    scanned += sp.scanned;
+    produced += sp.rows_out;
+  }
+  for (const StepProf& op : opt_prof_) {
+    scanned += op.scanned;
+    produced += op.matched;
+  }
+  stats_->triples_scanned += scanned;
+  stats_->intermediate_bindings += produced;
+}
+
+util::Status VectorizedRunner::BumpOps(uint64_t n) {
+  const util::ExecGuard* guard = options_.guard;
+  if (options_.timeout_millis == 0 && guard == nullptr) {
+    return util::Status::OK();
+  }
+  const uint64_t before = ops_ / kGuardCheckInterval;
+  ops_ += n;
+  if (ops_ / kGuardCheckInterval == before) return util::Status::OK();
+  if (options_.timeout_millis != 0 &&
+      timer_.ElapsedMillis() > static_cast<double>(options_.timeout_millis)) {
+    return util::Status::Timeout("query exceeded " +
+                                 std::to_string(options_.timeout_millis) +
+                                 " ms");
+  }
+  if (guard != nullptr) return guard->Check();
+  return util::Status::OK();
+}
+
+util::Status VectorizedRunner::ApplyStepFilters(size_t after_step,
+                                                BindingBlock* out,
+                                                size_t from,
+                                                uint64_t* survivors) {
+  keep_.clear();
+  for (size_t r = from; r < out->size(); ++r) {
+    bool pass = true;
+    for (const PlannedFilter& pf : plan_.filters) {
+      if (pf.apply_after_step != after_step) continue;
+      Ebv v = EvalExpr(store_, *pf.expr, [&](const std::string& n) {
+        int slot = pf.slots.SlotOf(n);
+        rdf::TermId val =
+            slot < 0 ? rdf::kInvalidTermId : out->at(r, slot);
+        return val == rdf::kInvalidTermId ? Cell::Null() : Cell::OfTerm(val);
+      });
+      if (v != Ebv::kTrue) {
+        pass = false;
+        break;
+      }
+    }
+    if (pass) keep_.push_back(static_cast<uint32_t>(r));
+  }
+  *survivors = keep_.size();
+  if (keep_.size() != out->size() - from) out->Compact(from, keep_);
+  return util::Status::OK();
+}
+
+util::Status VectorizedRunner::RunStage(size_t stage,
+                                        const BindingBlock& in) {
+  if (stopped_ || in.empty()) return util::Status::OK();
+  if (stage == plan_.steps.size()) return RunOptionalStage(0, in);
+  TimeGuard time_guard(timing_ ? &step_prof_[stage].micros : nullptr);
+  if (profiling_) step_prof_[stage].rows_in += in.size();
+  CompiledStep& cs = steps_[stage];
+
+  if (!cs.run_located) {
+    std::span<const rdf::EncodedTriple> index =
+        cs.perm == Perm::kSpo   ? store_.spo_span()
+        : cs.perm == Perm::kPos ? store_.pos_span()
+                                : store_.osp_span();
+    if (cs.const_prefix == 0) {
+      cs.run = index;
+    } else {
+      rdf::EncodedTriple lo{rdf::kInvalidTermId, rdf::kInvalidTermId,
+                            rdf::kInvalidTermId};
+      rdf::EncodedTriple hi{kMaxTermId, kMaxTermId, kMaxTermId};
+      for (size_t i = 0; i < cs.const_prefix; ++i) {
+        SetComp(&lo, cs.key[i].pos, cs.key[i].cid);
+        SetComp(&hi, cs.key[i].pos, cs.key[i].cid);
+      }
+      auto locate = [&](auto cmp) {
+        auto first = std::lower_bound(index.begin(), index.end(), lo, cmp);
+        auto last = std::upper_bound(index.begin(), index.end(), hi, cmp);
+        cs.run = first < last
+                     ? std::span<const rdf::EncodedTriple>(
+                           &*first, static_cast<size_t>(last - first))
+                     : std::span<const rdf::EncodedTriple>();
+      };
+      if (cs.perm == Perm::kSpo) {
+        locate(SpoLess());
+      } else if (cs.perm == Perm::kPos) {
+        locate(PosLess());
+      } else {
+        locate(OspLess());
+      }
+    }
+    cs.run_located = true;
+  }
+
+  BindingBlock& out = blocks_[stage];
+  out.Clear();
+  const rdf::EncodedTriple* run_lo = cs.run.data();
+  const rdf::EncodedTriple* run_hi = run_lo + cs.run.size();
+  ProbeKey prev;
+  bool prev_valid = false;
+  const rdf::EncodedTriple* prev_lb = run_lo;
+  const rdf::EncodedTriple* prev_ub = run_lo;
+  std::vector<uint32_t> sel;  // passing candidates when checks apply
+
+  // Fault-injection site at the executor's index-scan boundary.
+  RE2X_FAILPOINT("store.scan");
+  for (size_t r = 0; r < in.size() && !stopped_; ++r) {
+    ProbeKey k;
+    k.n = cs.key.size() - cs.const_prefix;
+    for (size_t i = 0; i < k.n; ++i) {
+      const KeyPart& part = cs.key[cs.const_prefix + i];
+      k.pos[i] = part.pos;
+      k.val[i] = part.is_const ? part.cid : in.at(r, part.slot);
+    }
+    const rdf::EncodedTriple* lb;
+    const rdf::EncodedTriple* ub;
+    if (k.n == 0) {
+      lb = run_lo;
+      ub = run_hi;
+    } else if (prev_valid && CompareKeys(k, prev) == 0) {
+      // Duplicate probe key: reuse the previous equal range verbatim.
+      lb = prev_lb;
+      ub = prev_ub;
+    } else if (prev_valid && CompareKeys(k, prev) > 0) {
+      // Merge path: the block's probe keys advance in the run's sort
+      // order, so the next range starts at or after the previous one.
+      lb = GallopLowerBound(prev_ub, run_hi, k);
+      ub = GallopUpperBound(lb, run_hi, k);
+    } else {
+      // Out-of-order probe: binary search for the range start, then
+      // gallop to its end (ranges are small relative to the run).
+      lb = std::lower_bound(run_lo, run_hi, k, TripleLessKey);
+      ub = GallopUpperBound(lb, run_hi, k);
+    }
+    prev = k;
+    prev_valid = true;
+    prev_lb = lb;
+    prev_ub = ub;
+
+    if (row_cap_ == 0) {
+      if (profiling_) {
+        step_prof_[stage].scanned += static_cast<uint64_t>(ub - lb);
+      }
+      RE2X_RETURN_IF_ERROR(BumpOps(static_cast<uint64_t>(ub - lb)));
+    }
+
+    const rdf::EncodedTriple* cur = lb;
+    while (cur < ub && !stopped_) {
+      if (out.full()) {
+        RE2X_RETURN_IF_ERROR(RunStage(stage + 1, out));
+        out.Clear();
+        continue;
+      }
+      size_t chunk = std::min(static_cast<size_t>(ub - cur),
+                              out.capacity() - out.size());
+      if (row_cap_ != 0) {
+        // Row-capped runs count scanned entries as they are consumed so
+        // an early exit stops the count mid-range, like the volcano path.
+        if (profiling_) step_prof_[stage].scanned += chunk;
+        RE2X_RETURN_IF_ERROR(BumpOps(chunk));
+      }
+      size_t appended;
+      if (cs.check_pairs.empty()) {
+        size_t first = out.GrowRows(chunk);
+        // Broadcast only the already-bound parent columns, then write the
+        // bind columns from the sorted run; later-bound columns get
+        // written by their own stage before anything reads them.
+        for (int s : cs.broadcast_slots) {
+          std::fill_n(out.column(s) + first, chunk, in.at(r, s));
+        }
+        for (int s : cs.invalidate_slots) {
+          std::fill_n(out.column(s) + first, chunk, rdf::kInvalidTermId);
+        }
+        for (int pos = 0; pos < 3; ++pos) {
+          if (cs.bind_slot[pos] < 0) continue;
+          rdf::TermId* col = out.column(cs.bind_slot[pos]) + first;
+          for (size_t j = 0; j < chunk; ++j) col[j] = Comp(cur[j], pos);
+        }
+        appended = chunk;
+      } else {
+        sel.clear();
+        for (size_t j = 0; j < chunk; ++j) {
+          bool ok = true;
+          for (const auto& [pos, fp] : cs.check_pairs) {
+            if (Comp(cur[j], pos) != Comp(cur[j], fp)) {
+              ok = false;
+              break;
+            }
+          }
+          if (ok) sel.push_back(static_cast<uint32_t>(j));
+        }
+        size_t first = out.GrowRows(sel.size());
+        for (int s : cs.broadcast_slots) {
+          std::fill_n(out.column(s) + first, sel.size(), in.at(r, s));
+        }
+        for (int s : cs.invalidate_slots) {
+          std::fill_n(out.column(s) + first, sel.size(), rdf::kInvalidTermId);
+        }
+        for (int pos = 0; pos < 3; ++pos) {
+          if (cs.bind_slot[pos] < 0) continue;
+          rdf::TermId* col = out.column(cs.bind_slot[pos]) + first;
+          for (size_t j = 0; j < sel.size(); ++j) {
+            col[j] = Comp(cur[sel[j]], pos);
+          }
+        }
+        appended = sel.size();
+      }
+      cur += chunk;
+      if (appended == 0) continue;
+      uint64_t survivors = appended;
+      if (cs.has_filters) {
+        RE2X_RETURN_IF_ERROR(ApplyStepFilters(
+            stage + 1, &out, out.size() - appended, &survivors));
+      }
+      if (survivors != 0) {
+        if (profiling_) step_prof_[stage].rows_out += survivors;
+        if (options_.guard != nullptr) options_.guard->ChargeRows(survivors);
+      }
+    }
+  }
+  if (!out.empty() && !stopped_) {
+    util::Status st = RunStage(stage + 1, out);
+    out.Clear();
+    return st;
+  }
+  return util::Status::OK();
+}
+
+// Left-join extension at block granularity: each parent row either gets
+// its matched extensions appended (in index order) or falls through
+// unchanged; `opt_match_bits_` records which rows matched.
+util::Status VectorizedRunner::RunOptionalStage(size_t block,
+                                                const BindingBlock& in) {
+  if (stopped_ || in.empty()) return util::Status::OK();
+  if (block == plan_.optionals.size()) return EmitBlock(in);
+  TimeGuard time_guard(timing_ ? &opt_prof_[block].micros : nullptr);
+  if (profiling_) opt_prof_[block].rows_in += in.size();
+  const PlannedOptional& po = plan_.optionals[block];
+  if (po.never_matches || po.steps.empty()) {
+    if (profiling_) opt_prof_[block].rows_out += in.size();
+    return RunOptionalStage(block + 1, in);
+  }
+  BindingBlock& out = opt_blocks_[block];
+  out.Clear();
+  std::vector<uint8_t>& bits = opt_match_bits_[block];
+  bits.assign(in.size(), 0);
+  for (size_t r = 0; r < in.size() && !stopped_; ++r) {
+    in.ExtractRow(r, &scratch_row_);
+    bool matched = false;
+    RE2X_RETURN_IF_ERROR(OptionalPattern(block, 0, &matched, &out));
+    if (matched) {
+      bits[r] = 1;
+    } else if (!stopped_) {
+      if (profiling_) ++opt_prof_[block].rows_out;
+      if (out.full()) {
+        RE2X_RETURN_IF_ERROR(RunOptionalStage(block + 1, out));
+        out.Clear();
+      }
+      if (stopped_) break;
+      out.AppendRow(scratch_row_);
+    }
+  }
+  if (!out.empty() && !stopped_) {
+    util::Status st = RunOptionalStage(block + 1, out);
+    out.Clear();
+    return st;
+  }
+  return util::Status::OK();
+}
+
+// Per-pattern OPTIONAL matching stays row-at-a-time over the scratch row:
+// variables bound by *earlier OPTIONAL blocks* are only known per row
+// (left-join fall-throughs leave them unbound), so the probe shape cannot
+// be compiled statically the way mandatory steps can.
+util::Status VectorizedRunner::OptionalPattern(size_t block, size_t idx,
+                                               bool* matched,
+                                               BindingBlock* out) {
+  const PlannedOptional& po = plan_.optionals[block];
+  if (idx == po.steps.size()) {
+    *matched = true;
+    if (profiling_) {
+      ++opt_prof_[block].matched;
+      ++opt_prof_[block].rows_out;
+    }
+    if (options_.guard != nullptr) options_.guard->ChargeRows(1);
+    if (out->full()) {
+      RE2X_RETURN_IF_ERROR(RunOptionalStage(block + 1, *out));
+      out->Clear();
+    }
+    if (stopped_) return util::Status::OK();
+    out->AppendRow(scratch_row_);
+    return util::Status::OK();
+  }
+  const PhysicalPattern& pp = po.steps[idx];
+  rdf::TriplePattern q;
+  auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
+    if (cid != rdf::kInvalidTermId) return cid;
+    if (slot >= 0 && scratch_row_[slot] != rdf::kInvalidTermId) {
+      return scratch_row_[slot];
+    }
+    return rdf::kInvalidTermId;
+  };
+  q.s = fix(pp.s_id, pp.s_slot);
+  q.p = fix(pp.p_id, pp.p_slot);
+  q.o = fix(pp.o_id, pp.o_slot);
+  for (const rdf::EncodedTriple& t : store_.Match(q)) {
+    if (stopped_) return util::Status::OK();
+    if (profiling_) ++opt_prof_[block].scanned;
+    RE2X_RETURN_IF_ERROR(BumpOps(1));
+    int newly_bound[3];
+    int n_new = 0;
+    bool consistent = true;
+    auto bind = [&](int slot, rdf::TermId value) {
+      if (slot < 0) return;
+      if (scratch_row_[slot] == rdf::kInvalidTermId) {
+        scratch_row_[slot] = value;
+        newly_bound[n_new++] = slot;
+      } else if (scratch_row_[slot] != value) {
+        consistent = false;
+      }
+    };
+    bind(pp.s_slot, t.s);
+    if (consistent) bind(pp.p_slot, t.p);
+    if (consistent) bind(pp.o_slot, t.o);
+    if (consistent) {
+      util::Status st = OptionalPattern(block, idx + 1, matched, out);
+      if (!st.ok()) {
+        for (int i = 0; i < n_new; ++i) {
+          scratch_row_[newly_bound[i]] = rdf::kInvalidTermId;
+        }
+        return st;
+      }
+    }
+    for (int i = 0; i < n_new; ++i) {
+      scratch_row_[newly_bound[i]] = rdf::kInvalidTermId;
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status VectorizedRunner::EmitBlock(const BindingBlock& in) {
+  for (size_t r = 0; r < in.size() && !stopped_; ++r) {
+    bool pass = true;
+    for (const PlannedFilter& pf : plan_.post_optional_filters) {
+      Ebv v = EvalExpr(store_, *pf.expr, [&](const std::string& n) {
+        int slot = pf.slots.SlotOf(n);
+        rdf::TermId val = slot < 0 ? rdf::kInvalidTermId : in.at(r, slot);
+        return val == rdf::kInvalidTermId ? Cell::Null() : Cell::OfTerm(val);
+      });
+      if (v != Ebv::kTrue) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    in.ExtractRow(r, &row_buf_);
+    ++emitted_;
+    (*on_row_)(row_buf_);
+    if (row_cap_ != 0 && ++rows_emitted_ >= row_cap_) stopped_ = true;
+    // Re-check budgets on every emitted row: the sink may have charged
+    // result bytes / group-state bytes against the guard just now.
+    if (options_.guard != nullptr) {
+      RE2X_RETURN_IF_ERROR(options_.guard->CheckBudgets());
+    }
+    RE2X_RETURN_IF_ERROR(BumpOps(1));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace re2xolap::sparql

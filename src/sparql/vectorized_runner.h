@@ -1,0 +1,136 @@
+#ifndef RE2XOLAP_SPARQL_VECTORIZED_RUNNER_H_
+#define RE2XOLAP_SPARQL_VECTORIZED_RUNNER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/triple_store.h"
+#include "sparql/binding_block.h"
+#include "sparql/executor.h"
+#include "sparql/join_runner.h"
+#include "sparql/plan.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace re2xolap::sparql {
+
+/// Batch-at-a-time join core over columnar BindingBlocks. Consumes the
+/// same Plan as the volcano JoinRunner (so cached plans serve both) and
+/// produces rows in the *identical order* with identical StepProf /
+/// ExecStats counters: blocks flow depth-first through the step pipeline,
+/// rows stay in input order, and extensions are appended in index order.
+///
+/// Each mandatory step is compiled once per run into a CompiledStep: the
+/// index permutation and exact key prefix it probes (mirroring
+/// TripleStore::Match's selection rules), split into a constant prefix —
+/// located once per run with a single equal_range — and per-row varying
+/// parts. When consecutive rows' probe keys are non-decreasing (the common
+/// case after joining along an index's sort order), the runner *merge
+/// joins*: it advances a cursor through the constant-prefix run with a
+/// galloping lower_bound instead of re-searching from the start; rows
+/// whose keys regress fall back to a plain binary search within the run.
+/// Matched extensions are appended column-wise (broadcast of the parent
+/// row + bind-column writes from the sorted run).
+///
+/// Guard semantics match the volcano runner at batch granularity: the
+/// deadline/cancellation poll is amortized behind the same
+/// kGuardCheckInterval worth of scanned entries, every produced binding
+/// is charged against the row budget, and the emit path re-checks budgets
+/// per row. OPTIONAL blocks extend parent rows left-join style with a
+/// per-block match bitmap; the per-pattern matching walks rows of the
+/// parent block (variables bound by earlier OPTIONAL blocks are only
+/// known per row, so their probes cannot be compiled statically).
+class VectorizedRunner : public JoinExecutor {
+ public:
+  VectorizedRunner(const rdf::TripleStore& store, const Plan& plan,
+                   const ExecOptions& options, ExecStats* stats);
+
+  util::Status Run(RowSink on_row, uint64_t row_cap = 0) override;
+
+  const std::vector<StepProf>& step_prof() const override {
+    return step_prof_;
+  }
+  const std::vector<StepProf>& opt_prof() const override { return opt_prof_; }
+  uint64_t emitted() const override { return emitted_; }
+  bool timing() const override { return timing_; }
+  const char* join_label() const override { return "join (vectorized)"; }
+
+ private:
+  enum class Perm : uint8_t { kSpo, kPos, kOsp };
+
+  /// One component of a step's probe key, in the permutation's key order:
+  /// either a plan constant or a slot read from the input row.
+  struct KeyPart {
+    bool is_const = false;
+    rdf::TermId cid = rdf::kInvalidTermId;
+    int slot = -1;
+    int pos = 0;  // triple component: 0 = s, 1 = p, 2 = o
+  };
+
+  /// A mandatory plan step compiled against the static boundness at its
+  /// position in the pipeline (slots are assigned in execution order, so
+  /// which slots are bound when a step runs is known at compile time).
+  struct CompiledStep {
+    Perm perm = Perm::kSpo;
+    std::vector<KeyPart> key;  // exact-prefix parts in index key order
+    size_t const_prefix = 0;   // leading key parts that are constants
+    int bind_slot[3] = {-1, -1, -1};  // per triple pos: slot to bind
+    // Repeated-variable checks within one pattern: candidate triples must
+    // have equal components at (pos, first_pos) for each pair.
+    std::vector<std::pair<int, int>> check_pairs;
+    bool has_filters = false;  // any PlannedFilter applies after this step
+    // Slots bound by earlier steps: the only parent columns worth
+    // broadcasting into this stage's output. Slots bound by later steps
+    // are written before anything reads them, so copying them forward
+    // would be wasted work (the dominant cost on probe-heavy joins).
+    std::vector<int> broadcast_slots;
+    // Last mandatory step only: slots no mandatory step ever binds
+    // (OPTIONAL-only variables). Filled with kInvalidTermId so the
+    // optional/emit stages see them as unbound rather than stale data.
+    std::vector<int> invalidate_slots;
+    // Constant-prefix run, located lazily on first use and cached for the
+    // rest of the run (the prefix never varies).
+    bool run_located = false;
+    std::span<const rdf::EncodedTriple> run;
+  };
+
+  void CompileSteps();
+  util::Status BumpOps(uint64_t n);
+  util::Status RunStage(size_t stage, const BindingBlock& in);
+  util::Status ApplyStepFilters(size_t after_step, BindingBlock* out,
+                                size_t from, uint64_t* survivors);
+  util::Status RunOptionalStage(size_t block, const BindingBlock& in);
+  util::Status OptionalPattern(size_t block, size_t idx, bool* matched,
+                               BindingBlock* out);
+  util::Status EmitBlock(const BindingBlock& in);
+  void FlushStats();
+
+  const rdf::TripleStore& store_;
+  const Plan& plan_;
+  const ExecOptions& options_;
+  ExecStats* stats_;
+  const bool profiling_;
+  const bool timing_;
+
+  RowSink* on_row_ = nullptr;
+  std::vector<CompiledStep> steps_;
+  std::vector<BindingBlock> blocks_;      // per mandatory stage output
+  std::vector<BindingBlock> opt_blocks_;  // per OPTIONAL stage output
+  std::vector<std::vector<uint8_t>> opt_match_bits_;  // per-block bitmap
+  std::vector<rdf::TermId> scratch_row_;  // OPTIONAL extension row state
+  std::vector<rdf::TermId> row_buf_;      // emit-path row materialization
+  std::vector<uint32_t> keep_;            // filter compaction scratch
+  std::vector<StepProf> step_prof_;
+  std::vector<StepProf> opt_prof_;
+  util::WallTimer timer_;
+  uint64_t ops_ = 0;
+  uint64_t row_cap_ = 0;
+  uint64_t rows_emitted_ = 0;
+  uint64_t emitted_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace re2xolap::sparql
+
+#endif  // RE2XOLAP_SPARQL_VECTORIZED_RUNNER_H_

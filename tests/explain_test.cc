@@ -29,6 +29,7 @@ constexpr char kGroupByQuery[] = R"(
 TEST_F(ExplainTest, GroupByGoldenReport) {
   ExplainOptions options;
   options.include_timing = false;  // deterministic output
+  options.exec.executor = ExecutorKind::kVolcano;  // golden pins the label
   auto r = ExplainAnalyzeText(*store, kGroupByQuery, options);
   ASSERT_TRUE(r.ok()) << r.status();
   EXPECT_EQ(r->table.row_count(), 3u);  // Syria, China, Nigeria
@@ -46,6 +47,48 @@ TEST_F(ExplainTest, GroupByGoldenReport) {
       "|   aggregate (group by ?origin)        | 5       | 3        | 0       | *      |\n"
       "+---------------------------------------+---------+----------+---------+--------+\n";
   EXPECT_EQ(r->report, expected) << "actual report:\n" << r->report;
+}
+
+// Both executors must render the same operator tree with identical
+// cardinality counters — only the join operator's label differs.
+TEST_F(ExplainTest, VectorizedReportMatchesVolcanoModuloJoinLabel) {
+  ExplainOptions options;
+  options.include_timing = false;
+  options.exec.executor = ExecutorKind::kVolcano;
+  auto volcano = ExplainAnalyzeText(*store, kGroupByQuery, options);
+  ASSERT_TRUE(volcano.ok()) << volcano.status();
+  options.exec.executor = ExecutorKind::kVectorized;
+  auto vectorized = ExplainAnalyzeText(*store, kGroupByQuery, options);
+  ASSERT_TRUE(vectorized.ok()) << vectorized.status();
+
+  EXPECT_NE(vectorized->report.find("join (vectorized)"), std::string::npos)
+      << vectorized->report;
+  // Normalize both reports to a common label; everything else (row
+  // counts, scanned counts, operator nesting, column padding) must match.
+  auto normalize = [](std::string report, const std::string& label) {
+    size_t at = report.find(label);
+    EXPECT_NE(at, std::string::npos) << report;
+    // Pad/trim to a fixed-width placeholder so column widths align.
+    std::string out;
+    for (std::string::size_type from = 0; from < report.size();) {
+      size_t hit = report.find(label, from);
+      if (hit == std::string::npos) {
+        out += report.substr(from);
+        break;
+      }
+      out += report.substr(from, hit - from) + "join";
+      from = hit + label.size();
+      // Swallow the padding spaces that follow the label.
+      while (from < report.size() && report[from] == ' ') ++from;
+      out += ' ';
+    }
+    return out;
+  };
+  EXPECT_EQ(normalize(volcano->report, "join (index nested loop)"),
+            normalize(vectorized->report, "join (vectorized)"));
+  EXPECT_EQ(volcano->stats.triples_scanned, vectorized->stats.triples_scanned);
+  EXPECT_EQ(volcano->stats.intermediate_bindings,
+            vectorized->stats.intermediate_bindings);
 }
 
 TEST_F(ExplainTest, TimingModeMeasuresEveryOperator) {

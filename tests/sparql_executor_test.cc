@@ -155,6 +155,44 @@ TEST_F(ExecutorTest, FilterLogicalOps) {
   EXPECT_EQ(t2.row_count(), 2u);  // 120, 500
 }
 
+// The planner resolves every filter-variable occurrence to its binding
+// slot at plan time, keyed by the address of the name string inside the
+// plan-owned expression tree, so executors never hash a string per row.
+TEST_F(ExecutorTest, PlannerResolvesFilterVariableSlots) {
+  auto query = ParseQuery(R"(
+    SELECT ?obs WHERE {
+      ?obs <http://test/numApplicants> ?v .
+      ?obs <http://test/countryOrigin> ?c .
+      FILTER (?v >= 100 && ?v < 500)
+      OPTIONAL { ?c <http://test/inContinent> ?cont . }
+      FILTER (!BOUND(?cont))
+    })");
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto plan = PlanQuery(*store, *query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  ASSERT_EQ(plan->filters.size(), 1u);
+  // Two occurrences of ?v, each resolved to the same slot at its own
+  // (pointer-keyed) entry.
+  const PlannedFilter& early = plan->filters[0];
+  EXPECT_EQ(early.slots.size(), 2u);
+  for (const auto& [name, slot] : early.slots.entries()) {
+    EXPECT_EQ(*name, "v");
+    EXPECT_GE(slot, 0);
+    EXPECT_EQ(slot, plan->SlotOf(*name));
+  }
+  // Pointer-keyed fast path and value-compare fallback agree.
+  EXPECT_EQ(early.slots.SlotOf(std::string("v")), plan->SlotOf("v"));
+  EXPECT_EQ(early.slots.SlotOf(std::string("nosuch")), -1);
+
+  ASSERT_EQ(plan->post_optional_filters.size(), 1u);
+  const PlannedFilter& late = plan->post_optional_filters[0];
+  ASSERT_EQ(late.slots.size(), 1u);
+  EXPECT_EQ(*late.slots.entries()[0].first, "cont");
+  EXPECT_EQ(late.slots.entries()[0].second, plan->SlotOf("cont"));
+  EXPECT_GE(late.slots.entries()[0].second, 0);
+}
+
 TEST_F(ExecutorTest, EmptyStringEbvIsFalseForVariablesAndConstants) {
   // Regression: a variable bound to an empty-string literal used to
   // evaluate to EBV true while the identical constant evaluated to false.
@@ -446,6 +484,50 @@ TEST(GuardScaleTest, ShortDeadlineTripsInsideAggregationOnFig7Cube) {
   auto ok = ExecuteText(*ds->store, query);
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   EXPECT_GT(ok->row_count(), 0u);
+}
+
+TEST_F(ExecutorTest, AmortizedGuardStillSurfacesRowBudgetOnTinyScans) {
+  // Regression for guard over-polling: CheckBudgets used to run on every
+  // scanned index entry ahead of the interval gate. It is now amortized
+  // behind kGuardCheckInterval, so on a store far smaller than the
+  // interval the only remaining budget poll is the per-emitted-row
+  // recheck — which must still surface the violation.
+  util::ExecGuard::Limits limits;
+  limits.max_rows = 1;  // trips on the second produced binding
+  for (ExecutorKind kind :
+       {ExecutorKind::kVolcano, ExecutorKind::kVectorized}) {
+    util::ExecGuard guard(limits);
+    ExecOptions opts;
+    opts.executor = kind;
+    opts.guard = &guard;
+    auto r = ExecuteText(
+        *store,
+        "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }", opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+    EXPECT_GT(guard.charged_rows(), limits.max_rows);
+  }
+}
+
+TEST_F(ExecutorTest, AmortizedGuardSkipsBudgetPollsWithinInterval) {
+  // With the whole store far below the check interval and no rows ever
+  // emitted (aggregation sinks bypass the emit-path recheck until Emit),
+  // an over-budget *byte* charge from the group state must still surface
+  // at the aggregation boundary — the join itself legitimately no longer
+  // notices it mid-scan.
+  util::ExecGuard::Limits limits;
+  limits.max_bytes = 1;
+  util::ExecGuard guard(limits);
+  ExecOptions opts;
+  opts.guard = &guard;
+  auto r = ExecuteText(*store, R"(
+    SELECT ?dest (SUM(?v) AS ?total) WHERE {
+      ?obs <http://test/countryDestination> ?dest .
+      ?obs <http://test/numApplicants> ?v .
+    } GROUP BY ?dest)",
+                       opts);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
 }
 
 TEST_F(ExecutorTest, CancellationAbortsExecution) {
