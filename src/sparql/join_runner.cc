@@ -109,9 +109,10 @@ util::Status JoinRunner::CheckGuard() {
   if (options_.timeout_millis == 0 && guard == nullptr) {
     return util::Status::OK();
   }
-  // Everything — budgets included — is amortized behind the interval
-  // counter. Budget violations between interval crossings still surface
-  // within one row of the overrun via the emit-path recheck.
+  // The full poll (clock read included) is amortized behind the interval
+  // counter; budgets get their own cheap recheck at every charge site
+  // (produced binding, emitted row), so a row-budget overrun surfaces
+  // within one produced binding even when the interval never trips.
   if (++ops_ % kGuardCheckInterval != 0) return util::Status::OK();
   if (options_.timeout_millis != 0 &&
       timer_.ElapsedMillis() > static_cast<double>(options_.timeout_millis)) {
@@ -197,7 +198,19 @@ util::Status JoinRunner::Step(size_t step, const RowSink& on_row) {
       RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
       if (pass) {
         if (profiling_) ++step_prof_[step].rows_out;
-        if (options_.guard != nullptr) options_.guard->ChargeRows(1);
+        if (options_.guard != nullptr) {
+          options_.guard->ChargeRows(1);
+          // Budget-only recheck at the charge site: a row-budget overrun
+          // surfaces here even when no row ever reaches the emit path
+          // (e.g. a highly selective later step).
+          util::Status bst = options_.guard->CheckBudgets();
+          if (!bst.ok()) {
+            for (int i = 0; i < n_new; ++i) {
+              bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+            }
+            return bst;
+          }
+        }
         util::Status st = Step(step + 1, on_row);
         if (!st.ok()) {
           for (int i = 0; i < n_new; ++i) {
@@ -263,7 +276,10 @@ util::Status JoinRunner::OptionalPattern(size_t block, size_t idx,
       ++opt_prof_[block].matched;
       ++opt_prof_[block].rows_out;
     }
-    if (options_.guard != nullptr) options_.guard->ChargeRows(1);
+    if (options_.guard != nullptr) {
+      options_.guard->ChargeRows(1);
+      RE2X_RETURN_IF_ERROR(options_.guard->CheckBudgets());
+    }
     return OptionalStep(block + 1, on_row);
   }
   const PhysicalPattern& pp = po.steps[idx];

@@ -277,7 +277,7 @@ util::Status VectorizedRunner::Run(RowSink on_row, uint64_t row_cap) {
   for (BindingBlock& b : blocks_) b.Reset(plan_.slot_count, cap);
   opt_blocks_.resize(plan_.optionals.size());
   for (BindingBlock& b : opt_blocks_) b.Reset(plan_.slot_count, cap);
-  opt_match_bits_.resize(plan_.optionals.size());
+  scratch_rows_.resize(plan_.optionals.size());
 
   BindingBlock seed;
   seed.Reset(plan_.slot_count, 1);
@@ -321,16 +321,26 @@ util::Status VectorizedRunner::BumpOps(uint64_t n) {
   if (options_.timeout_millis == 0 && guard == nullptr) {
     return util::Status::OK();
   }
-  const uint64_t before = ops_ / kGuardCheckInterval;
-  ops_ += n;
-  if (ops_ / kGuardCheckInterval == before) return util::Status::OK();
-  if (options_.timeout_millis != 0 &&
-      timer_.ElapsedMillis() > static_cast<double>(options_.timeout_millis)) {
-    return util::Status::Timeout("query exceeded " +
-                                 std::to_string(options_.timeout_millis) +
-                                 " ms");
+  // Poll once per crossed interval so one large charge cannot widen the
+  // deadline/cancellation window past kGuardCheckInterval scanned entries
+  // (callers charge at most a block's worth per call, so this loop runs
+  // at most twice in practice).
+  while (n > 0) {
+    const uint64_t to_boundary =
+        kGuardCheckInterval - ops_ % kGuardCheckInterval;
+    const uint64_t step = std::min(n, to_boundary);
+    ops_ += step;
+    n -= step;
+    if (step < to_boundary) break;
+    if (options_.timeout_millis != 0 &&
+        timer_.ElapsedMillis() >
+            static_cast<double>(options_.timeout_millis)) {
+      return util::Status::Timeout("query exceeded " +
+                                   std::to_string(options_.timeout_millis) +
+                                   " ms");
+    }
+    if (guard != nullptr) RE2X_RETURN_IF_ERROR(guard->Check());
   }
-  if (guard != nullptr) return guard->Check();
   return util::Status::OK();
 }
 
@@ -425,14 +435,15 @@ util::Status VectorizedRunner::RunStage(size_t stage,
     }
     const rdf::EncodedTriple* lb;
     const rdf::EncodedTriple* ub;
+    const int cmp = prev_valid && k.n != 0 ? CompareKeys(k, prev) : 0;
     if (k.n == 0) {
       lb = run_lo;
       ub = run_hi;
-    } else if (prev_valid && CompareKeys(k, prev) == 0) {
+    } else if (prev_valid && cmp == 0) {
       // Duplicate probe key: reuse the previous equal range verbatim.
       lb = prev_lb;
       ub = prev_ub;
-    } else if (prev_valid && CompareKeys(k, prev) > 0) {
+    } else if (prev_valid && cmp > 0) {
       // Merge path: the block's probe keys advance in the run's sort
       // order, so the next range starts at or after the previous one.
       lb = GallopLowerBound(prev_ub, run_hi, k);
@@ -448,13 +459,6 @@ util::Status VectorizedRunner::RunStage(size_t stage,
     prev_lb = lb;
     prev_ub = ub;
 
-    if (row_cap_ == 0) {
-      if (profiling_) {
-        step_prof_[stage].scanned += static_cast<uint64_t>(ub - lb);
-      }
-      RE2X_RETURN_IF_ERROR(BumpOps(static_cast<uint64_t>(ub - lb)));
-    }
-
     const rdf::EncodedTriple* cur = lb;
     while (cur < ub && !stopped_) {
       if (out.full()) {
@@ -464,12 +468,13 @@ util::Status VectorizedRunner::RunStage(size_t stage,
       }
       size_t chunk = std::min(static_cast<size_t>(ub - cur),
                               out.capacity() - out.size());
-      if (row_cap_ != 0) {
-        // Row-capped runs count scanned entries as they are consumed so
-        // an early exit stops the count mid-range, like the volcano path.
-        if (profiling_) step_prof_[stage].scanned += chunk;
-        RE2X_RETURN_IF_ERROR(BumpOps(chunk));
-      }
+      // Scanned entries are counted and charged as they are consumed, in
+      // chunks bounded by the block capacity: guard polling granularity
+      // stays within kGuardCheckInterval even for one huge equal range,
+      // and a row-capped early exit stops the count mid-range, like the
+      // volcano path.
+      if (profiling_) step_prof_[stage].scanned += chunk;
+      RE2X_RETURN_IF_ERROR(BumpOps(chunk));
       size_t appended;
       if (cs.check_pairs.empty()) {
         size_t first = out.GrowRows(chunk);
@@ -525,7 +530,13 @@ util::Status VectorizedRunner::RunStage(size_t stage,
       }
       if (survivors != 0) {
         if (profiling_) step_prof_[stage].rows_out += survivors;
-        if (options_.guard != nullptr) options_.guard->ChargeRows(survivors);
+        if (options_.guard != nullptr) {
+          options_.guard->ChargeRows(survivors);
+          // Budget-only recheck at the charge site: a row-budget overrun
+          // surfaces within one batch even when no row ever reaches the
+          // emit path (e.g. a highly selective later step).
+          RE2X_RETURN_IF_ERROR(options_.guard->CheckBudgets());
+        }
       }
     }
   }
@@ -539,7 +550,7 @@ util::Status VectorizedRunner::RunStage(size_t stage,
 
 // Left-join extension at block granularity: each parent row either gets
 // its matched extensions appended (in index order) or falls through
-// unchanged; `opt_match_bits_` records which rows matched.
+// unchanged.
 util::Status VectorizedRunner::RunOptionalStage(size_t block,
                                                 const BindingBlock& in) {
   if (stopped_ || in.empty()) return util::Status::OK();
@@ -553,22 +564,24 @@ util::Status VectorizedRunner::RunOptionalStage(size_t block,
   }
   BindingBlock& out = opt_blocks_[block];
   out.Clear();
-  std::vector<uint8_t>& bits = opt_match_bits_[block];
-  bits.assign(in.size(), 0);
+  // This block's own scratch row: the mid-loop flushes here and in
+  // OptionalPattern recurse into later blocks, whose ExtractRow would
+  // clobber a shared row while this block's iteration still reads it.
+  std::vector<rdf::TermId>& scratch = scratch_rows_[block];
   for (size_t r = 0; r < in.size() && !stopped_; ++r) {
-    in.ExtractRow(r, &scratch_row_);
+    in.ExtractRow(r, &scratch);
     bool matched = false;
     RE2X_RETURN_IF_ERROR(OptionalPattern(block, 0, &matched, &out));
-    if (matched) {
-      bits[r] = 1;
-    } else if (!stopped_) {
+    if (!matched && !stopped_) {
       if (profiling_) ++opt_prof_[block].rows_out;
+      out.AppendRow(scratch);
+      // Flush as soon as the block fills (not lazily before the next
+      // append): a row-capped run must stop scanning exactly where the
+      // volcano runner's eager emission would.
       if (out.full()) {
         RE2X_RETURN_IF_ERROR(RunOptionalStage(block + 1, out));
         out.Clear();
       }
-      if (stopped_) break;
-      out.AppendRow(scratch_row_);
     }
   }
   if (!out.empty() && !stopped_) {
@@ -587,27 +600,34 @@ util::Status VectorizedRunner::OptionalPattern(size_t block, size_t idx,
                                                bool* matched,
                                                BindingBlock* out) {
   const PlannedOptional& po = plan_.optionals[block];
+  std::vector<rdf::TermId>& scratch = scratch_rows_[block];
   if (idx == po.steps.size()) {
     *matched = true;
     if (profiling_) {
       ++opt_prof_[block].matched;
       ++opt_prof_[block].rows_out;
     }
-    if (options_.guard != nullptr) options_.guard->ChargeRows(1);
+    if (options_.guard != nullptr) {
+      options_.guard->ChargeRows(1);
+      RE2X_RETURN_IF_ERROR(options_.guard->CheckBudgets());
+    }
+    if (stopped_) return util::Status::OK();
+    out->AppendRow(scratch);
+    // Flush as soon as the block fills (not lazily before the next
+    // append): a row-capped run must stop scanning exactly where the
+    // volcano runner's eager emission would.
     if (out->full()) {
       RE2X_RETURN_IF_ERROR(RunOptionalStage(block + 1, *out));
       out->Clear();
     }
-    if (stopped_) return util::Status::OK();
-    out->AppendRow(scratch_row_);
     return util::Status::OK();
   }
   const PhysicalPattern& pp = po.steps[idx];
   rdf::TriplePattern q;
   auto fix = [&](rdf::TermId cid, int slot) -> rdf::TermId {
     if (cid != rdf::kInvalidTermId) return cid;
-    if (slot >= 0 && scratch_row_[slot] != rdf::kInvalidTermId) {
-      return scratch_row_[slot];
+    if (slot >= 0 && scratch[slot] != rdf::kInvalidTermId) {
+      return scratch[slot];
     }
     return rdf::kInvalidTermId;
   };
@@ -623,10 +643,10 @@ util::Status VectorizedRunner::OptionalPattern(size_t block, size_t idx,
     bool consistent = true;
     auto bind = [&](int slot, rdf::TermId value) {
       if (slot < 0) return;
-      if (scratch_row_[slot] == rdf::kInvalidTermId) {
-        scratch_row_[slot] = value;
+      if (scratch[slot] == rdf::kInvalidTermId) {
+        scratch[slot] = value;
         newly_bound[n_new++] = slot;
-      } else if (scratch_row_[slot] != value) {
+      } else if (scratch[slot] != value) {
         consistent = false;
       }
     };
@@ -637,13 +657,13 @@ util::Status VectorizedRunner::OptionalPattern(size_t block, size_t idx,
       util::Status st = OptionalPattern(block, idx + 1, matched, out);
       if (!st.ok()) {
         for (int i = 0; i < n_new; ++i) {
-          scratch_row_[newly_bound[i]] = rdf::kInvalidTermId;
+          scratch[newly_bound[i]] = rdf::kInvalidTermId;
         }
         return st;
       }
     }
     for (int i = 0; i < n_new; ++i) {
-      scratch_row_[newly_bound[i]] = rdf::kInvalidTermId;
+      scratch[newly_bound[i]] = rdf::kInvalidTermId;
     }
   }
   return util::Status::OK();

@@ -36,11 +36,13 @@ namespace re2xolap::sparql {
 /// Guard semantics match the volcano runner at batch granularity: the
 /// deadline/cancellation poll is amortized behind the same
 /// kGuardCheckInterval worth of scanned entries, every produced binding
-/// is charged against the row budget, and the emit path re-checks budgets
-/// per row. OPTIONAL blocks extend parent rows left-join style with a
-/// per-block match bitmap; the per-pattern matching walks rows of the
-/// parent block (variables bound by earlier OPTIONAL blocks are only
-/// known per row, so their probes cannot be compiled statically).
+/// is charged against the row budget with a budget-only recheck at the
+/// charge site, and the emit path re-checks budgets per row. OPTIONAL
+/// blocks extend parent rows left-join style, each parent row either
+/// appending its matched extensions or falling through unchanged; the
+/// per-pattern matching walks rows of the parent block (variables bound
+/// by earlier OPTIONAL blocks are only known per row, so their probes
+/// cannot be compiled statically).
 class VectorizedRunner : public JoinExecutor {
  public:
   VectorizedRunner(const rdf::TripleStore& store, const Plan& plan,
@@ -117,8 +119,10 @@ class VectorizedRunner : public JoinExecutor {
   std::vector<CompiledStep> steps_;
   std::vector<BindingBlock> blocks_;      // per mandatory stage output
   std::vector<BindingBlock> opt_blocks_;  // per OPTIONAL stage output
-  std::vector<std::vector<uint8_t>> opt_match_bits_;  // per-block bitmap
-  std::vector<rdf::TermId> scratch_row_;  // OPTIONAL extension row state
+  // OPTIONAL extension row state, one scratch row per block: a block's
+  // mid-loop flush recurses into later blocks, which extract their own
+  // rows while the suspended caller's row must stay intact.
+  std::vector<std::vector<rdf::TermId>> scratch_rows_;
   std::vector<rdf::TermId> row_buf_;      // emit-path row materialization
   std::vector<uint32_t> keep_;            // filter compaction scratch
   std::vector<StepProf> step_prof_;

@@ -168,6 +168,22 @@ const char* const kCorpus[] = {
       OPTIONAL { ?c <http://test/inContinent> ?cont . }
       FILTER (!BOUND(?cont))
     })",
+    // Two OPTIONALs where the first matches several rows per parent,
+    // under a row cap (LIMIT without ORDER BY): blocks degrade to
+    // capacity 1, so the first optional block flushes into the second
+    // mid-loop on every extra match. Regression for the shared scratch
+    // row that let that flush clobber the suspended block's row state.
+    R"(SELECT ?c ?p ?v ?label WHERE {
+      ?c <http://test/inContinent> ?cont .
+      OPTIONAL { ?c ?p ?v . }
+      OPTIONAL { ?c <http://www.w3.org/2000/01/rdf-schema#label> ?label . }
+    } LIMIT 50)",
+    // Same shape with the cap binding mid-stream.
+    R"(SELECT ?c ?p ?v ?label WHERE {
+      ?c <http://test/inContinent> ?cont .
+      OPTIONAL { ?c ?p ?v . }
+      OPTIONAL { ?c <http://www.w3.org/2000/01/rdf-schema#label> ?label . }
+    } LIMIT 3)",
     // VALUES.
     R"(SELECT ?o WHERE {
       ?o <http://test/countryOrigin> ?c .
@@ -240,6 +256,23 @@ TEST(ExecutorDiffPropertyTest, RandomBgpsProduceIdenticalResults) {
   }
 }
 
+// Two OPTIONALs at default block capacity (no row cap): the first
+// optional's extensions exceed 4096 rows, so its output block fills and
+// flushes into the second block mid-loop many times. Regression for the
+// shared scratch row: the flush used to re-extract rows into the same
+// buffer the suspended first block was still reading, corrupting the
+// remaining extensions of the current parent row.
+TEST(ExecutorDiffScaleTest, MultiOptionalAcrossBlockBoundaryMatches) {
+  auto ds = qb::Generate(qb::EurostatSpec(1500));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  const qb::DatasetSpec& spec = ds->spec;
+  const std::string query = "SELECT * WHERE { ?obs <" + spec.iri_base +
+                            spec.dimensions[0].predicate +
+                            "> ?d . OPTIONAL { ?obs ?p ?v . } OPTIONAL { ?d "
+                            "?q ?w . } }";
+  ExpectSameResults(*ds->store, query);
+}
+
 // --- guard / error-path parity ----------------------------------------------
 
 TEST_F(ExecutorDiffTest, RowBudgetTripsIdentically) {
@@ -256,6 +289,32 @@ TEST_F(ExecutorDiffTest, RowBudgetTripsIdentically) {
         "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }", opts);
     ASSERT_FALSE(r.ok());
     EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  }
+}
+
+TEST_F(ExecutorDiffTest, RowBudgetTripsWhenNoRowIsEverEmitted) {
+  // The first pattern produces (and charges) five intermediate bindings,
+  // but the second matches nothing, so the query's result is empty and
+  // the emit-path budget recheck never runs. The charge-site recheck must
+  // surface the overrun anyway, in both executors — the store is far
+  // smaller than the periodic full-check interval.
+  util::ExecGuard::Limits limits;
+  limits.max_rows = 1;
+  for (ExecutorKind kind :
+       {ExecutorKind::kVolcano, ExecutorKind::kVectorized}) {
+    util::ExecGuard guard(limits);
+    ExecOptions opts;
+    opts.executor = kind;
+    opts.guard = &guard;
+    auto r = ExecuteText(*store, R"(
+      SELECT ?obs WHERE {
+        ?obs <http://test/numApplicants> ?v .
+        ?v <http://test/inContinent> ?x .
+      })",
+                         opts);
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+    EXPECT_GT(guard.charged_rows(), limits.max_rows);
   }
 }
 

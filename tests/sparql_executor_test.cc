@@ -488,10 +488,10 @@ TEST(GuardScaleTest, ShortDeadlineTripsInsideAggregationOnFig7Cube) {
 
 TEST_F(ExecutorTest, AmortizedGuardStillSurfacesRowBudgetOnTinyScans) {
   // Regression for guard over-polling: CheckBudgets used to run on every
-  // scanned index entry ahead of the interval gate. It is now amortized
-  // behind kGuardCheckInterval, so on a store far smaller than the
-  // interval the only remaining budget poll is the per-emitted-row
-  // recheck — which must still surface the violation.
+  // scanned index entry ahead of the interval gate. The full poll is now
+  // amortized behind kGuardCheckInterval, so on a store far smaller than
+  // the interval the only budget polls are the charge-site and
+  // per-emitted-row rechecks — which must still surface the violation.
   util::ExecGuard::Limits limits;
   limits.max_rows = 1;  // trips on the second produced binding
   for (ExecutorKind kind :
