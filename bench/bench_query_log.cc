@@ -1,0 +1,158 @@
+// Overhead budget of the query telemetry layer (obs/query_log.h): the
+// flight recorder is always on, so its cost rides on every query the
+// system serves. This harness measures the steady-state engine cache-hit
+// path — the most latency-sensitive path instrumentation touches — with
+// the recorder enabled vs disabled (JSONL sink off in both), plus the
+// raw ring-append cost, and records the deltas in BENCH_query_log.json.
+// Acceptance: < 2% regression on the cache-hit path at default settings.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/query_engine.h"
+#include "obs/query_log.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace re2xolap;
+using namespace re2xolap::bench;
+
+constexpr char kHitQuery[] = R"(
+    SELECT ?dest (SUM(?v) AS ?total) WHERE {
+      ?obs <http://example.org/eurostat/countryDestination> ?dest .
+      ?obs <http://example.org/eurostat/numApplicants> ?v .
+    } GROUP BY ?dest)";
+
+/// Mean nanoseconds per engine ExecuteText over `iters` cache hits.
+double HitRoundNs(engine::QueryEngine& engine, int iters) {
+  util::WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    auto r = engine.ExecuteText(kHitQuery);
+    if (!r.ok()) {
+      std::cerr << "hit query failed: " << r.status() << "\n";
+      std::exit(1);
+    }
+  }
+  return timer.ElapsedMillis() * 1e6 / iters;
+}
+
+/// Mean nanoseconds per QueryLog::Append over `iters` appends.
+double AppendRoundNs(int iters) {
+  util::WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    obs::QueryRecord rec;
+    rec.op = obs::QueryOp::kEngineExecute;
+    rec.fingerprint = static_cast<uint64_t>(i);
+    rec.rows_out = 5;
+    rec.total_millis = 0.01;
+    obs::QueryLog::Global().Append(rec);
+  }
+  return timer.ElapsedMillis() * 1e6 / iters;
+}
+
+std::string Ns(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+std::string Pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+  BenchEnv env = MakeEnv("Eurostat", 60000);
+  engine::QueryEngine engine(env.store());
+  // Warm: first run is the miss that populates the cache.
+  if (auto r = engine.ExecuteText(kHitQuery); !r.ok()) {
+    std::cerr << "warmup failed: " << r.status() << "\n";
+    return 1;
+  }
+
+  obs::QueryLog& log = obs::QueryLog::Global();
+  // Default settings, JSONL sink off (the acceptance configuration).
+  log.Configure(obs::QueryLogConfig{});
+
+  // Interleave recorder-on and recorder-off rounds and pair them up:
+  // each round yields one (on - off) delta taken under near-identical
+  // ambient conditions, and the reported overhead is the MEDIAN paired
+  // delta. Comparing two independent aggregates instead would let slow
+  // drift (frequency scaling, co-tenant load) land on one side of a
+  // difference this small and swamp it. Rounds are short and numerous so
+  // an interference burst lands inside a few pairs (outliers the median
+  // discards) instead of stretching across half the samples, and the
+  // on/off order alternates per pair so within-pair drift cancels too.
+  constexpr int kRounds = 41;
+  constexpr int kItersPerRound = 5000;
+  std::vector<double> deltas, on_rounds, off_rounds;
+  HitRoundNs(engine, kItersPerRound);  // one discarded warm round
+  for (int round = 0; round < kRounds; ++round) {
+    const bool on_first = (round % 2) == 0;
+    log.SetEnabled(on_first);
+    const double first = HitRoundNs(engine, kItersPerRound);
+    log.SetEnabled(!on_first);
+    const double second = HitRoundNs(engine, kItersPerRound);
+    const double on = on_first ? first : second;
+    const double off = on_first ? second : first;
+    on_rounds.push_back(on);
+    off_rounds.push_back(off);
+    deltas.push_back(on - off);
+  }
+  log.SetEnabled(true);
+  std::sort(deltas.begin(), deltas.end());
+  std::sort(on_rounds.begin(), on_rounds.end());
+  std::sort(off_rounds.begin(), off_rounds.end());
+  const double best_on = on_rounds[kRounds / 2];
+  const double best_off = off_rounds[kRounds / 2];
+  const double median_delta = deltas[kRounds / 2];
+  const double hit_overhead_pct = 100.0 * median_delta / best_off;
+
+  // Raw ring append, enabled vs disabled (disabled = one relaxed load).
+  constexpr int kAppendIters = 2000000;
+  AppendRoundNs(kAppendIters / 10);  // warm
+  const double append_on_ns = AppendRoundNs(kAppendIters);
+  log.SetEnabled(false);
+  const double append_off_ns = AppendRoundNs(kAppendIters);
+  log.SetEnabled(true);
+
+  util::TablePrinter t({"case", "recorder on", "recorder off", "delta"});
+  t.AddRow({"engine cache hit (ns/query)", Ns(best_on), Ns(best_off),
+            Pct(hit_overhead_pct)});
+  t.AddRow({"ring append (ns/record)", Ns(append_on_ns), Ns(append_off_ns),
+            "-"});
+  t.Print(std::cout);
+  std::cout << "\nAcceptance: cache-hit overhead "
+            << Pct(hit_overhead_pct) << " (budget < 2%). The append is a "
+            << "relaxed id fetch_add plus one sharded-lock 120-byte ring "
+            << "write; cache hits reuse the fingerprint stored in the "
+            << "result-cache entry, so the hit path never rehashes the "
+            << "query text.\n";
+
+  JsonBenchLog blog("query_log_overhead");
+  blog.AddRecord()
+      .Str("case", "engine_cache_hit")
+      .Num("recorder_on_ns", best_on)
+      .Num("recorder_off_ns", best_off)
+      .Num("median_paired_delta_ns", median_delta)
+      .Num("overhead_pct", hit_overhead_pct)
+      .Bool("within_budget", hit_overhead_pct < 2.0)
+      .Int("iters_per_round", kItersPerRound)
+      .Int("rounds", kRounds);
+  blog.AddRecord()
+      .Str("case", "ring_append")
+      .Num("enabled_ns", append_on_ns)
+      .Num("disabled_ns", append_off_ns)
+      .Int("iters", kAppendIters);
+  blog.Write("BENCH_query_log.json");
+  return hit_overhead_pct < 2.0 ? 0 : 1;
+}

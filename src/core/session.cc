@@ -1,12 +1,30 @@
 #include "core/session.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "util/timer.h"
 
 namespace re2xolap::core {
+
+namespace {
+
+/// Appends the flight-recorder record of one finished session
+/// interaction. Interactions append directly instead of holding a
+/// QueryRecordScope: engine executions they trigger are real queries and
+/// must keep their own records (see obs/query_log.h).
+void AppendInteraction(obs::QueryRecord rec, const util::Status& status,
+                       uint64_t rows, double millis, std::string query_text) {
+  rec.status = static_cast<uint8_t>(status.code());
+  rec.rows_out = rows;
+  rec.total_millis = millis;
+  obs::QueryLog::Global().AppendCompleted(rec, std::move(query_text));
+}
+
+}  // namespace
 
 const char* RefinementKindName(RefinementKind kind) {
   switch (kind) {
@@ -39,7 +57,27 @@ util::Result<std::vector<CandidateQuery>> Session::Start(
   util::WallTimer timer;
   obs::Span span("session.start");
   span.SetAttr("examples", static_cast<uint64_t>(example_tuple.size()));
-  RE2X_ASSIGN_OR_RETURN(candidates_, reolap_.Synthesize(example_tuple, options));
+  obs::QueryRecord rec;
+  rec.op = obs::QueryOp::kSessionSynthesize;
+  rec.freeze_epoch = store_->freeze_epoch();
+  // The example tuple is the synthesize call's identity (there is no
+  // single query yet — ReOLAP produces many).
+  std::string ident;
+  for (const std::string& v : example_tuple) {
+    ident += v;
+    ident += '\t';
+  }
+  rec.fingerprint = obs::FingerprintQuery(ident);
+  ReolapStats rstats;
+  util::Result<std::vector<CandidateQuery>> synthesized =
+      reolap_.Synthesize(example_tuple, options, &rstats);
+  rec.degraded = rstats.truncated;
+  if (!synthesized.ok()) {
+    AppendInteraction(rec, synthesized.status(), /*rows=*/0,
+                      timer.ElapsedMillis(), std::move(ident));
+    return synthesized.status();
+  }
+  candidates_ = std::move(synthesized).value();
   history_.clear();
   pending_refinements_.clear();
   InvalidateResults();
@@ -48,6 +86,8 @@ util::Result<std::vector<CandidateQuery>> Session::Start(
   stats_.cumulative_paths += candidates_.size();
   span.SetAttr("candidates", static_cast<uint64_t>(candidates_.size()));
   RecordInteraction(timer.ElapsedMillis());
+  AppendInteraction(rec, util::Status::OK(), candidates_.size(),
+                    timer.ElapsedMillis(), std::move(ident));
   return candidates_;
 }
 
@@ -93,37 +133,51 @@ util::Result<std::vector<ExploreState>> Session::Refine(
   obs::Span span("session.refine");
   span.SetAttr("kind", RefinementKindName(kind));
   const ExploreState& state = history_.back();
+  std::string query_text = sparql::ToSparql(state.query);
+  obs::QueryRecord rec;
+  rec.op = obs::QueryOp::kSessionRefine;
+  rec.freeze_epoch = store_->freeze_epoch();
+  rec.fingerprint = obs::FingerprintQuery(query_text);
   std::vector<ExploreState> refinements;
-  switch (kind) {
-    case RefinementKind::kDisaggregate:
-      refinements = Disaggregate(*vsg_, *store_, state);
-      break;
-    case RefinementKind::kRollUp:
-      refinements = RollUp(*vsg_, *store_, state);
-      break;
-    case RefinementKind::kTopK: {
-      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
-      RE2X_ASSIGN_OR_RETURN(refinements, SubsetTopK(*store_, state, *table));
-      break;
+  auto compute = [&]() -> util::Status {
+    switch (kind) {
+      case RefinementKind::kDisaggregate:
+        refinements = Disaggregate(*vsg_, *store_, state);
+        break;
+      case RefinementKind::kRollUp:
+        refinements = RollUp(*vsg_, *store_, state);
+        break;
+      case RefinementKind::kTopK: {
+        RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+        RE2X_ASSIGN_OR_RETURN(refinements, SubsetTopK(*store_, state, *table));
+        break;
+      }
+      case RefinementKind::kPercentile: {
+        RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+        RE2X_ASSIGN_OR_RETURN(
+            refinements, SubsetPercentile(*store_, state, *table, perc_options));
+        break;
+      }
+      case RefinementKind::kSimilarity: {
+        RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+        RE2X_ASSIGN_OR_RETURN(
+            refinements, SimilaritySearch(*store_, state, *table, sim_options));
+        break;
+      }
+      case RefinementKind::kCluster: {
+        RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
+        RE2X_ASSIGN_OR_RETURN(
+            refinements, SubsetCluster(*store_, state, *table, cluster_options));
+        break;
+      }
     }
-    case RefinementKind::kPercentile: {
-      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
-      RE2X_ASSIGN_OR_RETURN(
-          refinements, SubsetPercentile(*store_, state, *table, perc_options));
-      break;
-    }
-    case RefinementKind::kSimilarity: {
-      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
-      RE2X_ASSIGN_OR_RETURN(
-          refinements, SimilaritySearch(*store_, state, *table, sim_options));
-      break;
-    }
-    case RefinementKind::kCluster: {
-      RE2X_ASSIGN_OR_RETURN(const sparql::ResultTable* table, Execute());
-      RE2X_ASSIGN_OR_RETURN(
-          refinements, SubsetCluster(*store_, state, *table, cluster_options));
-      break;
-    }
+    return util::Status::OK();
+  };
+  util::Status compute_status = compute();
+  if (!compute_status.ok()) {
+    AppendInteraction(rec, compute_status, /*rows=*/0, timer.ElapsedMillis(),
+                      std::move(query_text));
+    return compute_status;
   }
   pending_refinements_ = refinements;
   ++stats_.interactions;
@@ -133,6 +187,8 @@ util::Result<std::vector<ExploreState>> Session::Refine(
   stats_.cumulative_paths += stats_.frontier;
   span.SetAttr("refinements", static_cast<uint64_t>(refinements.size()));
   RecordInteraction(timer.ElapsedMillis());
+  AppendInteraction(rec, util::Status::OK(), refinements.size(),
+                    timer.ElapsedMillis(), std::move(query_text));
   return refinements;
 }
 
@@ -154,15 +210,27 @@ util::Result<std::vector<std::string>> Session::ExcludeNegative(
   util::WallTimer timer;
   obs::Span span("session.exclude_negative");
   span.SetAttr("values", static_cast<uint64_t>(negative_values.size()));
-  RE2X_ASSIGN_OR_RETURN(
-      NegativeResult result,
-      ExcludeNegativeExamples(reolap_, history_.back(), negative_values));
+  std::string query_text = sparql::ToSparql(history_.back().query);
+  obs::QueryRecord rec;
+  rec.op = obs::QueryOp::kSessionExclude;
+  rec.freeze_epoch = store_->freeze_epoch();
+  rec.fingerprint = obs::FingerprintQuery(query_text);
+  util::Result<NegativeResult> excluded =
+      ExcludeNegativeExamples(reolap_, history_.back(), negative_values);
+  if (!excluded.ok()) {
+    AppendInteraction(rec, excluded.status(), /*rows=*/0,
+                      timer.ElapsedMillis(), std::move(query_text));
+    return excluded.status();
+  }
+  NegativeResult result = std::move(excluded).value();
   history_.push_back(std::move(result.state));
   pending_refinements_.clear();
   InvalidateResults();
   ++stats_.interactions;
   ++stats_.cumulative_paths;
   RecordInteraction(timer.ElapsedMillis());
+  AppendInteraction(rec, util::Status::OK(), result.unmatched_values.size(),
+                    timer.ElapsedMillis(), std::move(query_text));
   return result.unmatched_values;
 }
 
@@ -173,15 +241,26 @@ util::Status Session::Slice(size_t example_index) {
   util::WallTimer timer;
   obs::Span span("session.slice");
   span.SetAttr("example", static_cast<uint64_t>(example_index));
-  RE2X_ASSIGN_OR_RETURN(ExploreState next,
-                        SliceToExample(*store_, history_.back(),
-                                       example_index));
-  history_.push_back(std::move(next));
+  std::string query_text = sparql::ToSparql(history_.back().query);
+  obs::QueryRecord rec;
+  rec.op = obs::QueryOp::kSessionSlice;
+  rec.freeze_epoch = store_->freeze_epoch();
+  rec.fingerprint = obs::FingerprintQuery(query_text);
+  util::Result<ExploreState> sliced =
+      SliceToExample(*store_, history_.back(), example_index);
+  if (!sliced.ok()) {
+    AppendInteraction(rec, sliced.status(), /*rows=*/0, timer.ElapsedMillis(),
+                      std::move(query_text));
+    return sliced.status();
+  }
+  history_.push_back(std::move(sliced).value());
   pending_refinements_.clear();
   InvalidateResults();
   ++stats_.interactions;
   ++stats_.cumulative_paths;
   RecordInteraction(timer.ElapsedMillis());
+  AppendInteraction(rec, util::Status::OK(), /*rows=*/0,
+                    timer.ElapsedMillis(), std::move(query_text));
   return util::Status::OK();
 }
 

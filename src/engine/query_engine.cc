@@ -7,8 +7,10 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "sparql/ast.h"
+#include "sparql/explain.h"
 #include "sparql/parser.h"
 #include "util/failpoint.h"
 #include "util/timer.h"
@@ -52,12 +54,36 @@ struct EngineMetrics {
 /// keeping the keys uniform costs one byte). Timeouts are deliberately
 /// not part of the key: they bound latency, not the answer, and errored
 /// runs are never inserted.
-std::string CacheKey(const sparql::SelectQuery& query,
+std::string CacheKey(const std::string& normalized_query,
                      const sparql::ExecOptions& options, uint64_t epoch) {
   std::string key = std::to_string(epoch);
   key += options.plan.use_join_reordering ? "|r|" : "|-|";
-  key += sparql::ToSparql(query);
+  key += normalized_query;
   return key;
+}
+
+/// Stamps the call's outcome on the flight-recorder record and renders
+/// the operator tree while the stats sink is still alive when the record
+/// qualifies for slow capture.
+void FinishRecord(obs::QueryRecordScope& record,
+                  const sparql::ExecStats* stats, util::StatusCode code,
+                  int retries, uint64_t rows) {
+  if (!record.active()) return;
+  obs::QueryRecord& rec = record.rec();
+  rec.status = static_cast<uint8_t>(code);
+  rec.retries = static_cast<uint32_t>(retries);
+  rec.rows_out = rows;
+  if (stats != nullptr) {
+    rec.triples_scanned = stats->triples_scanned;
+    rec.intermediate_bindings = stats->intermediate_bindings;
+    rec.plan_millis = stats->plan_millis;
+    rec.exec_millis = stats->exec_millis;
+  }
+  if (stats != nullptr && !stats->profile.label.empty() &&
+      record.WillCapture()) {
+    record.SetDetail(sparql::RenderProfile(stats->profile,
+                                           /*include_timing=*/true));
+  }
 }
 
 }  // namespace
@@ -161,17 +187,20 @@ QueryEngine::ResultShard& QueryEngine::ShardFor(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
-TableHandle QueryEngine::ResultLookup(const std::string& key) {
+TableHandle QueryEngine::ResultLookup(const std::string& key,
+                                      uint64_t* fingerprint) {
   ResultShard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (fingerprint != nullptr) *fingerprint = it->second->fingerprint;
   return it->second->table;
 }
 
 void QueryEngine::ResultInsert(const std::string& key,
-                               const TableHandle& table) {
+                               const TableHandle& table,
+                               uint64_t fingerprint) {
   // Fault-injection site: `cache.insert=skip` turns the cache write into
   // a no-op (the caller still gets its result; only reuse is lost).
   if (util::FailpointSkip("cache.insert")) return;
@@ -188,7 +217,7 @@ void QueryEngine::ResultInsert(const std::string& key,
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;  // concurrent miss cached the same result first
   }
-  shard.lru.push_front(ResultEntry{key, table, cost});
+  shard.lru.push_front(ResultEntry{key, table, cost, fingerprint});
   shard.index[key] = shard.lru.begin();
   shard.bytes += cost;
   while (shard.bytes > budget && shard.lru.size() > 1) {
@@ -207,15 +236,38 @@ util::Result<TableHandle> QueryEngine::Execute(
   EngineMetrics& metrics = EngineMetrics::Get();
   obs::Span span("engine.execute");
   util::WallTimer timer;
+  // The record shares the timer's clock read: a recorded cache hit costs
+  // zero clock reads beyond what the latency histogram already takes.
+  obs::QueryRecordScope record(obs::QueryOp::kEngineExecute,
+                               obs::TraceMicrosAt(timer.start()));
 
   // An already expired / cancelled / over-budget request does no work at
   // all — not even a cache probe.
   if (options.guard != nullptr) {
-    RE2X_RETURN_IF_ERROR(options.guard->Check());
+    util::Status guard_status = options.guard->Check();
+    if (!guard_status.ok()) {
+      span.SetAttr("status", util::StatusCodeToString(guard_status.code()));
+      if (record.active()) {
+        // Identity still matters on the reject path: guard-tripped
+        // records land in the slow-query log with their query text.
+        record.SetQueryText(sparql::ToSparql(query));
+        record.rec().status = static_cast<uint8_t>(guard_status.code());
+      }
+      return guard_status;
+    }
   }
 
   const uint64_t epoch = SyncEpoch();
-  const std::string key = CacheKey(query, options, epoch);
+  span.SetAttr("epoch", epoch);
+  std::string normalized = sparql::ToSparql(query);
+  const std::string key = CacheKey(normalized, options, epoch);
+  if (record.active()) {
+    record.rec().freeze_epoch = epoch;
+    record.rec().executor =
+        static_cast<uint8_t>(sparql::ResolveExecutor(options.executor));
+    // Fingerprinting waits until the cache outcome is known: hits reuse
+    // the fingerprint stored with the cached entry.
+  }
 
   // Profiled runs bypass the result cache: EXPLAIN ANALYZE has to observe
   // a real execution, and its operator tree would be meaningless for a
@@ -224,20 +276,42 @@ util::Result<TableHandle> QueryEngine::Execute(
       config_.result_cache_bytes > 0 && !options.profile;
 
   if (use_result_cache) {
-    if (TableHandle hit = ResultLookup(key)) {
+    uint64_t cached_fingerprint = 0;
+    if (TableHandle hit = ResultLookup(key, &cached_fingerprint)) {
       result_hits_.fetch_add(1, std::memory_order_relaxed);
       metrics.result_hits.Inc();
       // A hit scans nothing and plans nothing; see ExplorationStats for
       // the same convention.
       if (stats != nullptr) *stats = sparql::ExecStats{};
-      metrics.hit_millis.Observe(timer.ElapsedMillis());
+      const double hit_millis = timer.ElapsedMillis();
+      metrics.hit_millis.Observe(hit_millis);
       span.SetAttr("cache", "hit");
       span.SetAttr("rows", static_cast<uint64_t>(hit->rows().size()));
+      span.SetAttr("status", "OK");
+      if (record.active()) {
+        record.rec().cache = obs::CacheOutcome::kHit;
+        record.rec().rows_out = hit->rows().size();
+        // Hand the record the latency we just measured, so its scope
+        // destructor skips a second clock read.
+        record.rec().total_millis = hit_millis;
+        record.SetQueryText(std::move(normalized), cached_fingerprint);
+      }
       return hit;
     }
     result_misses_.fetch_add(1, std::memory_order_relaxed);
     metrics.result_misses.Inc();
   }
+  span.SetAttr("cache", use_result_cache ? "miss" : "bypass");
+  if (record.active()) {
+    record.rec().cache =
+        use_result_cache ? obs::CacheOutcome::kMiss : obs::CacheOutcome::kBypass;
+    record.SetQueryText(std::move(normalized));
+  }
+
+  // From here on a stats sink is always present when the recorder is
+  // active, so slow and guard-tripped runs carry an operator tree.
+  sparql::ExecStats local_stats;
+  if (record.active() && stats == nullptr) stats = &local_stats;
 
   // Resolve the plan once (a cache hit or a single planning pass); ASK
   // queries are rewritten into existence probes before planning, so a
@@ -255,7 +329,13 @@ util::Result<TableHandle> QueryEngine::Execute(
       util::WallTimer plan_timer;
       util::Result<sparql::Plan> planned =
           sparql::PlanQuery(store_, query, options.plan);
-      if (!planned.ok()) return planned.status();
+      if (!planned.ok()) {
+        span.SetAttr("status",
+                     util::StatusCodeToString(planned.status().code()));
+        FinishRecord(record, stats, planned.status().code(), /*retries=*/0,
+                     /*rows=*/0);
+        return planned.status();
+      }
       if (stats != nullptr) stats->plan_millis = plan_timer.ElapsedMillis();
       plan = std::make_shared<const sparql::Plan>(std::move(planned).value());
       PlanInsert(key, plan);
@@ -267,7 +347,8 @@ util::Result<TableHandle> QueryEngine::Execute(
   // failpoint. The cache lookups and planning above run exactly once per
   // logical Execute, so hit/miss counters are unaffected by retries.
   util::Result<sparql::ResultTable> executed = util::Status::Internal("");
-  for (int attempt = 0;; ++attempt) {
+  int attempt = 0;
+  for (;; ++attempt) {
     util::Status fp = util::FailpointStatus("engine.execute");
     if (!fp.ok()) {
       executed = fp;
@@ -287,14 +368,22 @@ util::Result<TableHandle> QueryEngine::Execute(
           config_.retry_backoff_millis << attempt));
     }
   }
-  if (!executed.ok()) return executed.status();
+  if (!executed.ok()) {
+    span.SetAttr("status", util::StatusCodeToString(executed.status().code()));
+    FinishRecord(record, stats, executed.status().code(), attempt, /*rows=*/0);
+    return executed.status();
+  }
 
   auto handle = std::make_shared<const sparql::ResultTable>(
       std::move(executed).value());
-  if (use_result_cache) ResultInsert(key, handle);
+  if (use_result_cache) {
+    ResultInsert(key, handle, record.rec().fingerprint);
+  }
   metrics.miss_millis.Observe(timer.ElapsedMillis());
-  span.SetAttr("cache", use_result_cache ? "miss" : "bypass");
   span.SetAttr("rows", static_cast<uint64_t>(handle->rows().size()));
+  span.SetAttr("status", "OK");
+  FinishRecord(record, stats, util::StatusCode::kOk, attempt,
+               handle->rows().size());
   return TableHandle(handle);
 }
 

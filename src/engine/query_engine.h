@@ -160,6 +160,10 @@ class QueryEngine {
     std::string key;
     TableHandle table;
     size_t cost = 0;
+    /// Query-log fingerprint of the normalized query, stored at insert
+    /// time so cache hits record their identity without rehashing the
+    /// query text (0 when the recorder was disabled at insert).
+    uint64_t fingerprint = 0;
   };
   struct ResultShard {
     mutable std::mutex mu;
@@ -177,8 +181,11 @@ class QueryEngine {
                   std::shared_ptr<const sparql::Plan> plan);
 
   ResultShard& ShardFor(const std::string& key);
-  TableHandle ResultLookup(const std::string& key);
-  void ResultInsert(const std::string& key, const TableHandle& table);
+  /// On a hit, `fingerprint` (when non-null) receives the entry's stored
+  /// query-log fingerprint.
+  TableHandle ResultLookup(const std::string& key, uint64_t* fingerprint);
+  void ResultInsert(const std::string& key, const TableHandle& table,
+                    uint64_t fingerprint);
 
   const rdf::TripleStore& store_;
   const EngineConfig config_;

@@ -148,6 +148,7 @@ HistogramSnapshot SnapshotOf(const Histogram& h) {
   s.p90 = h.Percentile(0.90);
   s.p95 = h.Percentile(0.95);
   s.p99 = h.Percentile(0.99);
+  s.p999 = h.Percentile(0.999);
   return s;
 }
 
@@ -214,7 +215,8 @@ void MetricsRegistry::WriteJson(std::ostream& os) const {
        << ", \"p50\": " << FormatDouble(s.p50)
        << ", \"p90\": " << FormatDouble(s.p90)
        << ", \"p95\": " << FormatDouble(s.p95)
-       << ", \"p99\": " << FormatDouble(s.p99) << "}";
+       << ", \"p99\": " << FormatDouble(s.p99)
+       << ", \"p999\": " << FormatDouble(s.p999) << "}";
     first = false;
   }
   os << "}}";
@@ -240,23 +242,28 @@ void MetricsRegistry::WritePrometheus(std::ostream& os) const {
   for (const auto& [name, h] : histograms_) {
     std::string p = PrometheusName(name);
     os << "# TYPE " << p << " histogram\n";
-    uint64_t cum = 0;
+    // Snapshot the bucket counts first, then derive every series from the
+    // snapshot: concurrent Observe() calls cannot make `+Inf` disagree
+    // with `_count` or leave cumulative buckets non-monotone.
+    std::array<uint64_t, Histogram::kNumBuckets> counts;
+    uint64_t total = 0;
     for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-      uint64_t n = h->bucket_count(b);
+      counts[static_cast<size_t>(b)] = h->bucket_count(b);
+      total += counts[static_cast<size_t>(b)];
+    }
+    uint64_t cum = 0;
+    // The overflow bucket's bound is +Inf; it is covered by the final
+    // `+Inf` line, so skip it here to emit that bound exactly once.
+    for (int b = 0; b + 1 < Histogram::kNumBuckets; ++b) {
+      uint64_t n = counts[static_cast<size_t>(b)];
       if (n == 0) continue;  // sparse export: only occupied buckets
       cum += n;
-      double ub = Histogram::BucketUpperBound(b);
-      os << p << "_bucket{le=\"";
-      if (std::isinf(ub)) {
-        os << "+Inf";
-      } else {
-        os << FormatDouble(ub);
-      }
-      os << "\"} " << cum << "\n";
+      os << p << "_bucket{le=\"" << FormatDouble(Histogram::BucketUpperBound(b))
+         << "\"} " << cum << "\n";
     }
-    os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n";
+    os << p << "_bucket{le=\"+Inf\"} " << total << "\n";
     os << p << "_sum " << FormatDouble(h->sum()) << "\n";
-    os << p << "_count " << h->count() << "\n";
+    os << p << "_count " << total << "\n";
   }
 }
 

@@ -100,7 +100,7 @@ class Histogram {
 struct HistogramSnapshot {
   uint64_t count = 0;
   double sum = 0, min = 0, max = 0;
-  double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
+  double p50 = 0, p90 = 0, p95 = 0, p99 = 0, p999 = 0;
 };
 
 HistogramSnapshot SnapshotOf(const Histogram& h);
@@ -125,7 +125,7 @@ class MetricsRegistry {
   Histogram& GetHistogram(std::string_view name);
 
   /// JSON object: {"counters": {...}, "gauges": {...}, "histograms":
-  /// {name: {count, sum, min, max, p50, p90, p95, p99}}}.
+  /// {name: {count, sum, min, max, p50, p90, p95, p99, p999}}}.
   void WriteJson(std::ostream& os) const;
   std::string ToJson() const;
 

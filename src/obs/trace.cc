@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <sstream>
 #include <unordered_map>
 
@@ -32,9 +34,38 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+/// RE2XOLAP_TRACE=<path>: enable the global tracer before main() runs and
+/// dump the Chrome trace at normal process exit. The Tracer singleton is
+/// leaked, so it is still alive when the atexit hook fires.
+struct EnvTraceInit {
+  EnvTraceInit() {
+    const char* path = std::getenv("RE2XOLAP_TRACE");
+    if (path == nullptr || *path == '\0') return;
+    TracePath() = path;
+    Tracer::Global().SetEnabled(true);
+    std::atexit([] {
+      std::ofstream out(TracePath());
+      if (out) Tracer::Global().WriteChromeTrace(out);
+    });
+  }
+  static std::string& TracePath() {
+    static std::string* path = new std::string;
+    return *path;
+  }
+};
+EnvTraceInit env_trace_init;
+
 }  // namespace
 
 SpanId CurrentSpan() { return tls_current_span; }
+
+int64_t TraceNowMicros() {
+  return MicrosSinceEpoch(std::chrono::steady_clock::now());
+}
+
+int64_t TraceMicrosAt(std::chrono::steady_clock::time_point tp) {
+  return MicrosSinceEpoch(tp);
+}
 
 uint64_t ThisThreadTag() {
   static std::atomic<uint64_t> next{1};

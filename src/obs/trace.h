@@ -46,10 +46,26 @@ SpanId CurrentSpan();
 /// use). Used as the Chrome-trace "tid".
 uint64_t ThisThreadTag();
 
+/// Microseconds elapsed since the process trace epoch (the steady-clock
+/// instant of the first obs use). The timestamp base shared by span
+/// events and QueryRecord::start_micros.
+int64_t TraceNowMicros();
+
+/// Converts an already-captured steady-clock instant to the trace
+/// timestamp base without reading the clock again — lets a caller that
+/// holds a util::WallTimer share its start point with a QueryRecordScope
+/// instead of paying a second clock read.
+int64_t TraceMicrosAt(std::chrono::steady_clock::time_point tp);
+
 /// Process-global span collector. Disabled by default: a disabled tracer
 /// costs exactly one relaxed atomic load per Span construction and
 /// nothing else — no allocation, no clock read, no locking — so
 /// instrumentation can stay in hot paths permanently.
+///
+/// Setting RE2XOLAP_TRACE=<path> in the environment enables the tracer at
+/// process start and writes the Chrome trace to <path> at normal process
+/// exit — any binary (benches, examples, the snapshot CLI) produces a
+/// loadable trace without per-binary boilerplate.
 ///
 /// When enabled, finished spans are recorded into one of kShards
 /// mutex-protected vectors selected by thread tag, so concurrent workers

@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
+#include "sparql/explain.h"
 #include "sparql/join_runner.h"
 #include "sparql/parser.h"
 #include "sparql/post_ops.h"
@@ -246,23 +248,28 @@ void BuildProfileTree(const rdf::TripleStore& store, const SelectQuery& query,
   stats->profile = std::move(root);
 }
 
-}  // namespace
+util::Result<ResultTable> ExecutePlanImpl(const rdf::TripleStore& store,
+                                          const SelectQuery& query,
+                                          const Plan& plan,
+                                          const ExecOptions& options,
+                                          ExecStats* stats);
 
-util::Result<ResultTable> Execute(const rdf::TripleStore& store,
-                                  const SelectQuery& query,
-                                  const ExecOptions& options,
-                                  ExecStats* stats) {
+util::Result<ResultTable> ExecuteImpl(const rdf::TripleStore& store,
+                                      const SelectQuery& query,
+                                      const ExecOptions& options,
+                                      ExecStats* stats) {
   if (query.is_ask) return ExecuteAsk(store, query, options, stats);
   util::WallTimer plan_timer;
   RE2X_ASSIGN_OR_RETURN(Plan plan, PlanQuery(store, query, options.plan));
   if (stats) stats->plan_millis = plan_timer.ElapsedMillis();
-  return Execute(store, query, plan, options, stats);
+  return ExecutePlanImpl(store, query, plan, options, stats);
 }
 
-util::Result<ResultTable> Execute(const rdf::TripleStore& store,
-                                  const SelectQuery& query, const Plan& plan,
-                                  const ExecOptions& options,
-                                  ExecStats* stats) {
+util::Result<ResultTable> ExecutePlanImpl(const rdf::TripleStore& store,
+                                          const SelectQuery& query,
+                                          const Plan& plan,
+                                          const ExecOptions& options,
+                                          ExecStats* stats) {
   // A prebuilt plan cannot represent an ASK query (the rewrite precedes
   // planning) — fall back to the planning path.
   if (query.is_ask) return ExecuteAsk(store, query, options, stats);
@@ -321,78 +328,156 @@ util::Result<ResultTable> Execute(const rdf::TripleStore& store,
   size_t group_count = 0;
   std::vector<PostOpProf> post_ops;
 
-  if (!aggregating) {
-    // LIMIT can stop the join early when no later operator needs the full
-    // row set (this is what makes ReOLAP's LIMIT-1 validation probes
-    // cheap).
-    uint64_t row_cap = 0;
-    if (query.limit.has_value() && !query.distinct &&
-        query.order_by.empty() && query.having.empty()) {
-      row_cap = query.offset + *query.limit;
+  // The join + post-op pipeline runs inside a lambda so the profile tree
+  // below is assembled on success AND error returns alike — a query the
+  // guard kills mid-join still surfaces its partial operator tree in the
+  // slow-query log.
+  auto run = [&]() -> util::Status {
+    if (!aggregating) {
+      // LIMIT can stop the join early when no later operator needs the
+      // full row set (this is what makes ReOLAP's LIMIT-1 validation
+      // probes cheap).
+      uint64_t row_cap = 0;
+      if (query.limit.has_value() && !query.distinct &&
+          query.order_by.empty() && query.having.empty()) {
+        row_cap = query.offset + *query.limit;
+      }
+      util::WallTimer join_timer;
+      util::Status st = runner.Run(
+          [&](const std::vector<rdf::TermId>& bindings) {
+            Row row(items.size());
+            for (size_t i = 0; i < items.size(); ++i) {
+              int slot = item_slots[i];
+              row[i] = (slot >= 0 && bindings[slot] != rdf::kInvalidTermId)
+                           ? Cell::OfTerm(bindings[slot])
+                           : Cell::Null();
+            }
+            if (options.guard != nullptr) {
+              options.guard->ChargeBytes(row.size() * sizeof(Cell));
+            }
+            table.AddRow(std::move(row));
+          },
+          row_cap);
+      join_ms = join_timer.ElapsedMillis();
+      RE2X_RETURN_IF_ERROR(st);
+    } else {
+      // Group keys = group_by slots (in declared order).
+      std::vector<int> group_slots;
+      group_slots.reserve(query.group_by.size());
+      for (const Variable& g : query.group_by) {
+        group_slots.push_back(plan.SlotOf(g.name));
+      }
+      GroupAggregator agg(store, items, item_slots, std::move(group_slots),
+                          options.guard);
+      util::WallTimer join_timer;
+      util::Status st = runner.Run(
+          [&](const std::vector<rdf::TermId>& bindings) {
+            agg.Accumulate(bindings);
+          },
+          /*row_cap=*/0);
+      join_ms = join_timer.ElapsedMillis();
+      RE2X_RETURN_IF_ERROR(st);
+
+      util::WallTimer agg_timer;
+      RE2X_ASSIGN_OR_RETURN(group_count, agg.Emit(query.group_by, &table));
+      agg_ms = agg_timer.ElapsedMillis();
     }
-    util::WallTimer join_timer;
-    util::Status st = runner.Run(
-        [&](const std::vector<rdf::TermId>& bindings) {
-          Row row(items.size());
-          for (size_t i = 0; i < items.size(); ++i) {
-            int slot = item_slots[i];
-            row[i] = (slot >= 0 && bindings[slot] != rdf::kInvalidTermId)
-                         ? Cell::OfTerm(bindings[slot])
-                         : Cell::Null();
-          }
-          if (options.guard != nullptr) {
-            options.guard->ChargeBytes(row.size() * sizeof(Cell));
-          }
-          table.AddRow(std::move(row));
-        },
-        row_cap);
-    join_ms = join_timer.ElapsedMillis();
-    RE2X_RETURN_IF_ERROR(st);
-  } else {
-    // Group keys = group_by slots (in declared order).
-    std::vector<int> group_slots;
-    group_slots.reserve(query.group_by.size());
-    for (const Variable& g : query.group_by) {
-      group_slots.push_back(plan.SlotOf(g.name));
+
+    RE2X_RETURN_IF_ERROR(
+        ApplyHaving(store, query, &table, &post_ops, options.guard));
+    if (query.distinct) {
+      RE2X_RETURN_IF_ERROR(
+          ApplyDistinct(store, &table, &post_ops, options.guard));
     }
-    GroupAggregator agg(store, items, item_slots, std::move(group_slots),
-                        options.guard);
-    util::WallTimer join_timer;
-    util::Status st = runner.Run(
-        [&](const std::vector<rdf::TermId>& bindings) {
-          agg.Accumulate(bindings);
-        },
-        /*row_cap=*/0);
-    join_ms = join_timer.ElapsedMillis();
-    RE2X_RETURN_IF_ERROR(st);
+    if (!query.order_by.empty()) {
+      RE2X_RETURN_IF_ERROR(
+          ApplyOrderBy(store, query, &table, &post_ops, options.guard));
+    }
+    if (query.offset > 0 || query.limit.has_value()) {
+      RE2X_RETURN_IF_ERROR(
+          ApplyLimitOffset(query, &table, &post_ops, options.guard));
+    }
+    return util::Status::OK();
+  };
 
-    util::WallTimer agg_timer;
-    RE2X_ASSIGN_OR_RETURN(group_count, agg.Emit(query.group_by, &table));
-    agg_ms = agg_timer.ElapsedMillis();
-  }
-
-  RE2X_RETURN_IF_ERROR(
-      ApplyHaving(store, query, &table, &post_ops, options.guard));
-  if (query.distinct) {
-    RE2X_RETURN_IF_ERROR(ApplyDistinct(store, &table, &post_ops, options.guard));
-  }
-  if (!query.order_by.empty()) {
-    RE2X_RETURN_IF_ERROR(
-        ApplyOrderBy(store, query, &table, &post_ops, options.guard));
-  }
-  if (query.offset > 0 || query.limit.has_value()) {
-    RE2X_RETURN_IF_ERROR(
-        ApplyLimitOffset(query, &table, &post_ops, options.guard));
-  }
-
+  util::Status run_status = run();
   if (stats) {
     stats->exec_millis = total_timer.ElapsedMillis();
     BuildProfileTree(store, query, plan, runner, aggregating, join_ms, agg_ms,
                      group_count, post_ops, table, stats);
   }
-  exec_span.SetAttr("rows", static_cast<uint64_t>(table.rows().size()));
   exec_hist.Observe(total_timer.ElapsedMillis());
+  RE2X_RETURN_IF_ERROR(run_status);
+  exec_span.SetAttr("rows", static_cast<uint64_t>(table.rows().size()));
   return table;
+}
+
+/// Prefills the flight-recorder record of one top-level sparql::Execute
+/// call (no-op for nested scopes: the ASK rewrite's inner probe, or an
+/// execution already recorded by QueryEngine::Execute).
+void BeginQueryRecord(obs::QueryRecordScope& scope,
+                      const rdf::TripleStore& store, const SelectQuery& query,
+                      const ExecOptions& options) {
+  if (!scope.active()) return;
+  obs::QueryRecord& rec = scope.rec();
+  rec.freeze_epoch = store.freeze_epoch();
+  rec.executor = static_cast<uint8_t>(ResolveExecutor(options.executor));
+  scope.SetQueryText(ToSparql(query));
+}
+
+/// Stamps the call outcome on the record and, when the record qualifies
+/// for slow capture, renders the operator tree before the stats sink (a
+/// caller's or the wrapper's local) goes away.
+util::Result<ResultTable> FinishQueryRecord(obs::QueryRecordScope& scope,
+                                            const ExecStats* stats,
+                                            util::Result<ResultTable> result) {
+  if (!scope.active()) return result;
+  obs::QueryRecord& rec = scope.rec();
+  rec.status = static_cast<uint8_t>(result.ok() ? util::StatusCode::kOk
+                                                : result.status().code());
+  if (result.ok()) rec.rows_out = result.value().rows().size();
+  if (stats != nullptr) {
+    rec.triples_scanned = stats->triples_scanned;
+    rec.intermediate_bindings = stats->intermediate_bindings;
+    rec.plan_millis = stats->plan_millis;
+    rec.exec_millis = stats->exec_millis;
+  }
+  if (stats != nullptr && !stats->profile.label.empty() &&
+      scope.WillCapture()) {
+    scope.SetDetail(RenderProfile(stats->profile, /*include_timing=*/true));
+  }
+  return result;
+}
+
+}  // namespace
+
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query,
+                                  const ExecOptions& options,
+                                  ExecStats* stats) {
+  obs::QueryRecordScope record(obs::QueryOp::kSparqlExecute);
+  ExecStats local_stats;
+  if (record.active()) {
+    BeginQueryRecord(record, store, query, options);
+    // A stats sink guarantees slow captures carry an operator tree.
+    if (stats == nullptr) stats = &local_stats;
+  }
+  return FinishQueryRecord(record, stats,
+                           ExecuteImpl(store, query, options, stats));
+}
+
+util::Result<ResultTable> Execute(const rdf::TripleStore& store,
+                                  const SelectQuery& query, const Plan& plan,
+                                  const ExecOptions& options,
+                                  ExecStats* stats) {
+  obs::QueryRecordScope record(obs::QueryOp::kSparqlExecute);
+  ExecStats local_stats;
+  if (record.active()) {
+    BeginQueryRecord(record, store, query, options);
+    if (stats == nullptr) stats = &local_stats;
+  }
+  return FinishQueryRecord(record, stats,
+                           ExecutePlanImpl(store, query, plan, options, stats));
 }
 
 util::Result<ResultTable> ExecuteText(const rdf::TripleStore& store,

@@ -7,6 +7,7 @@
 #include <type_traits>
 
 #include "obs/metrics.h"
+#include "obs/query_log.h"
 #include "obs/trace.h"
 #include "storage/snapshot_io.h"
 #include "util/failpoint.h"
@@ -628,10 +629,12 @@ const char* SectionName(SectionId id) {
 
 // --- save --------------------------------------------------------------------
 
-util::Status SaveSnapshot(const std::string& path,
-                          const rdf::TripleStore& store,
-                          const rdf::TextIndex* text, const VsgImage* vsg,
-                          const SnapshotWriteOptions& options) {
+namespace {
+
+util::Status SaveSnapshotImpl(const std::string& path,
+                              const rdf::TripleStore& store,
+                              const rdf::TextIndex* text, const VsgImage* vsg,
+                              const SnapshotWriteOptions& options) {
   obs::Span span("snapshot.save");
   RE2X_FAILPOINT("snapshot.save");
   if (!store.frozen()) {
@@ -751,10 +754,31 @@ util::Status SaveSnapshot(const std::string& path,
   return util::Status::OK();
 }
 
+}  // namespace
+
+util::Status SaveSnapshot(const std::string& path,
+                          const rdf::TripleStore& store,
+                          const rdf::TextIndex* text, const VsgImage* vsg,
+                          const SnapshotWriteOptions& options) {
+  util::WallTimer timer;
+  util::Status status = SaveSnapshotImpl(path, store, text, vsg, options);
+  obs::QueryRecord rec;
+  rec.op = obs::QueryOp::kSnapshotSave;
+  rec.freeze_epoch = store.freeze_epoch();
+  rec.fingerprint = obs::FingerprintQuery(path);  // identity = target path
+  rec.rows_out = store.size();
+  rec.status = static_cast<uint8_t>(status.code());
+  rec.total_millis = timer.ElapsedMillis();
+  obs::QueryLog::Global().AppendCompleted(rec, path);
+  return status;
+}
+
 // --- load --------------------------------------------------------------------
 
-util::Result<LoadedSnapshot> LoadSnapshot(const std::string& path,
-                                          const SnapshotLoadOptions& options) {
+namespace {
+
+util::Result<LoadedSnapshot> LoadSnapshotImpl(
+    const std::string& path, const SnapshotLoadOptions& options) {
   obs::Span span("snapshot.load");
   span.SetAttr("mmap", options.use_mmap ? "true" : "false");
   RE2X_FAILPOINT("snapshot.load");
@@ -912,6 +936,26 @@ util::Result<LoadedSnapshot> LoadSnapshot(const std::string& path,
   span.SetAttr("bytes", info.file_bytes);
   span.SetAttr("triples", info.triple_count);
   return out;
+}
+
+}  // namespace
+
+util::Result<LoadedSnapshot> LoadSnapshot(const std::string& path,
+                                          const SnapshotLoadOptions& options) {
+  util::WallTimer timer;
+  util::Result<LoadedSnapshot> result = LoadSnapshotImpl(path, options);
+  obs::QueryRecord rec;
+  rec.op = obs::QueryOp::kSnapshotLoad;
+  rec.fingerprint = obs::FingerprintQuery(path);  // identity = source path
+  rec.status = static_cast<uint8_t>(
+      result.ok() ? util::StatusCode::kOk : result.status().code());
+  if (result.ok()) {
+    rec.freeze_epoch = result.value().info.freeze_epoch;
+    rec.rows_out = result.value().info.triple_count;
+  }
+  rec.total_millis = timer.ElapsedMillis();
+  obs::QueryLog::Global().AppendCompleted(rec, path);
+  return result;
 }
 
 // --- inspect / verify --------------------------------------------------------

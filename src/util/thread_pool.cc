@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/failpoint.h"
 
@@ -39,7 +40,15 @@ void ThreadPool::WorkerLoop() {
     // Fault-injection site at task start (delay only: tasks have no
     // status channel, and errors would mask real loop exceptions).
     FailpointPause("pool.task");
+    // Occupancy counters: started − finished = tasks currently running,
+    // surfaced by QueryLog::WriteIntrospectionReport.
+    static obs::Counter& started =
+        obs::MetricsRegistry::Global().GetCounter("pool.tasks.started");
+    static obs::Counter& finished =
+        obs::MetricsRegistry::Global().GetCounter("pool.tasks.finished");
+    started.Inc();
     task();
+    finished.Inc();
   }
 }
 

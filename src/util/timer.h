@@ -26,6 +26,10 @@ class WallTimer {
         .count();
   }
 
+  /// The start instant, for callers that want to share this timer's
+  /// clock read instead of taking their own (see obs::TraceMicrosAt).
+  std::chrono::steady_clock::time_point start() const { return start_; }
+
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;

@@ -1,6 +1,11 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -240,6 +245,122 @@ TEST(MetricsTest, PrometheusExportFormat) {
             std::string::npos);
   EXPECT_NE(text.find("obs_test_prom_millis_sum"), std::string::npos);
   EXPECT_NE(text.find("obs_test_prom_millis_count 2"), std::string::npos);
+}
+
+TEST(MetricsTest, SnapshotAndJsonIncludeP999) {
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 1; i <= 2000; ++i) {
+    values.push_back(static_cast<double>(i) * 0.5);  // 0.5 .. 1000
+    h.Observe(values.back());
+  }
+  obs::HistogramSnapshot s = obs::SnapshotOf(h);
+  EXPECT_EQ(s.count, 2000u);
+  EXPECT_LE(s.p99, s.p999);
+  EXPECT_LE(s.p999, s.max);
+  const double exact = values[static_cast<size_t>(0.999 * (values.size() - 1))];
+  EXPECT_NEAR(s.p999, exact, exact * 0.10);
+
+  MetricsRegistry::Global().GetHistogram("obs_test.p999.millis").Observe(1.0);
+  const std::string json = MetricsRegistry::Global().ToJson();
+  std::string error;
+  EXPECT_TRUE(re2xolap::testing::IsValidJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+}
+
+/// Parses `_bucket{le="X"} N` lines of one histogram out of a Prometheus
+/// exposition, in document order.
+std::vector<std::pair<std::string, uint64_t>> ParseBuckets(
+    const std::string& text, const std::string& prefix) {
+  std::vector<std::pair<std::string, uint64_t>> out;
+  const std::string marker = prefix + "_bucket{le=\"";
+  size_t pos = 0;
+  while ((pos = text.find(marker, pos)) != std::string::npos) {
+    const size_t le_start = pos + marker.size();
+    const size_t le_end = text.find('"', le_start);
+    const size_t val_end = text.find('\n', le_end);
+    out.emplace_back(
+        text.substr(le_start, le_end - le_start),
+        std::stoull(text.substr(le_end + 3, val_end - le_end - 3)));
+    pos = val_end;
+  }
+  return out;
+}
+
+TEST(MetricsTest, PrometheusBucketsAreCumulativeAndEndAtInf) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("obs_test.conformance.millis");
+  h.Observe(0.5);
+  h.Observe(1.0);
+  h.Observe(100.0);
+  h.Observe(1e12);  // overflow bucket: beyond the largest finite bound
+
+  const std::string text = reg.ToPrometheus();
+  const std::string prefix = "obs_test_conformance_millis";
+  auto buckets = ParseBuckets(text, prefix);
+  ASSERT_GE(buckets.size(), 2u);
+
+  // Exactly one +Inf bucket, and it comes last.
+  size_t inf_lines = 0;
+  for (const auto& [le, n] : buckets) inf_lines += le == "+Inf" ? 1 : 0;
+  EXPECT_EQ(inf_lines, 1u);
+  EXPECT_EQ(buckets.back().first, "+Inf");
+
+  // le thresholds strictly increase; cumulative counts never decrease.
+  double prev_le = -1;
+  uint64_t prev_n = 0;
+  for (const auto& [le, n] : buckets) {
+    const double bound =
+        le == "+Inf" ? std::numeric_limits<double>::infinity() : std::stod(le);
+    EXPECT_GT(bound, prev_le) << "le=" << le;
+    EXPECT_GE(n, prev_n) << "le=" << le;
+    prev_le = bound;
+    prev_n = n;
+  }
+
+  // +Inf carries every observation (the overflow one included) and agrees
+  // with _count; _sum is present.
+  EXPECT_EQ(buckets.back().second, 4u);
+  EXPECT_NE(text.find(prefix + "_count 4"), std::string::npos);
+  EXPECT_NE(text.find(prefix + "_sum "), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusExportIsConsistentUnderConcurrentObserve) {
+  auto& reg = MetricsRegistry::Global();
+  Histogram& h = reg.GetHistogram("obs_test.race.millis");
+  const std::string prefix = "obs_test_race_millis";
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      double v = 0.1 * (t + 1);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.Observe(v);
+        v = v < 1e6 ? v * 1.5 : 0.1;
+      }
+    });
+  }
+  // Every export taken mid-stream must be self-consistent: cumulative
+  // buckets monotone and +Inf equal to _count.
+  for (int round = 0; round < 50; ++round) {
+    const std::string text = reg.ToPrometheus();
+    auto buckets = ParseBuckets(text, prefix);
+    ASSERT_FALSE(buckets.empty());
+    uint64_t prev_n = 0;
+    for (const auto& [le, n] : buckets) {
+      EXPECT_GE(n, prev_n) << "round " << round << " le=" << le;
+      prev_n = n;
+    }
+    ASSERT_EQ(buckets.back().first, "+Inf");
+    const size_t count_pos = text.find(prefix + "_count ");
+    ASSERT_NE(count_pos, std::string::npos);
+    const uint64_t count = std::stoull(
+        text.substr(count_pos + prefix.size() + 7,
+                    text.find('\n', count_pos) - count_pos));
+    EXPECT_EQ(buckets.back().second, count) << "round " << round;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : writers) w.join();
 }
 
 // --- query profile ---------------------------------------------------------
