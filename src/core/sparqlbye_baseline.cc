@@ -20,13 +20,13 @@ util::Result<sparql::SelectQuery> SparqlByEBaseline::Synthesize(
     }
     rdf::TermId lit = literals.front();
     // The first subject holding this literal is the matched entity.
-    std::span<const rdf::EncodedTriple> holders = store_->Match(
+    rdf::IndexRange holders = store_->Match(
         rdf::TriplePattern{rdf::kInvalidTermId, rdf::kInvalidTermId, lit});
     if (holders.empty()) {
       return util::Status::NotFound("literal for \"" + example_tuple[i] +
                                     "\" is detached");
     }
-    const rdf::EncodedTriple& attr = holders.front();
+    const rdf::EncodedTriple attr = holders.front();
     const std::string var = "x" + std::to_string(i);
 
     // Pattern anchoring the entity to the example value.

@@ -89,7 +89,7 @@ util::Result<VirtualSchemaGraph> VirtualSchemaGraph::Build(
   std::set<rdf::TermId> attr_set;
 
   bump_scans();
-  std::span<const rdf::EncodedTriple> obs_triples =
+  rdf::IndexRange obs_triples =
       store.Match(rdf::TriplePattern{rdf::kInvalidTermId, type_pred,
                                      obs_class});
   if (obs_triples.empty()) {

@@ -376,6 +376,35 @@ void QueryLog::WriteIntrospectionReport(std::ostream& os, size_t top_n) const {
   os << ", jsonl sink: "
      << (cfg.sink_path.empty() ? std::string("off") : cfg.sink_path) << "\n";
 
+  // Store memory footprint as last published by the active TripleStore.
+  // Heap-owned and snapshot-mapped bytes are reported separately: a
+  // zero-copy mmap boot keeps its index bytes in the mapped bucket, which
+  // older MemoryUsage() accounting silently dropped.
+  {
+    auto& reg = MetricsRegistry::Global();
+    const double heap = reg.GetGauge("store.bytes.heap").value();
+    const double mapped = reg.GetGauge("store.bytes.mapped").value();
+    if (heap > 0 || mapped > 0) {
+      os << "\n-- store memory --\n";
+      os << "  triples: "
+         << static_cast<uint64_t>(reg.GetGauge("store.triples").value())
+         << "\n";
+      os << "  heap bytes: " << static_cast<uint64_t>(heap)
+         << ", mapped bytes: " << static_cast<uint64_t>(mapped)
+         << ", total: " << static_cast<uint64_t>(heap + mapped) << "\n";
+      os << "  index bytes: spo="
+         << static_cast<uint64_t>(
+                reg.GetGauge("store.index.spo.bytes").value())
+         << " pos="
+         << static_cast<uint64_t>(
+                reg.GetGauge("store.index.pos.bytes").value())
+         << " osp="
+         << static_cast<uint64_t>(
+                reg.GetGauge("store.index.osp.bytes").value())
+         << "\n";
+    }
+  }
+
   // Per-operation breakdown.
   std::array<OpAggregate, kQueryOpCount> by_op{};
   std::map<uint8_t, uint64_t> by_status;

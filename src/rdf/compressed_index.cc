@@ -1,0 +1,250 @@
+#include "rdf/compressed_index.h"
+
+#include <atomic>
+#include <cassert>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/hash.h"
+
+namespace re2xolap::rdf {
+
+namespace {
+
+// Process-unique generation ids for scratch-cache keying. 0 is reserved for
+// "no cached block".
+std::atomic<uint64_t> g_next_generation{1};
+
+obs::Counter& BlocksDecodedCounter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::Global().GetCounter("store.index.blocks_decoded");
+  return c;
+}
+
+// Appends v as a vbyte varint (7 bits per byte, high bit = continuation).
+inline void VbytePut(std::vector<uint8_t>* out, uint32_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+// Reads one varint from [*p, end); clamped — a truncated body decodes the
+// available bytes and stops, it never reads past `end`.
+inline uint32_t VbyteGet(const uint8_t** p, const uint8_t* end) {
+  uint32_t v = 0;
+  int shift = 0;
+  while (*p < end) {
+    uint8_t byte = **p;
+    ++*p;
+    v |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 32) break;  // over-long varint: stop, value is clamped
+  }
+  return v;
+}
+
+}  // namespace
+
+CompressedPermutation CompressedPermutation::Build(
+    std::span<const EncodedTriple> sorted, Perm perm) {
+  CompressedPermutation cp;
+  cp.perm_ = perm;
+  cp.triple_count_ = sorted.size();
+  cp.generation_ = g_next_generation.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t blocks = BlockCountFor(sorted.size());
+  cp.owned_skip_.reserve(blocks);
+  // Dictionary-dense data averages well under 4 bytes/triple; reserving 4
+  // avoids most payload regrowth without overshooting badly.
+  cp.owned_payload_.reserve(sorted.size() * 4);
+  for (uint64_t b = 0; b < blocks; ++b) {
+    const uint64_t begin = b * kIndexBlockSize;
+    const uint64_t end =
+        begin + kIndexBlockSize < sorted.size() ? begin + kIndexBlockSize
+                                                : sorted.size();
+    BlockMeta meta;
+    meta.byte_offset = cp.owned_payload_.size();
+    const EncodedTriple& first = sorted[begin];
+    meta.first_s = first.s;
+    meta.first_p = first.p;
+    meta.first_o = first.o;
+    uint32_t prev[3];
+    PermKey(perm, first, prev);
+    for (uint64_t i = begin + 1; i < end; ++i) {
+      uint32_t k[3];
+      PermKey(perm, sorted[i], k);
+      const uint32_t d0 = k[0] - prev[0];
+      VbytePut(&cp.owned_payload_, d0);
+      if (d0 != 0) {
+        VbytePut(&cp.owned_payload_, k[1]);
+        VbytePut(&cp.owned_payload_, k[2]);
+      } else {
+        const uint32_t d1 = k[1] - prev[1];
+        VbytePut(&cp.owned_payload_, d1);
+        VbytePut(&cp.owned_payload_, d1 != 0 ? k[2] : k[2] - prev[2]);
+      }
+      prev[0] = k[0];
+      prev[1] = k[1];
+      prev[2] = k[2];
+    }
+    meta.checksum = static_cast<uint32_t>(
+        util::Xxh64(cp.owned_payload_.data() + meta.byte_offset,
+                    cp.owned_payload_.size() - meta.byte_offset));
+    cp.owned_skip_.push_back(meta);
+  }
+  cp.owned_payload_.shrink_to_fit();
+  cp.skip_ = cp.owned_skip_;
+  cp.payload_ = cp.owned_payload_;
+  return cp;
+}
+
+CompressedPermutation CompressedPermutation::FromParts(
+    std::span<const BlockMeta> skip, std::span<const uint8_t> payload,
+    uint64_t triple_count, Perm perm) {
+  assert(skip.size() == BlockCountFor(triple_count));
+  CompressedPermutation cp;
+  cp.perm_ = perm;
+  cp.triple_count_ = triple_count;
+  cp.generation_ = g_next_generation.fetch_add(1, std::memory_order_relaxed);
+  cp.skip_ = skip;
+  cp.payload_ = payload;
+  return cp;
+}
+
+std::span<const uint8_t> CompressedPermutation::BlockBytes(uint64_t b) const {
+  const uint64_t begin = skip_[b].byte_offset;
+  const uint64_t end =
+      b + 1 < skip_.size() ? skip_[b + 1].byte_offset : payload_.size();
+  assert(begin <= end && end <= payload_.size());
+  return payload_.subspan(begin, end - begin);
+}
+
+namespace {
+
+// Decode loop specialized on the permutation so the PermUnkey component
+// shuffle constant-folds out of the per-triple path. This is the hottest
+// loop in the compressed format: every probe-side block materialization
+// funnels through it.
+template <Perm P>
+void DecodeBody(const uint8_t* p, const uint8_t* end,
+                const EncodedTriple& first, uint64_t len,
+                EncodedTriple* dst) {
+  uint32_t k[3];
+  PermKey(P, first, k);
+  dst[0] = first;
+  for (uint64_t i = 1; i < len; ++i) {
+    const uint32_t d0 = VbyteGet(&p, end);
+    if (d0 != 0) {
+      k[0] += d0;
+      k[1] = VbyteGet(&p, end);
+      k[2] = VbyteGet(&p, end);
+    } else {
+      const uint32_t d1 = VbyteGet(&p, end);
+      if (d1 != 0) {
+        k[1] += d1;
+        k[2] = VbyteGet(&p, end);
+      } else {
+        k[2] += VbyteGet(&p, end);
+      }
+    }
+    dst[i] = PermUnkey(P, k);
+  }
+}
+
+}  // namespace
+
+void CompressedPermutation::DecodeBlock(uint64_t b,
+                                        std::vector<EncodedTriple>* out) const {
+  const uint64_t len = BlockLen(b);
+  out->resize(len);
+  std::span<const uint8_t> body = BlockBytes(b);
+  const uint8_t* p = body.data();
+  const uint8_t* end = p + body.size();
+  switch (perm_) {
+    case Perm::kSpo:
+      DecodeBody<Perm::kSpo>(p, end, skip_[b].first(), len, out->data());
+      break;
+    case Perm::kPos:
+      DecodeBody<Perm::kPos>(p, end, skip_[b].first(), len, out->data());
+      break;
+    default:
+      DecodeBody<Perm::kOsp>(p, end, skip_[b].first(), len, out->data());
+      break;
+  }
+  BlocksDecodedCounter().Inc();
+}
+
+util::Status CompressedPermutation::DecodeBlockChecked(
+    uint64_t b, std::vector<EncodedTriple>* out) const {
+  std::span<const uint8_t> body = BlockBytes(b);
+  const uint32_t want = skip_[b].checksum;
+  const uint32_t got =
+      static_cast<uint32_t>(util::Xxh64(body.data(), body.size()));
+  if (got != want) {
+    return util::Status::ParseError(
+        "compressed index block " + std::to_string(b) +
+        " checksum mismatch: stored " + std::to_string(want) + ", computed " +
+        std::to_string(got));
+  }
+  const uint64_t len = BlockLen(b);
+  out->clear();
+  out->reserve(kIndexBlockSize);
+  const uint8_t* p = body.data();
+  const uint8_t* end = p + body.size();
+  uint32_t k[3];
+  PermKey(perm_, skip_[b].first(), k);
+  out->push_back(skip_[b].first());
+  for (uint64_t i = 1; i < len; ++i) {
+    if (p >= end) {
+      return util::Status::ParseError(
+          "compressed index block " + std::to_string(b) +
+          " body truncated: decoded " + std::to_string(i) + " of " +
+          std::to_string(len) + " triples");
+    }
+    const uint32_t d0 = VbyteGet(&p, end);
+    bool advanced = d0 != 0;
+    if (d0 != 0) {
+      k[0] += d0;
+      k[1] = VbyteGet(&p, end);
+      k[2] = VbyteGet(&p, end);
+    } else {
+      const uint32_t d1 = VbyteGet(&p, end);
+      if (d1 != 0) {
+        advanced = true;
+        k[1] += d1;
+        k[2] = VbyteGet(&p, end);
+      } else {
+        const uint32_t d2 = VbyteGet(&p, end);
+        advanced = d2 != 0;
+        k[2] += d2;
+      }
+    }
+    if (!advanced) {
+      return util::Status::ParseError(
+          "compressed index block " + std::to_string(b) +
+          " not strictly increasing at triple " + std::to_string(i));
+    }
+    out->push_back(PermUnkey(perm_, k));
+  }
+  if (p != end) {
+    return util::Status::ParseError(
+        "compressed index block " + std::to_string(b) + " has " +
+        std::to_string(end - p) + " trailing bytes");
+  }
+  BlocksDecodedCounter().Inc();
+  return util::Status::OK();
+}
+
+void CompressedPermutation::DecodeAll(std::vector<EncodedTriple>* out) const {
+  out->clear();
+  out->reserve(triple_count_);
+  std::vector<EncodedTriple> block;
+  for (uint64_t b = 0; b < block_count(); ++b) {
+    DecodeBlock(b, &block);
+    out->insert(out->end(), block.begin(), block.end());
+  }
+}
+
+}  // namespace re2xolap::rdf

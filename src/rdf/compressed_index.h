@@ -1,0 +1,174 @@
+#ifndef RE2XOLAP_RDF_COMPRESSED_INDEX_H_
+#define RE2XOLAP_RDF_COMPRESSED_INDEX_H_
+
+// Compressed block representation of one sorted triple permutation.
+//
+// The permutation is cut into fixed-size blocks of kIndexBlockSize triples
+// (the last block may be shorter). Each block body stores its triples
+// delta-encoded in permutation key order against the previous triple, with
+// vbyte (LEB128-style, 7 bits per byte) varints; the block's first triple
+// is not stored in the body at all — it is seeded from the in-memory skip
+// table, which keeps one 24-byte BlockMeta {payload byte offset, first
+// triple's s/p/o, truncated-XXH64 checksum} per block. Point lookups and
+// merge-join gallops run on the skip table's first-triple keys and decode
+// only the blocks that survive the seek.
+//
+// Per-triple body encoding (key components k0,k1,k2 per permutation):
+//   d0 = k0 - prev.k0
+//   d0 > 0:            vbyte(d0)  vbyte(k1)  vbyte(k2)     (k0 advanced)
+//   d0 = 0, d1 > 0:    vbyte(0)   vbyte(d1)  vbyte(k2)     (k1 advanced)
+//   d0 = 0, d1 = 0:    vbyte(0)   vbyte(0)   vbyte(d2)     (d2 > 0: strict)
+// Typical dictionary-dense KG data lands at 2–5 bytes/triple vs 12 raw.
+//
+// The skip table and payload are either owned vectors (Build, the in-
+// process Freeze path) or borrowed spans into a loaded snapshot image
+// (FromParts; storage/ validates every block before adoption, so the
+// query-time decoder trusts the data but still never reads outside a
+// block's byte slice — corruption can produce wrong triples, never UB).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rdf/index_cursor.h"
+#include "rdf/triple.h"
+#include "util/status.h"
+
+namespace re2xolap::rdf {
+
+/// Triples per compressed block. Wire-stable: images record it per section
+/// and the loader rejects other values.
+inline constexpr uint32_t kIndexBlockSize = 1024;
+
+/// Per-block skip-table entry. The struct layout IS the wire format of the
+/// snapshot skip table (little-endian, naturally aligned, 24 bytes).
+struct BlockMeta {
+  uint64_t byte_offset;  // block body start within the payload
+  TermId first_s;        // first triple of the block (s/p/o order)
+  TermId first_p;
+  TermId first_o;
+  uint32_t checksum;  // truncated util::Xxh64 of the block body bytes
+
+  EncodedTriple first() const { return {first_s, first_p, first_o}; }
+};
+static_assert(sizeof(BlockMeta) == 24 && alignof(BlockMeta) == 8,
+              "BlockMeta is a wire format; layout must not change");
+
+/// One compressed permutation: skip table + delta/vbyte payload.
+/// Move-only; the generation id tags decoded-block scratch caches so a
+/// scratch can never serve a stale block after the permutation it cached
+/// from is destroyed and its address reused.
+class CompressedPermutation {
+ public:
+  CompressedPermutation() = default;
+  CompressedPermutation(CompressedPermutation&&) = default;
+  CompressedPermutation& operator=(CompressedPermutation&&) = default;
+  CompressedPermutation(const CompressedPermutation&) = delete;
+  CompressedPermutation& operator=(const CompressedPermutation&) = delete;
+
+  /// Compresses a strictly sorted, deduplicated permutation (as produced
+  /// by TripleStore::BuildIndexes) into owned skip + payload storage.
+  static CompressedPermutation Build(std::span<const EncodedTriple> sorted,
+                                     Perm perm);
+
+  /// Borrows already-validated wire-format parts (mmap-backed snapshot
+  /// adoption). `skip` must hold exactly BlockCountFor(triple_count)
+  /// entries and `payload` every block body; storage/ runs the full
+  /// per-block validation (DecodeBlockChecked + cross-block ordering)
+  /// before calling this.
+  static CompressedPermutation FromParts(std::span<const BlockMeta> skip,
+                                         std::span<const uint8_t> payload,
+                                         uint64_t triple_count, Perm perm);
+
+  static uint64_t BlockCountFor(uint64_t triple_count) {
+    return (triple_count + kIndexBlockSize - 1) / kIndexBlockSize;
+  }
+
+  uint64_t size() const { return triple_count_; }
+  uint64_t block_count() const { return skip_.size(); }
+  Perm perm() const { return perm_; }
+  uint64_t generation() const { return generation_; }
+
+  std::span<const BlockMeta> skip() const { return skip_; }
+  std::span<const uint8_t> payload() const { return payload_; }
+
+  /// Total compressed bytes (skip table + payload), whether owned or
+  /// borrowed.
+  size_t byte_size() const {
+    return skip_.size() * sizeof(BlockMeta) + payload_.size();
+  }
+  /// Owned heap bytes (zero for borrowed/mmap-backed permutations).
+  size_t heap_bytes() const {
+    return owned_skip_.capacity() * sizeof(BlockMeta) +
+           owned_payload_.capacity();
+  }
+  bool borrowed() const { return triple_count_ != 0 && owned_skip_.empty(); }
+
+  uint64_t BlockOf(uint64_t pos) const { return pos / kIndexBlockSize; }
+  uint64_t BlockFirstPos(uint64_t b) const { return b * kIndexBlockSize; }
+  /// Triples in block b (kIndexBlockSize except possibly the last).
+  uint64_t BlockLen(uint64_t b) const {
+    uint64_t first = BlockFirstPos(b);
+    uint64_t len = triple_count_ - first;
+    return len < kIndexBlockSize ? len : kIndexBlockSize;
+  }
+  EncodedTriple BlockFirstTriple(uint64_t b) const { return skip_[b].first(); }
+
+  /// Byte slice of block b's body within the payload.
+  std::span<const uint8_t> BlockBytes(uint64_t b) const;
+
+  /// Decodes block b into `out` (assign-resized to BlockLen(b)). Trusted
+  /// fast path for validated data: reads are clamped to the block's byte
+  /// slice (a short body yields zero-delta triples, never UB) and no
+  /// ordering checks run. Bumps the store.index.blocks_decoded counter.
+  void DecodeBlock(uint64_t b, std::vector<EncodedTriple>* out) const;
+
+  /// Validating decode: typed Status (ParseError) on checksum mismatch,
+  /// body overrun/underrun, non-strictly-increasing triples, or a first
+  /// triple disagreeing with the skip entry. Used by snapshot load/verify.
+  util::Status DecodeBlockChecked(uint64_t b,
+                                  std::vector<EncodedTriple>* out) const;
+
+  /// Decodes the whole permutation in order (Materialize / export).
+  void DecodeAll(std::vector<EncodedTriple>* out) const;
+
+ private:
+  std::span<const BlockMeta> skip_;
+  std::span<const uint8_t> payload_;
+  std::vector<BlockMeta> owned_skip_;
+  std::vector<uint8_t> owned_payload_;
+  uint64_t triple_count_ = 0;
+  uint64_t generation_ = 0;
+  Perm perm_ = Perm::kSpo;
+};
+
+/// Permutation key projection: triple -> (k0, k1, k2) in the permutation's
+/// comparison order, and back.
+inline void PermKey(Perm perm, const EncodedTriple& t, uint32_t k[3]) {
+  switch (perm) {
+    case Perm::kSpo:
+      k[0] = t.s; k[1] = t.p; k[2] = t.o;
+      return;
+    case Perm::kPos:
+      k[0] = t.p; k[1] = t.o; k[2] = t.s;
+      return;
+    default:
+      k[0] = t.o; k[1] = t.s; k[2] = t.p;
+      return;
+  }
+}
+
+inline EncodedTriple PermUnkey(Perm perm, const uint32_t k[3]) {
+  switch (perm) {
+    case Perm::kSpo:
+      return {k[0], k[1], k[2]};
+    case Perm::kPos:
+      return {k[2], k[0], k[1]};
+    default:
+      return {k[1], k[2], k[0]};
+  }
+}
+
+}  // namespace re2xolap::rdf
+
+#endif  // RE2XOLAP_RDF_COMPRESSED_INDEX_H_

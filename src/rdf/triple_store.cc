@@ -2,54 +2,32 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdlib>
+#include <string_view>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rdf/compressed_index.h"
 #include "util/thread_pool.h"
 
 namespace re2xolap::rdf {
 
-namespace {
-
-// Key comparators for the three permutations.
-struct SpoLess {
-  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
-    if (a.s != b.s) return a.s < b.s;
-    if (a.p != b.p) return a.p < b.p;
-    return a.o < b.o;
-  }
-};
-struct PosLess {
-  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
-    if (a.p != b.p) return a.p < b.p;
-    if (a.o != b.o) return a.o < b.o;
-    return a.s < b.s;
-  }
-};
-struct OspLess {
-  bool operator()(const EncodedTriple& a, const EncodedTriple& b) const {
-    if (a.o != b.o) return a.o < b.o;
-    if (a.s != b.s) return a.s < b.s;
-    return a.p < b.p;
-  }
-};
-
-// Finds the contiguous range within `index` (sorted by Cmp) whose triples
-// match the prefix encoded in lo/hi sentinel triples.
-template <typename Cmp>
-std::span<const EncodedTriple> EqualRange(
-    std::span<const EncodedTriple> index, const EncodedTriple& lo,
-    const EncodedTriple& hi, Cmp cmp) {
-  auto first = std::lower_bound(index.begin(), index.end(), lo, cmp);
-  auto last = std::upper_bound(index.begin(), index.end(), hi, cmp);
-  if (first >= last) return {};
-  return std::span<const EncodedTriple>(&*first,
-                                        static_cast<size_t>(last - first));
+IndexFormat DefaultIndexFormat() {
+  // Read once: flipping the env mid-process must not change behavior of
+  // stores that already froze under the other format.
+  static const IndexFormat format = [] {
+    const char* env = std::getenv("RE2XOLAP_INDEX_FORMAT");
+    if (env != nullptr && std::string_view(env) == "compressed") {
+      return IndexFormat::kCompressed;
+    }
+    return IndexFormat::kRaw;
+  }();
+  return format;
 }
 
-constexpr TermId kMaxId = ~static_cast<TermId>(0);
+TripleStore::TripleStore() : format_(DefaultIndexFormat()) {}
 
-}  // namespace
+TripleStore::~TripleStore() = default;
 
 void TripleStore::Add(const Term& s, const Term& p, const Term& o) {
   AddEncoded(EncodedTriple{dict_.Intern(s), dict_.Intern(p), dict_.Intern(o)});
@@ -65,6 +43,15 @@ void TripleStore::AddEncoded(EncodedTriple t) {
 }
 
 void TripleStore::Materialize() {
+  if (spo_blocks_ != nullptr) {
+    // Compressed (owned or borrowed): decode the canonical SPO list; the
+    // other permutations are rebuilt by the next Freeze().
+    std::vector<EncodedTriple> spo;
+    spo_blocks_->DecodeAll(&spo);
+    ResetIndexState();
+    spo_ = std::move(spo);
+    return;
+  }
   if (keepalive_ == nullptr) return;
   spo_.assign(spo_view_.begin(), spo_view_.end());
   pos_.assign(pos_view_.begin(), pos_view_.end());
@@ -75,6 +62,22 @@ void TripleStore::Materialize() {
   keepalive_.reset();
 }
 
+void TripleStore::ResetIndexState() {
+  spo_.clear();
+  spo_.shrink_to_fit();
+  pos_.clear();
+  pos_.shrink_to_fit();
+  osp_.clear();
+  osp_.shrink_to_fit();
+  spo_view_ = {};
+  pos_view_ = {};
+  osp_view_ = {};
+  spo_blocks_.reset();
+  pos_blocks_.reset();
+  osp_blocks_.reset();
+  keepalive_.reset();
+}
+
 void TripleStore::AdoptFrozen(std::vector<EncodedTriple> spo,
                               std::vector<EncodedTriple> pos,
                               std::vector<EncodedTriple> osp,
@@ -82,19 +85,14 @@ void TripleStore::AdoptFrozen(std::vector<EncodedTriple> spo,
                               uint64_t epoch) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::AdoptFrozen() during concurrent reads");
+  ResetIndexState();
   spo_ = std::move(spo);
   pos_ = std::move(pos);
   osp_ = std::move(osp);
-  spo_view_ = {};
-  pos_view_ = {};
-  osp_view_ = {};
-  keepalive_.reset();
   stats_ = std::move(stats);
   frozen_ = true;
   freeze_epoch_ = epoch;
-  obs::MetricsRegistry::Global()
-      .GetGauge("store.triples")
-      .Set(static_cast<double>(size()));
+  UpdateStoreGauges();
 }
 
 void TripleStore::AdoptFrozenView(
@@ -105,12 +103,7 @@ void TripleStore::AdoptFrozenView(
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::AdoptFrozenView() during concurrent reads");
   assert(keepalive != nullptr && "view adoption requires a keepalive");
-  spo_.clear();
-  spo_.shrink_to_fit();
-  pos_.clear();
-  pos_.shrink_to_fit();
-  osp_.clear();
-  osp_.shrink_to_fit();
+  ResetIndexState();
   spo_view_ = spo;
   pos_view_ = pos;
   osp_view_ = osp;
@@ -118,9 +111,26 @@ void TripleStore::AdoptFrozenView(
   stats_ = std::move(stats);
   frozen_ = true;
   freeze_epoch_ = epoch;
-  obs::MetricsRegistry::Global()
-      .GetGauge("store.triples")
-      .Set(static_cast<double>(size()));
+  UpdateStoreGauges();
+}
+
+void TripleStore::AdoptFrozenCompressed(
+    CompressedPermutation spo, CompressedPermutation pos,
+    CompressedPermutation osp,
+    std::unordered_map<TermId, PredicateStats> stats, uint64_t epoch,
+    std::shared_ptr<const void> keepalive) {
+  assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+         "TripleStore::AdoptFrozenCompressed() during concurrent reads");
+  assert(spo.size() == pos.size() && pos.size() == osp.size());
+  ResetIndexState();
+  spo_blocks_ = std::make_unique<CompressedPermutation>(std::move(spo));
+  pos_blocks_ = std::make_unique<CompressedPermutation>(std::move(pos));
+  osp_blocks_ = std::make_unique<CompressedPermutation>(std::move(osp));
+  keepalive_ = std::move(keepalive);
+  stats_ = std::move(stats);
+  frozen_ = true;
+  freeze_epoch_ = epoch;
+  UpdateStoreGauges();
 }
 
 void TripleStore::Freeze(util::ThreadPool* pool) {
@@ -137,11 +147,13 @@ void TripleStore::Freeze(util::ThreadPool* pool) {
     obs::Span child("store.compute_stats");
     ComputeStats(pool);
   }
+  if (format_ == IndexFormat::kCompressed) {
+    obs::Span child("store.compress_indexes");
+    CompressIndexes(pool);
+  }
   frozen_ = true;
   ++freeze_epoch_;
-  obs::MetricsRegistry::Global()
-      .GetGauge("store.triples")
-      .Set(static_cast<double>(spo_.size()));
+  UpdateStoreGauges();
 }
 
 void TripleStore::BuildIndexes(util::ThreadPool* pool) {
@@ -227,8 +239,77 @@ void TripleStore::ComputeStats(util::ThreadPool* pool) {
   }
 }
 
-std::span<const EncodedTriple> TripleStore::Match(
-    const TriplePattern& q) const {
+void TripleStore::CompressIndexes(util::ThreadPool* pool) {
+  auto spo_cp = std::make_unique<CompressedPermutation>();
+  auto pos_cp = std::make_unique<CompressedPermutation>();
+  auto osp_cp = std::make_unique<CompressedPermutation>();
+  auto compress_one = [&](size_t task) {
+    switch (task) {
+      case 0:
+        *spo_cp = CompressedPermutation::Build(spo_, Perm::kSpo);
+        break;
+      case 1:
+        *pos_cp = CompressedPermutation::Build(pos_, Perm::kPos);
+        break;
+      default:
+        *osp_cp = CompressedPermutation::Build(osp_, Perm::kOsp);
+        break;
+    }
+  };
+  if (pool != nullptr && pool->size() > 0) {
+    pool->ParallelFor(3, compress_one);
+  } else {
+    for (size_t t = 0; t < 3; ++t) compress_one(t);
+  }
+  spo_blocks_ = std::move(spo_cp);
+  pos_blocks_ = std::move(pos_cp);
+  osp_blocks_ = std::move(osp_cp);
+  spo_.clear();
+  spo_.shrink_to_fit();
+  pos_.clear();
+  pos_.shrink_to_fit();
+  osp_.clear();
+  osp_.shrink_to_fit();
+}
+
+IndexRange TripleStore::PermutationRange(Perm perm) const {
+  switch (perm) {
+    case Perm::kSpo:
+      if (spo_blocks_ != nullptr) {
+        return IndexRange::FromBlocks(spo_blocks_.get(), 0,
+                                      spo_blocks_->size(), perm);
+      }
+      return IndexRange::FromSpan(SpoView(), perm);
+    case Perm::kPos:
+      if (pos_blocks_ != nullptr) {
+        return IndexRange::FromBlocks(pos_blocks_.get(), 0,
+                                      pos_blocks_->size(), perm);
+      }
+      return IndexRange::FromSpan(PosView(), perm);
+    default:
+      if (osp_blocks_ != nullptr) {
+        return IndexRange::FromBlocks(osp_blocks_.get(), 0,
+                                      osp_blocks_->size(), perm);
+      }
+      return IndexRange::FromSpan(OspView(), perm);
+  }
+}
+
+namespace {
+
+// Clips a whole-permutation range down to the triples between the lo/hi
+// sentinels (inclusive prefix semantics, exactly the old EqualRange).
+IndexRange ClipRange(const IndexRange& perm_range, const EncodedTriple& lo,
+                     const EncodedTriple& hi) {
+  uint64_t first = perm_range.LowerBound(lo);
+  uint64_t last = perm_range.GallopUpperBound(first, hi);
+  if (last < first) last = first;
+  return perm_range.Slice(first, last);
+}
+
+}  // namespace
+
+IndexRange TripleStore::Match(const TriplePattern& q) const {
   assert(frozen_ && "TripleStore::Freeze() must be called before Match()");
   ReadGuard guard(this);
   const bool bs = q.s != kInvalidTermId;
@@ -238,26 +319,27 @@ std::span<const EncodedTriple> TripleStore::Match(
   if (bs) {
     // SPO serves s / s,p / s,p,o; OSP serves s,o.
     if (!bp && bo) {
-      return EqualRange(OspView(), EncodedTriple{q.s, kInvalidTermId, q.o},
-                        EncodedTriple{q.s, kMaxId, q.o}, OspLess());
+      return ClipRange(PermutationRange(Perm::kOsp),
+                       EncodedTriple{q.s, kInvalidTermId, q.o},
+                       EncodedTriple{q.s, kMaxTermId, q.o});
     }
     EncodedTriple lo{q.s, bp ? q.p : kInvalidTermId, bo ? q.o : kInvalidTermId};
-    EncodedTriple hi{q.s, bp ? q.p : kMaxId, bo ? q.o : kMaxId};
-    return EqualRange(SpoView(), lo, hi, SpoLess());
+    EncodedTriple hi{q.s, bp ? q.p : kMaxTermId, bo ? q.o : kMaxTermId};
+    return ClipRange(PermutationRange(Perm::kSpo), lo, hi);
   }
   if (bp) {
     // POS serves p / p,o.
     EncodedTriple lo{kInvalidTermId, q.p, bo ? q.o : kInvalidTermId};
-    EncodedTriple hi{kMaxId, q.p, bo ? q.o : kMaxId};
-    return EqualRange(PosView(), lo, hi, PosLess());
+    EncodedTriple hi{kMaxTermId, q.p, bo ? q.o : kMaxTermId};
+    return ClipRange(PermutationRange(Perm::kPos), lo, hi);
   }
   if (bo) {
     // OSP serves o.
-    return EqualRange(OspView(),
-                      EncodedTriple{kInvalidTermId, kInvalidTermId, q.o},
-                      EncodedTriple{kMaxId, kMaxId, q.o}, OspLess());
+    return ClipRange(PermutationRange(Perm::kOsp),
+                     EncodedTriple{kInvalidTermId, kInvalidTermId, q.o},
+                     EncodedTriple{kMaxTermId, kMaxTermId, q.o});
   }
-  return SpoView();
+  return PermutationRange(Perm::kSpo);
 }
 
 uint64_t TripleStore::CountMatches(const TriplePattern& pattern) const {
@@ -303,14 +385,52 @@ PredicateStats TripleStore::predicate_stats(TermId p) const {
   return it == stats_.end() ? PredicateStats{} : it->second;
 }
 
-size_t TripleStore::MemoryUsage() const {
-  // Borrowed (mmap-backed) indexes are file-backed pages, not heap: the
-  // owned vectors are empty then and contribute zero.
-  return dict_.MemoryUsage() +
-         (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
-             sizeof(EncodedTriple) +
-         stats_.size() * (sizeof(TermId) + sizeof(PredicateStats) +
-                          2 * sizeof(void*));
+uint64_t TripleStore::size() const {
+  if (spo_blocks_ != nullptr) return spo_blocks_->size();
+  return SpoView().size();
+}
+
+StoreMemory TripleStore::MemoryBreakdown() const {
+  StoreMemory m;
+  m.heap_bytes = dict_.MemoryUsage() +
+                 (spo_.capacity() + pos_.capacity() + osp_.capacity()) *
+                     sizeof(EncodedTriple) +
+                 stats_.size() * (sizeof(TermId) + sizeof(PredicateStats) +
+                                  2 * sizeof(void*));
+  for (const CompressedPermutation* cp :
+       {spo_blocks_.get(), pos_blocks_.get(), osp_blocks_.get()}) {
+    if (cp == nullptr) continue;
+    m.heap_bytes += cp->heap_bytes();
+    if (cp->borrowed()) m.mapped_bytes += cp->byte_size();
+  }
+  if (keepalive_ != nullptr && spo_blocks_ == nullptr) {
+    // Raw borrowed views: the image bytes the three spans alias.
+    m.mapped_bytes +=
+        (spo_view_.size() + pos_view_.size() + osp_view_.size()) *
+        sizeof(EncodedTriple);
+  }
+  return m;
+}
+
+void TripleStore::UpdateStoreGauges() const {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("store.triples").Set(static_cast<double>(size()));
+  StoreMemory m = MemoryBreakdown();
+  reg.GetGauge("store.bytes.heap").Set(static_cast<double>(m.heap_bytes));
+  reg.GetGauge("store.bytes.mapped").Set(static_cast<double>(m.mapped_bytes));
+  auto index_bytes = [this](Perm perm) -> double {
+    const CompressedPermutation* cp = perm == Perm::kSpo ? spo_blocks_.get()
+                                     : perm == Perm::kPos ? pos_blocks_.get()
+                                                          : osp_blocks_.get();
+    if (cp != nullptr) return static_cast<double>(cp->byte_size());
+    std::span<const EncodedTriple> view = perm == Perm::kSpo   ? SpoView()
+                                          : perm == Perm::kPos ? PosView()
+                                                               : OspView();
+    return static_cast<double>(view.size() * sizeof(EncodedTriple));
+  };
+  reg.GetGauge("store.index.spo.bytes").Set(index_bytes(Perm::kSpo));
+  reg.GetGauge("store.index.pos.bytes").Set(index_bytes(Perm::kPos));
+  reg.GetGauge("store.index.osp.bytes").Set(index_bytes(Perm::kOsp));
 }
 
 }  // namespace re2xolap::rdf

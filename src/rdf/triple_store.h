@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "rdf/dictionary.h"
+#include "rdf/index_cursor.h"
 #include "rdf/triple.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -20,12 +21,34 @@ class ThreadPool;
 
 namespace re2xolap::rdf {
 
+class CompressedPermutation;
+
 /// Per-predicate cardinality statistics used by the query planner for
 /// selectivity-ordered join planning.
 struct PredicateStats {
   uint64_t triple_count = 0;
   uint64_t distinct_subjects = 0;
   uint64_t distinct_objects = 0;
+};
+
+/// Physical representation of the three index permutations.
+enum class IndexFormat : uint8_t {
+  kRaw = 0,         // sorted EncodedTriple arrays, zero-copy span access
+  kCompressed = 1,  // delta/vbyte blocks + skip table (rdf/compressed_index.h)
+};
+
+/// Process-wide default, read once from RE2XOLAP_INDEX_FORMAT
+/// ("raw" | "compressed"; anything else falls back to raw).
+IndexFormat DefaultIndexFormat();
+
+/// Heap vs file-backed split of a store's footprint: `heap_bytes` is
+/// malloc'd memory (dictionary, owned indexes, stats), `mapped_bytes` the
+/// borrowed snapshot image a zero-copy load serves from. Report both —
+/// mapped pages are real resident memory under load even though they are
+/// evictable.
+struct StoreMemory {
+  size_t heap_bytes = 0;
+  size_t mapped_bytes = 0;
 };
 
 /// In-memory RDF triple store with dictionary encoding and three sorted
@@ -37,24 +60,29 @@ struct PredicateStats {
 /// This mirrors the paper's setting: the KG is loaded/bootstrapped once and
 /// then queried read-only.
 ///
-/// Index storage is either owned (std::vector, the normal build path) or
-/// borrowed (std::span into a memory-mapped snapshot image installed by
-/// AdoptFrozenView; see src/storage/). Borrowed indexes serve the exact
-/// same read paths with zero copies; the first mutation (Add/AddEncoded/
-/// Freeze) transparently materializes owned copies and releases the
-/// mapping, so the mutable API keeps working after a zero-copy load.
+/// Each permutation is stored in one of two formats behind the IndexRange
+/// seam (rdf/index_cursor.h): raw sorted EncodedTriple arrays — owned
+/// vectors or spans borrowed from a memory-mapped snapshot image — or the
+/// compressed block format of rdf/compressed_index.h (again owned or
+/// borrowed). Match() always answers with an IndexRange; raw ranges expose
+/// the classic zero-copy spans, compressed ranges decode block-at-a-time
+/// into caller scratch. The first mutation (Add/AddEncoded/Freeze)
+/// transparently materializes owned raw storage, so the mutable API keeps
+/// working after any kind of load.
 ///
 /// Concurrent-read contract: after Freeze() returns, every const member
 /// (Match, CountMatches, Exists, Lookup, term, predicate_stats, ...) is
 /// safe to call from any number of threads simultaneously — the read paths
-/// are pure binary searches / hash lookups over immutable vectors and keep
-/// no lazy caches or other hidden mutable state. The contract is voided by
-/// any concurrent mutation: Add(), AddEncoded(), Intern(), and Freeze()
-/// must never overlap a read. Debug builds enforce this with an active-
-/// reader counter asserted inside the mutators (see ReadGuard below).
+/// are pure binary searches / hash lookups over immutable storage, and
+/// compressed-block decoding goes through thread-local or caller-owned
+/// scratch. The contract is voided by any concurrent mutation: Add(),
+/// AddEncoded(), Intern(), and Freeze() must never overlap a read. Debug
+/// builds enforce this with an active-reader counter asserted inside the
+/// mutators (see ReadGuard below).
 class TripleStore {
  public:
-  TripleStore() = default;
+  TripleStore();
+  ~TripleStore();
   TripleStore(const TripleStore&) = delete;
   TripleStore& operator=(const TripleStore&) = delete;
 
@@ -68,10 +96,11 @@ class TripleStore {
   void AddEncoded(EncodedTriple t);
 
   /// Sorts and deduplicates the three index permutations and computes
-  /// predicate statistics. Must be called after loading, before querying.
-  /// When `pool` is non-null the three permutation sorts run as concurrent
-  /// tasks and the per-predicate statistics fan out across the pool; the
-  /// resulting store is bit-identical to a serial Freeze().
+  /// predicate statistics; when index_format() is kCompressed the sorted
+  /// permutations are then compressed and the raw arrays released. Must be
+  /// called after loading, before querying. When `pool` is non-null the
+  /// per-permutation work runs as concurrent tasks; the resulting store is
+  /// bit-identical to a serial Freeze().
   void Freeze(util::ThreadPool* pool = nullptr);
 
   bool frozen() const { return frozen_; }
@@ -83,6 +112,17 @@ class TripleStore {
   /// Snapshot restore (AdoptFrozen*) reinstalls the epoch the image was
   /// saved at, so cache keys behave identically across a save/load cycle.
   uint64_t freeze_epoch() const { return freeze_epoch_; }
+
+  /// --- Index format -------------------------------------------------------
+
+  /// The format the next Freeze() will build. Defaults to
+  /// DefaultIndexFormat(); snapshot adoption serves whatever format the
+  /// image holds regardless of this setting.
+  IndexFormat index_format() const { return format_; }
+  void set_index_format(IndexFormat f) { format_ = f; }
+
+  /// True when the store currently serves compressed block indexes.
+  bool compressed_index() const { return spo_blocks_ != nullptr; }
 
   /// --- Snapshot restore (src/storage/) -----------------------------------
 
@@ -105,6 +145,18 @@ class TripleStore {
                        std::span<const EncodedTriple> osp,
                        std::unordered_map<TermId, PredicateStats> stats,
                        uint64_t epoch, std::shared_ptr<const void> keepalive);
+
+  /// Compressed-format adoption: the three permutations arrive as
+  /// CompressedPermutation objects whose skip/payload storage is either
+  /// owned or borrowed from `keepalive` (which may be null when all three
+  /// own their storage). storage/ validates every block before calling
+  /// this. Same frozen-at-epoch semantics as AdoptFrozen.
+  void AdoptFrozenCompressed(CompressedPermutation spo,
+                             CompressedPermutation pos,
+                             CompressedPermutation osp,
+                             std::unordered_map<TermId, PredicateStats> stats,
+                             uint64_t epoch,
+                             std::shared_ptr<const void> keepalive);
 
   /// True while the indexes borrow a loaded snapshot image — mapped file
   /// or heap buffer (diagnostics; flips to false when a mutation
@@ -130,18 +182,24 @@ class TripleStore {
 
   /// --- Matching (requires frozen()) --------------------------------------
 
-  /// All triples matching the pattern, as a contiguous span into one of the
-  /// sorted indexes. The span's triple component order is always s/p/o
-  /// regardless of which index serves it.
-  std::span<const EncodedTriple> Match(const TriplePattern& pattern) const;
+  /// All triples matching the pattern, as a contiguous sorted range inside
+  /// one of the index permutations. Triple component order is always s/p/o
+  /// regardless of which permutation serves it. The range is valid until
+  /// the store's next mutation (exactly the old span lifetime rule).
+  IndexRange Match(const TriplePattern& pattern) const;
 
-  /// Number of triples matching a pattern (same index ranges, no copy).
+  /// Number of triples matching a pattern. Pure index-range arithmetic:
+  /// compressed stores answer from the skip table plus at most two block
+  /// decodes, raw stores from two binary searches.
   uint64_t CountMatches(const TriplePattern& pattern) const;
 
   /// True if at least one triple matches.
   bool Exists(const TriplePattern& pattern) const {
     return !Match(pattern).empty();
   }
+
+  /// The whole permutation as an IndexRange (merge joins, full scans).
+  IndexRange PermutationRange(Perm perm) const;
 
   /// Distinct predicate ids appearing on triples with subject `s`.
   std::vector<TermId> PredicatesOfSubject(TermId s) const;
@@ -162,18 +220,43 @@ class TripleStore {
   }
 
   /// The three sorted index permutations as contiguous spans (canonical
-  /// triple list = spo_span()). Snapshot serialization reads these; they
-  /// require frozen().
-  std::span<const EncodedTriple> spo_span() const { return SpoView(); }
-  std::span<const EncodedTriple> pos_span() const { return PosView(); }
-  std::span<const EncodedTriple> osp_span() const { return OspView(); }
+  /// triple list = spo_span()). Raw-format stores only — compressed stores
+  /// have no contiguous triple arrays (use PermutationRange / the snapshot
+  /// writer's compressed path); calling these on one is a programming
+  /// error. Require frozen().
+  std::span<const EncodedTriple> spo_span() const {
+    assert(!compressed_index());
+    return SpoView();
+  }
+  std::span<const EncodedTriple> pos_span() const {
+    assert(!compressed_index());
+    return PosView();
+  }
+  std::span<const EncodedTriple> osp_span() const {
+    assert(!compressed_index());
+    return OspView();
+  }
+
+  /// Compressed permutations (null on raw-format stores). Snapshot
+  /// serialization reads the skip/payload parts through these.
+  const CompressedPermutation* spo_blocks() const { return spo_blocks_.get(); }
+  const CompressedPermutation* pos_blocks() const { return pos_blocks_.get(); }
+  const CompressedPermutation* osp_blocks() const { return osp_blocks_.get(); }
 
   /// --- Size accounting ----------------------------------------------------
 
-  uint64_t size() const { return SpoView().size(); }
-  /// Approximate heap footprint in bytes (dictionary + 3 indexes). Borrowed
-  /// (mmap-backed) indexes are not heap and count as zero.
-  size_t MemoryUsage() const;
+  uint64_t size() const;
+
+  /// Heap vs mapped breakdown (see StoreMemory). A zero-copy loaded store
+  /// reports its borrowed image under mapped_bytes instead of silently
+  /// dropping it from the total.
+  StoreMemory MemoryBreakdown() const;
+
+  /// Total footprint in bytes: heap + mapped.
+  size_t MemoryUsage() const {
+    StoreMemory m = MemoryBreakdown();
+    return m.heap_bytes + m.mapped_bytes;
+  }
 
  private:
   /// Debug-only witness that a read is in flight: Match() holds one for
@@ -196,8 +279,9 @@ class TripleStore {
 #endif
   };
 
-  /// Owned-or-borrowed view selection. While keepalive_ is set the spans
-  /// alias the mapped image; otherwise they are the owned vectors.
+  /// Owned-or-borrowed raw view selection. While keepalive_ is set (and
+  /// the store is raw-format) the spans alias the mapped image; otherwise
+  /// they are the owned vectors.
   std::span<const EncodedTriple> SpoView() const {
     return keepalive_ ? spo_view_ : std::span<const EncodedTriple>(spo_);
   }
@@ -208,13 +292,19 @@ class TripleStore {
     return keepalive_ ? osp_view_ : std::span<const EncodedTriple>(osp_);
   }
 
-  /// Copies borrowed views into owned vectors and drops the keepalive, so
-  /// mutation can proceed on owned storage. No-op for owned stores.
+  /// Converts any borrowed or compressed representation back into owned
+  /// raw vectors and drops the keepalive, so mutation can proceed on owned
+  /// storage. No-op for owned raw stores.
   void Materialize();
 
   /// Reorders [first,last) of spo_ range helpers.
   void BuildIndexes(util::ThreadPool* pool);
   void ComputeStats(util::ThreadPool* pool);
+  void CompressIndexes(util::ThreadPool* pool);
+  /// Refreshes the store.* gauges (triples, heap/mapped bytes, per-index
+  /// bytes) after any freeze/adopt.
+  void UpdateStoreGauges() const;
+  void ResetIndexState();
 
   Dictionary dict_;
   // The three permutations each store full (s,p,o) triples sorted by a
@@ -226,8 +316,14 @@ class TripleStore {
   std::span<const EncodedTriple> spo_view_;
   std::span<const EncodedTriple> pos_view_;
   std::span<const EncodedTriple> osp_view_;
+  // Compressed-format state (Freeze under kCompressed / snapshot
+  // adoption); when set, the raw vectors/views above are empty.
+  std::unique_ptr<CompressedPermutation> spo_blocks_;
+  std::unique_ptr<CompressedPermutation> pos_blocks_;
+  std::unique_ptr<CompressedPermutation> osp_blocks_;
   std::shared_ptr<const void> keepalive_;
   std::unordered_map<TermId, PredicateStats> stats_;
+  IndexFormat format_ = IndexFormat::kRaw;
   bool frozen_ = false;
   uint64_t freeze_epoch_ = 0;
   mutable std::atomic<int> active_readers_{0};

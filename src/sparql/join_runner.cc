@@ -69,6 +69,11 @@ JoinRunner::JoinRunner(const rdf::TripleStore& store, const Plan& plan,
 
 util::Status JoinRunner::Run(RowSink on_row, uint64_t row_cap) {
   bindings_.assign(plan_.slot_count, rdf::kInvalidTermId);
+  step_cursors_.resize(plan_.steps.size());
+  opt_cursors_.resize(plan_.optionals.size());
+  for (size_t b = 0; b < plan_.optionals.size(); ++b) {
+    opt_cursors_[b].resize(plan_.optionals[b].steps.size());
+  }
   row_cap_ = row_cap;
   rows_emitted_ = 0;
   emitted_ = 0;
@@ -173,55 +178,60 @@ util::Status JoinRunner::Step(size_t step, const RowSink& on_row) {
 
   // Fault-injection site at the executor's index-scan boundary.
   RE2X_FAILPOINT("store.scan");
-  for (const rdf::EncodedTriple& t : store_.Match(q)) {
-    if (stopped_) return util::Status::OK();
-    if (profiling_) ++step_prof_[step].scanned;
-    RE2X_RETURN_IF_ERROR(CheckGuard());
-    // Bind unbound slots; verify repeated-variable consistency.
-    int newly_bound[3];
-    int n_new = 0;
-    bool consistent = true;
-    auto bind = [&](int slot, rdf::TermId value) {
-      if (slot < 0) return;
-      if (bindings_[slot] == rdf::kInvalidTermId) {
-        bindings_[slot] = value;
-        newly_bound[n_new++] = slot;
-      } else if (bindings_[slot] != value) {
-        consistent = false;
-      }
-    };
-    bind(pp.s_slot, t.s);
-    if (consistent) bind(pp.p_slot, t.p);
-    if (consistent) bind(pp.o_slot, t.o);
-    if (consistent) {
-      bool pass = true;
-      RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
-      if (pass) {
-        if (profiling_) ++step_prof_[step].rows_out;
-        if (options_.guard != nullptr) {
-          options_.guard->ChargeRows(1);
-          // Budget-only recheck at the charge site: a row-budget overrun
-          // surfaces here even when no row ever reaches the emit path
-          // (e.g. a highly selective later step).
-          util::Status bst = options_.guard->CheckBudgets();
-          if (!bst.ok()) {
+  rdf::IndexCursor& cursor = step_cursors_[step];
+  cursor.Attach(store_.Match(q));
+  for (std::span<const rdf::EncodedTriple> chunk = cursor.NextChunk();
+       !chunk.empty(); chunk = cursor.NextChunk()) {
+    for (const rdf::EncodedTriple& t : chunk) {
+      if (stopped_) return util::Status::OK();
+      if (profiling_) ++step_prof_[step].scanned;
+      RE2X_RETURN_IF_ERROR(CheckGuard());
+      // Bind unbound slots; verify repeated-variable consistency.
+      int newly_bound[3];
+      int n_new = 0;
+      bool consistent = true;
+      auto bind = [&](int slot, rdf::TermId value) {
+        if (slot < 0) return;
+        if (bindings_[slot] == rdf::kInvalidTermId) {
+          bindings_[slot] = value;
+          newly_bound[n_new++] = slot;
+        } else if (bindings_[slot] != value) {
+          consistent = false;
+        }
+      };
+      bind(pp.s_slot, t.s);
+      if (consistent) bind(pp.p_slot, t.p);
+      if (consistent) bind(pp.o_slot, t.o);
+      if (consistent) {
+        bool pass = true;
+        RE2X_RETURN_IF_ERROR(ApplyFiltersAfter(step + 1, &pass));
+        if (pass) {
+          if (profiling_) ++step_prof_[step].rows_out;
+          if (options_.guard != nullptr) {
+            options_.guard->ChargeRows(1);
+            // Budget-only recheck at the charge site: a row-budget overrun
+            // surfaces here even when no row ever reaches the emit path
+            // (e.g. a highly selective later step).
+            util::Status bst = options_.guard->CheckBudgets();
+            if (!bst.ok()) {
+              for (int i = 0; i < n_new; ++i) {
+                bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+              }
+              return bst;
+            }
+          }
+          util::Status st = Step(step + 1, on_row);
+          if (!st.ok()) {
             for (int i = 0; i < n_new; ++i) {
               bindings_[newly_bound[i]] = rdf::kInvalidTermId;
             }
-            return bst;
+            return st;
           }
-        }
-        util::Status st = Step(step + 1, on_row);
-        if (!st.ok()) {
-          for (int i = 0; i < n_new; ++i) {
-            bindings_[newly_bound[i]] = rdf::kInvalidTermId;
-          }
-          return st;
         }
       }
-    }
-    for (int i = 0; i < n_new; ++i) {
-      bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+      for (int i = 0; i < n_new; ++i) {
+        bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+      }
     }
   }
   return util::Status::OK();
@@ -294,36 +304,41 @@ util::Status JoinRunner::OptionalPattern(size_t block, size_t idx,
   q.s = fix(pp.s_id, pp.s_slot);
   q.p = fix(pp.p_id, pp.p_slot);
   q.o = fix(pp.o_id, pp.o_slot);
-  for (const rdf::EncodedTriple& t : store_.Match(q)) {
-    if (stopped_) return util::Status::OK();
-    if (profiling_) ++opt_prof_[block].scanned;
-    RE2X_RETURN_IF_ERROR(CheckGuard());
-    int newly_bound[3];
-    int n_new = 0;
-    bool consistent = true;
-    auto bind = [&](int slot, rdf::TermId value) {
-      if (slot < 0) return;
-      if (bindings_[slot] == rdf::kInvalidTermId) {
-        bindings_[slot] = value;
-        newly_bound[n_new++] = slot;
-      } else if (bindings_[slot] != value) {
-        consistent = false;
-      }
-    };
-    bind(pp.s_slot, t.s);
-    if (consistent) bind(pp.p_slot, t.p);
-    if (consistent) bind(pp.o_slot, t.o);
-    if (consistent) {
-      util::Status st = OptionalPattern(block, idx + 1, matched, on_row);
-      if (!st.ok()) {
-        for (int i = 0; i < n_new; ++i) {
-          bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+  rdf::IndexCursor& cursor = opt_cursors_[block][idx];
+  cursor.Attach(store_.Match(q));
+  for (std::span<const rdf::EncodedTriple> chunk = cursor.NextChunk();
+       !chunk.empty(); chunk = cursor.NextChunk()) {
+    for (const rdf::EncodedTriple& t : chunk) {
+      if (stopped_) return util::Status::OK();
+      if (profiling_) ++opt_prof_[block].scanned;
+      RE2X_RETURN_IF_ERROR(CheckGuard());
+      int newly_bound[3];
+      int n_new = 0;
+      bool consistent = true;
+      auto bind = [&](int slot, rdf::TermId value) {
+        if (slot < 0) return;
+        if (bindings_[slot] == rdf::kInvalidTermId) {
+          bindings_[slot] = value;
+          newly_bound[n_new++] = slot;
+        } else if (bindings_[slot] != value) {
+          consistent = false;
         }
-        return st;
+      };
+      bind(pp.s_slot, t.s);
+      if (consistent) bind(pp.p_slot, t.p);
+      if (consistent) bind(pp.o_slot, t.o);
+      if (consistent) {
+        util::Status st = OptionalPattern(block, idx + 1, matched, on_row);
+        if (!st.ok()) {
+          for (int i = 0; i < n_new; ++i) {
+            bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+          }
+          return st;
+        }
       }
-    }
-    for (int i = 0; i < n_new; ++i) {
-      bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+      for (int i = 0; i < n_new; ++i) {
+        bindings_[newly_bound[i]] = rdf::kInvalidTermId;
+      }
     }
   }
   return util::Status::OK();

@@ -6,6 +6,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "rdf/index_cursor.h"
 #include "rdf/triple_store.h"
 #include "sparql/executor.h"
 #include "sparql/plan.h"
@@ -121,6 +122,11 @@ class JoinRunner : public JoinExecutor {
   const bool profiling_;  // counters + operator tree (any stats sink)
   const bool timing_;     // per-step wall times (ExecOptions::profile)
   std::vector<rdf::TermId> bindings_;
+  // One cursor per recursion depth, so compressed-format block scratch is
+  // allocated once per depth and reused across every binding. Each Step /
+  // OptionalPattern depth is active at most once on the stack.
+  std::vector<rdf::IndexCursor> step_cursors_;
+  std::vector<std::vector<rdf::IndexCursor>> opt_cursors_;
   std::vector<StepProf> step_prof_;
   std::vector<StepProf> opt_prof_;
   util::WallTimer timer_;

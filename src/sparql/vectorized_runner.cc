@@ -15,7 +15,8 @@ namespace {
 // index entries, so both executors poll deadlines at the same granularity.
 constexpr uint64_t kGuardCheckInterval = 8192;
 
-constexpr rdf::TermId kMaxTermId = ~rdf::TermId{0};
+using rdf::kMaxTermId;
+using rdf::Perm;
 
 inline rdf::TermId Comp(const rdf::EncodedTriple& t, int pos) {
   return pos == 0 ? t.s : pos == 1 ? t.p : t.o;
@@ -31,58 +32,20 @@ inline void SetComp(rdf::EncodedTriple* t, int pos, rdf::TermId v) {
   }
 }
 
-// Key comparators of the three index permutations (mirrors the sort
-// orders built by TripleStore::Freeze).
-struct SpoLess {
-  bool operator()(const rdf::EncodedTriple& a,
-                  const rdf::EncodedTriple& b) const {
-    if (a.s != b.s) return a.s < b.s;
-    if (a.p != b.p) return a.p < b.p;
-    return a.o < b.o;
-  }
-};
-struct PosLess {
-  bool operator()(const rdf::EncodedTriple& a,
-                  const rdf::EncodedTriple& b) const {
-    if (a.p != b.p) return a.p < b.p;
-    if (a.o != b.o) return a.o < b.o;
-    return a.s < b.s;
-  }
-};
-struct OspLess {
-  bool operator()(const rdf::EncodedTriple& a,
-                  const rdf::EncodedTriple& b) const {
-    if (a.o != b.o) return a.o < b.o;
-    if (a.s != b.s) return a.s < b.s;
-    return a.p < b.p;
-  }
-};
-
 /// A per-row probe key: up to three (triple position, value) components in
 /// the index permutation's key order, following the step's constant-prefix
 /// run. Candidate triples within the run are sorted by exactly these
-/// components, so the matching sub-run is a contiguous equal range.
+/// components, so the matching sub-run is a contiguous equal range. The
+/// actual index searches run on full lo/hi sentinel triples (the key
+/// stamped into the step's const-prefix templates) so they compare with
+/// the permutation's total order — which is what lets compressed ranges
+/// seek on whole-triple block skip keys; the ProbeKey itself only drives
+/// the duplicate / merge-order detection between consecutive rows.
 struct ProbeKey {
   size_t n = 0;
   int pos[3] = {0, 0, 0};
   rdf::TermId val[3] = {0, 0, 0};
 };
-
-inline bool TripleLessKey(const rdf::EncodedTriple& t, const ProbeKey& k) {
-  for (size_t i = 0; i < k.n; ++i) {
-    rdf::TermId c = Comp(t, k.pos[i]);
-    if (c != k.val[i]) return c < k.val[i];
-  }
-  return false;
-}
-
-inline bool KeyLessTriple(const ProbeKey& k, const rdf::EncodedTriple& t) {
-  for (size_t i = 0; i < k.n; ++i) {
-    rdf::TermId c = Comp(t, k.pos[i]);
-    if (c != k.val[i]) return k.val[i] < c;
-  }
-  return false;
-}
 
 /// Lexicographic compare of two probe keys over the same part layout.
 inline int CompareKeys(const ProbeKey& a, const ProbeKey& b) {
@@ -90,42 +53,6 @@ inline int CompareKeys(const ProbeKey& a, const ProbeKey& b) {
     if (a.val[i] != b.val[i]) return a.val[i] < b.val[i] ? -1 : 1;
   }
   return 0;
-}
-
-/// lower_bound that gallops from `first`: exponential doubling to bracket
-/// the key, then binary search inside the bracket. This is what makes the
-/// merge path linear-ish when consecutive probe keys advance by small
-/// steps through the run.
-const rdf::EncodedTriple* GallopLowerBound(const rdf::EncodedTriple* first,
-                                           const rdf::EncodedTriple* last,
-                                           const ProbeKey& k) {
-  const size_t len = static_cast<size_t>(last - first);
-  size_t lo = 0;
-  size_t step = 1;
-  while (lo + step <= len && TripleLessKey(first[lo + step - 1], k)) {
-    lo += step;
-    step <<= 1;
-  }
-  const size_t hi = std::min(lo + step - 1, len);
-  return std::lower_bound(first + lo, first + hi, k, TripleLessKey);
-}
-
-/// upper_bound that gallops from `first` (typically the matching range's
-/// lower bound). Match ranges are usually a handful of entries, so this
-/// beats a binary search over the run's whole tail by a wide margin on
-/// probe-heavy joins.
-const rdf::EncodedTriple* GallopUpperBound(const rdf::EncodedTriple* first,
-                                           const rdf::EncodedTriple* last,
-                                           const ProbeKey& k) {
-  const size_t len = static_cast<size_t>(last - first);
-  size_t lo = 0;
-  size_t step = 1;
-  while (lo + step <= len && !KeyLessTriple(k, first[lo + step - 1])) {
-    lo += step;
-    step <<= 1;
-  }
-  const size_t hi = std::min(lo + step - 1, len);
-  return std::upper_bound(first + lo, first + hi, k, KeyLessTriple);
 }
 
 /// Accumulates inclusive wall time into `*acc`; null disables the clock.
@@ -278,6 +205,10 @@ util::Status VectorizedRunner::Run(RowSink on_row, uint64_t row_cap) {
   opt_blocks_.resize(plan_.optionals.size());
   for (BindingBlock& b : opt_blocks_) b.Reset(plan_.slot_count, cap);
   scratch_rows_.resize(plan_.optionals.size());
+  opt_cursors_.resize(plan_.optionals.size());
+  for (size_t b = 0; b < plan_.optionals.size(); ++b) {
+    opt_cursors_[b].resize(plan_.optionals[b].steps.size());
+  }
 
   BindingBlock seed;
   seed.Reset(plan_.slot_count, 1);
@@ -380,47 +311,32 @@ util::Status VectorizedRunner::RunStage(size_t stage,
   CompiledStep& cs = steps_[stage];
 
   if (!cs.run_located) {
-    std::span<const rdf::EncodedTriple> index =
-        cs.perm == Perm::kSpo   ? store_.spo_span()
-        : cs.perm == Perm::kPos ? store_.pos_span()
-                                : store_.osp_span();
+    rdf::IndexRange index = store_.PermutationRange(cs.perm);
+    cs.lo_base = {rdf::kInvalidTermId, rdf::kInvalidTermId,
+                  rdf::kInvalidTermId};
+    cs.hi_base = {kMaxTermId, kMaxTermId, kMaxTermId};
+    for (size_t i = 0; i < cs.const_prefix; ++i) {
+      SetComp(&cs.lo_base, cs.key[i].pos, cs.key[i].cid);
+      SetComp(&cs.hi_base, cs.key[i].pos, cs.key[i].cid);
+    }
     if (cs.const_prefix == 0) {
       cs.run = index;
     } else {
-      rdf::EncodedTriple lo{rdf::kInvalidTermId, rdf::kInvalidTermId,
-                            rdf::kInvalidTermId};
-      rdf::EncodedTriple hi{kMaxTermId, kMaxTermId, kMaxTermId};
-      for (size_t i = 0; i < cs.const_prefix; ++i) {
-        SetComp(&lo, cs.key[i].pos, cs.key[i].cid);
-        SetComp(&hi, cs.key[i].pos, cs.key[i].cid);
-      }
-      auto locate = [&](auto cmp) {
-        auto first = std::lower_bound(index.begin(), index.end(), lo, cmp);
-        auto last = std::upper_bound(index.begin(), index.end(), hi, cmp);
-        cs.run = first < last
-                     ? std::span<const rdf::EncodedTriple>(
-                           &*first, static_cast<size_t>(last - first))
-                     : std::span<const rdf::EncodedTriple>();
-      };
-      if (cs.perm == Perm::kSpo) {
-        locate(SpoLess());
-      } else if (cs.perm == Perm::kPos) {
-        locate(PosLess());
-      } else {
-        locate(OspLess());
-      }
+      const uint64_t first = index.LowerBound(cs.lo_base, &cs.search_scratch);
+      uint64_t last =
+          index.GallopUpperBound(first, cs.hi_base, &cs.search_scratch);
+      if (last < first) last = first;
+      cs.run = index.Slice(first, last);
     }
     cs.run_located = true;
   }
 
   BindingBlock& out = blocks_[stage];
   out.Clear();
-  const rdf::EncodedTriple* run_lo = cs.run.data();
-  const rdf::EncodedTriple* run_hi = run_lo + cs.run.size();
   ProbeKey prev;
   bool prev_valid = false;
-  const rdf::EncodedTriple* prev_lb = run_lo;
-  const rdf::EncodedTriple* prev_ub = run_lo;
+  uint64_t prev_lb = 0;
+  uint64_t prev_ub = 0;
   std::vector<uint32_t> sel;  // passing candidates when checks apply
 
   // Fault-injection site at the executor's index-scan boundary.
@@ -433,41 +349,57 @@ util::Status VectorizedRunner::RunStage(size_t stage,
       k.pos[i] = part.pos;
       k.val[i] = part.is_const ? part.cid : in.at(r, part.slot);
     }
-    const rdf::EncodedTriple* lb;
-    const rdf::EncodedTriple* ub;
+    uint64_t lb;
+    uint64_t ub;
     const int cmp = prev_valid && k.n != 0 ? CompareKeys(k, prev) : 0;
     if (k.n == 0) {
-      lb = run_lo;
-      ub = run_hi;
+      lb = 0;
+      ub = cs.run.size();
     } else if (prev_valid && cmp == 0) {
       // Duplicate probe key: reuse the previous equal range verbatim.
       lb = prev_lb;
       ub = prev_ub;
-    } else if (prev_valid && cmp > 0) {
-      // Merge path: the block's probe keys advance in the run's sort
-      // order, so the next range starts at or after the previous one.
-      lb = GallopLowerBound(prev_ub, run_hi, k);
-      ub = GallopUpperBound(lb, run_hi, k);
     } else {
-      // Out-of-order probe: binary search for the range start, then
-      // gallop to its end (ranges are small relative to the run).
-      lb = std::lower_bound(run_lo, run_hi, k, TripleLessKey);
-      ub = GallopUpperBound(lb, run_hi, k);
+      // Stamp the row's key values into the const-prefix sentinel
+      // templates; unconstrained trailing components stay 0 / kMaxTermId,
+      // so the full-triple searches land exactly on the key equal range.
+      rdf::EncodedTriple lo = cs.lo_base;
+      rdf::EncodedTriple hi = cs.hi_base;
+      for (size_t i = 0; i < k.n; ++i) {
+        SetComp(&lo, k.pos[i], k.val[i]);
+        SetComp(&hi, k.pos[i], k.val[i]);
+      }
+      if (prev_valid && cmp > 0) {
+        // Merge path: the block's probe keys advance in the run's sort
+        // order, so the next range starts at or after the previous one.
+        lb = cs.run.GallopLowerBound(prev_ub, lo, &cs.search_scratch);
+      } else {
+        // Out-of-order probe: binary search for the range start, then
+        // gallop to its end (ranges are small relative to the run).
+        lb = cs.run.LowerBound(lo, &cs.search_scratch);
+      }
+      ub = cs.run.GallopUpperBound(lb, hi, &cs.search_scratch);
     }
     prev = k;
     prev_valid = true;
     prev_lb = lb;
     prev_ub = ub;
 
-    const rdf::EncodedTriple* cur = lb;
+    uint64_t cur = lb;
     while (cur < ub && !stopped_) {
       if (out.full()) {
         RE2X_RETURN_IF_ERROR(RunStage(stage + 1, out));
         out.Clear();
         continue;
       }
-      size_t chunk = std::min(static_cast<size_t>(ub - cur),
-                              out.capacity() - out.size());
+      const uint64_t want =
+          std::min<uint64_t>(ub - cur, out.capacity() - out.size());
+      // Raw runs hand back the whole remaining sub-span at once;
+      // compressed runs stop at the next block boundary, so `chunk` may
+      // fall short of `want` and the loop fetches the next block.
+      const std::span<const rdf::EncodedTriple> tri =
+          cs.run.Fetch(cur, want, &cs.fetch_scratch);
+      const size_t chunk = tri.size();
       // Scanned entries are counted and charged as they are consumed, in
       // chunks bounded by the block capacity: guard polling granularity
       // stays within kGuardCheckInterval even for one huge equal range,
@@ -490,7 +422,7 @@ util::Status VectorizedRunner::RunStage(size_t stage,
         for (int pos = 0; pos < 3; ++pos) {
           if (cs.bind_slot[pos] < 0) continue;
           rdf::TermId* col = out.column(cs.bind_slot[pos]) + first;
-          for (size_t j = 0; j < chunk; ++j) col[j] = Comp(cur[j], pos);
+          for (size_t j = 0; j < chunk; ++j) col[j] = Comp(tri[j], pos);
         }
         appended = chunk;
       } else {
@@ -498,7 +430,7 @@ util::Status VectorizedRunner::RunStage(size_t stage,
         for (size_t j = 0; j < chunk; ++j) {
           bool ok = true;
           for (const auto& [pos, fp] : cs.check_pairs) {
-            if (Comp(cur[j], pos) != Comp(cur[j], fp)) {
+            if (Comp(tri[j], pos) != Comp(tri[j], fp)) {
               ok = false;
               break;
             }
@@ -516,7 +448,7 @@ util::Status VectorizedRunner::RunStage(size_t stage,
           if (cs.bind_slot[pos] < 0) continue;
           rdf::TermId* col = out.column(cs.bind_slot[pos]) + first;
           for (size_t j = 0; j < sel.size(); ++j) {
-            col[j] = Comp(cur[sel[j]], pos);
+            col[j] = Comp(tri[sel[j]], pos);
           }
         }
         appended = sel.size();
@@ -634,36 +566,43 @@ util::Status VectorizedRunner::OptionalPattern(size_t block, size_t idx,
   q.s = fix(pp.s_id, pp.s_slot);
   q.p = fix(pp.p_id, pp.p_slot);
   q.o = fix(pp.o_id, pp.o_slot);
-  for (const rdf::EncodedTriple& t : store_.Match(q)) {
-    if (stopped_) return util::Status::OK();
-    if (profiling_) ++opt_prof_[block].scanned;
-    RE2X_RETURN_IF_ERROR(BumpOps(1));
-    int newly_bound[3];
-    int n_new = 0;
-    bool consistent = true;
-    auto bind = [&](int slot, rdf::TermId value) {
-      if (slot < 0) return;
-      if (scratch[slot] == rdf::kInvalidTermId) {
-        scratch[slot] = value;
-        newly_bound[n_new++] = slot;
-      } else if (scratch[slot] != value) {
-        consistent = false;
-      }
-    };
-    bind(pp.s_slot, t.s);
-    if (consistent) bind(pp.p_slot, t.p);
-    if (consistent) bind(pp.o_slot, t.o);
-    if (consistent) {
-      util::Status st = OptionalPattern(block, idx + 1, matched, out);
-      if (!st.ok()) {
-        for (int i = 0; i < n_new; ++i) {
-          scratch[newly_bound[i]] = rdf::kInvalidTermId;
+  // Pooled per (block, step) recursion depth — each depth is on the stack
+  // at most once, so reattaching here cannot clobber a live scan.
+  rdf::IndexCursor& cursor = opt_cursors_[block][idx];
+  cursor.Attach(store_.Match(q));
+  for (std::span<const rdf::EncodedTriple> tri = cursor.NextChunk();
+       !tri.empty(); tri = cursor.NextChunk()) {
+    for (const rdf::EncodedTriple& t : tri) {
+      if (stopped_) return util::Status::OK();
+      if (profiling_) ++opt_prof_[block].scanned;
+      RE2X_RETURN_IF_ERROR(BumpOps(1));
+      int newly_bound[3];
+      int n_new = 0;
+      bool consistent = true;
+      auto bind = [&](int slot, rdf::TermId value) {
+        if (slot < 0) return;
+        if (scratch[slot] == rdf::kInvalidTermId) {
+          scratch[slot] = value;
+          newly_bound[n_new++] = slot;
+        } else if (scratch[slot] != value) {
+          consistent = false;
         }
-        return st;
+      };
+      bind(pp.s_slot, t.s);
+      if (consistent) bind(pp.p_slot, t.p);
+      if (consistent) bind(pp.o_slot, t.o);
+      if (consistent) {
+        util::Status st = OptionalPattern(block, idx + 1, matched, out);
+        if (!st.ok()) {
+          for (int i = 0; i < n_new; ++i) {
+            scratch[newly_bound[i]] = rdf::kInvalidTermId;
+          }
+          return st;
+        }
       }
-    }
-    for (int i = 0; i < n_new; ++i) {
-      scratch[newly_bound[i]] = rdf::kInvalidTermId;
+      for (int i = 0; i < n_new; ++i) {
+        scratch[newly_bound[i]] = rdf::kInvalidTermId;
+      }
     }
   }
   return util::Status::OK();

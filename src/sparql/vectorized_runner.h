@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "rdf/index_cursor.h"
 #include "rdf/triple_store.h"
 #include "sparql/binding_block.h"
 #include "sparql/executor.h"
@@ -59,8 +60,6 @@ class VectorizedRunner : public JoinExecutor {
   const char* join_label() const override { return "join (vectorized)"; }
 
  private:
-  enum class Perm : uint8_t { kSpo, kPos, kOsp };
-
   /// One component of a step's probe key, in the permutation's key order:
   /// either a plan constant or a slot read from the input row.
   struct KeyPart {
@@ -74,7 +73,7 @@ class VectorizedRunner : public JoinExecutor {
   /// position in the pipeline (slots are assigned in execution order, so
   /// which slots are bound when a step runs is known at compile time).
   struct CompiledStep {
-    Perm perm = Perm::kSpo;
+    rdf::Perm perm = rdf::Perm::kSpo;
     std::vector<KeyPart> key;  // exact-prefix parts in index key order
     size_t const_prefix = 0;   // leading key parts that are constants
     int bind_slot[3] = {-1, -1, -1};  // per triple pos: slot to bind
@@ -92,9 +91,21 @@ class VectorizedRunner : public JoinExecutor {
     // optional/emit stages see them as unbound rather than stale data.
     std::vector<int> invalidate_slots;
     // Constant-prefix run, located lazily on first use and cached for the
-    // rest of the run (the prefix never varies).
+    // rest of the run (the prefix never varies). Raw-format stores back it
+    // with a zero-copy span; compressed stores with a block range whose
+    // seeks gallop over the skip keys (rdf/index_cursor.h).
     bool run_located = false;
-    std::span<const rdf::EncodedTriple> run;
+    rdf::IndexRange run;
+    // Per-row lo/hi sentinel templates: constant prefix baked in,
+    // remaining components 0 / kMaxTermId. Probes copy these and stamp
+    // the row's varying key values into both.
+    rdf::EncodedTriple lo_base{0, 0, 0};
+    rdf::EncodedTriple hi_base{0, 0, 0};
+    // Separate decode scratch for seeks vs chunk fetches so a search that
+    // lands in the next block does not evict the block the fetch loop is
+    // consuming (no-ops on raw-format stores).
+    rdf::IndexBlockScratch search_scratch;
+    rdf::IndexBlockScratch fetch_scratch;
   };
 
   void CompileSteps();
@@ -123,6 +134,10 @@ class VectorizedRunner : public JoinExecutor {
   // mid-loop flush recurses into later blocks, which extract their own
   // rows while the suspended caller's row must stay intact.
   std::vector<std::vector<rdf::TermId>> scratch_rows_;
+  // OPTIONAL scan cursors, one per (block, step) recursion depth — each
+  // depth is on the stack at most once, and pooling keeps compressed-block
+  // scratch allocations out of the per-row loop.
+  std::vector<std::vector<rdf::IndexCursor>> opt_cursors_;
   std::vector<rdf::TermId> row_buf_;      // emit-path row materialization
   std::vector<uint32_t> keep_;            // filter compaction scratch
   std::vector<StepProf> step_prof_;

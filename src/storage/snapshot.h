@@ -29,6 +29,18 @@
 // (s,p,o) id triples at 64-byte-aligned offsets, so a loader may point the
 // TripleStore directly into the mapped file (zero copy) instead of copying.
 //
+// Version 2 images replace the three raw index sections with compressed
+// block sections (kSpoBlocks/kPosBlocks/kOspBlocks): a 32-byte section
+// header { triple_count u64 | block_count u64 | payload_bytes u64 |
+// block_size u32 | reserved u32 }, then the BlockMeta skip table (24 bytes
+// per block, 8-aligned because sections start 64-aligned), then the
+// delta/vbyte payload (see rdf/compressed_index.h). The loader validates
+// every block (checksum, strict ordering, term-id ranges, cross-block
+// boundaries) before adopting the skip/payload spans zero-copy via
+// TripleStore::AdoptFrozenCompressed. Raw-format stores keep writing
+// version 1 images byte-identical to pre-v2 builds, and version 1 images
+// load unchanged.
+//
 // Corruption is a first-class path: every failure mode surfaces as a typed
 // util::Status, never UB —
 //   bad magic / truncation / checksum mismatch / malformed payload
@@ -60,6 +72,9 @@ namespace re2xolap::storage {
 inline constexpr char kSnapshotMagic[8] = {'R', '2', 'X', 'S',
                                            'N', 'A', 'P', '\n'};
 inline constexpr uint32_t kSnapshotVersion = 1;
+/// Version written for compressed-index images (raw stores keep writing
+/// version 1 so their images stay byte-identical to older builds).
+inline constexpr uint32_t kSnapshotVersionCompressed = 2;
 /// Section payloads (and the first payload after the header) start at
 /// multiples of this, so raw triple arrays are safely mmap-addressable.
 inline constexpr uint64_t kSectionAlignment = 64;
@@ -74,6 +89,11 @@ enum class SectionId : uint32_t {
   kPredicateStats = 5,  // planner cardinality statistics
   kTextIndex = 6,       // keyword + exact postings (optional)
   kVsg = 7,             // virtual schema graph parts (optional)
+  // Version >= 2 only: compressed block permutations, replacing kSpo/
+  // kPos/kOsp (an image carries exactly one of the two index trios).
+  kSpoBlocks = 8,   // skip table + delta/vbyte payload, (s,p,o) order
+  kPosBlocks = 9,   // skip table + delta/vbyte payload, (p,o,s) order
+  kOspBlocks = 10,  // skip table + delta/vbyte payload, (o,s,p) order
 };
 
 /// Stable display name ("dictionary", "spo", ...) for diagnostics.

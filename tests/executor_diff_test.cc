@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "qb/datasets.h"
+#include "rdf/compressed_index.h"
 #include "qb/generator.h"
 #include "sparql/executor.h"
 #include "tests/test_data.h"
@@ -366,6 +367,119 @@ TEST(ExecutorDiffScaleTest, CancellationAndDeadlineTripIdenticallyInJoin) {
     auto r = ExecuteText(*ds->store, query, opts);
     ASSERT_FALSE(r.ok());
     EXPECT_TRUE(r.status().IsTimeout()) << r.status().ToString();
+  }
+}
+
+// --- index-format x executor matrix ------------------------------------------
+
+/// Rebuilds `src` under `format`. Terms are re-interned in id order so the
+/// clone assigns identical term ids, which makes rows, ExecStats, and error
+/// codes comparable bit-for-bit across stores.
+std::unique_ptr<rdf::TripleStore> CloneWithFormat(const rdf::TripleStore& src,
+                                                  rdf::IndexFormat format) {
+  auto out = std::make_unique<rdf::TripleStore>();
+  out->set_index_format(format);
+  for (rdf::TermId id = 1; id <= src.dictionary().size(); ++id) {
+    out->dictionary().Intern(src.term(id));
+  }
+  for (const rdf::EncodedTriple& t : src.Match(rdf::TriplePattern{})) {
+    out->AddEncoded(t);
+  }
+  out->Freeze();
+  return out;
+}
+
+/// Runs `query` under both executors on both stores and asserts all four
+/// (executor x store) outcomes are identical: rows, columns, scan/binding
+/// stats, and error codes. `a` is the raw oracle, `b` the compressed clone.
+void ExpectSameAcrossStores(const rdf::TripleStore& a,
+                            const rdf::TripleStore& b,
+                            const std::string& query) {
+  for (ExecutorKind kind :
+       {ExecutorKind::kVolcano, ExecutorKind::kVectorized}) {
+    ExecOptions opts;
+    opts.executor = kind;
+    ExecStats stats_a, stats_b;
+    auto ra = ExecuteText(a, query, opts, &stats_a);
+    auto rb = ExecuteText(b, query, opts, &stats_b);
+    ASSERT_EQ(ra.ok(), rb.ok())
+        << "raw: " << ra.status().ToString()
+        << "\ncompressed: " << rb.status().ToString() << "\nquery: " << query;
+    if (!ra.ok()) {
+      EXPECT_EQ(ra.status().code(), rb.status().code()) << "query: " << query;
+      continue;
+    }
+    EXPECT_EQ(ra->columns(), rb->columns()) << "query: " << query;
+    EXPECT_EQ(TableRows(*ra), TableRows(*rb)) << "query: " << query;
+    // Index ranges are position-identical across formats, so the scan and
+    // binding counters must match exactly — only chunking differs.
+    EXPECT_EQ(stats_a.triples_scanned, stats_b.triples_scanned)
+        << "query: " << query;
+    EXPECT_EQ(stats_a.intermediate_bindings, stats_b.intermediate_bindings)
+        << "query: " << query;
+  }
+}
+
+// The full corpus under the 4-way matrix {volcano, vectorized} x
+// {raw, compressed}: the compressed store must agree executor-to-executor
+// AND store-to-store with the raw oracle on every query shape.
+TEST_F(ExecutorDiffTest, CorpusIdenticalAcrossIndexFormats) {
+  auto compressed = CloneWithFormat(*store, rdf::IndexFormat::kCompressed);
+  ASSERT_TRUE(compressed->compressed_index());
+  ASSERT_EQ(store->size(), compressed->size());
+  for (const char* query : kCorpus) {
+    SCOPED_TRACE(query);
+    ExpectSameResults(*compressed, query);
+    ExpectSameAcrossStores(*store, *compressed, query);
+  }
+}
+
+// Guard trips must be format-independent too: same typed error, same
+// charged rows, under all four executor x format combinations.
+TEST_F(ExecutorDiffTest, RowBudgetTripsIdenticallyUnderCompressed) {
+  auto compressed = CloneWithFormat(*store, rdf::IndexFormat::kCompressed);
+  util::ExecGuard::Limits limits;
+  limits.max_rows = 2;  // the pattern matches 5 observations
+  for (const rdf::TripleStore* s : {store.get(), compressed.get()}) {
+    for (ExecutorKind kind :
+         {ExecutorKind::kVolcano, ExecutorKind::kVectorized}) {
+      util::ExecGuard guard(limits);
+      ExecOptions opts;
+      opts.executor = kind;
+      opts.guard = &guard;
+      auto r = ExecuteText(
+          *s, "SELECT ?obs ?v WHERE { ?obs <http://test/numApplicants> ?v }",
+          opts);
+      ASSERT_FALSE(r.ok());
+      EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+    }
+  }
+}
+
+// Multi-block scale: the generated cube spans several 1024-triple blocks,
+// so merge-join gallops cross block seams and OPTIONAL scans decode many
+// blocks. Everything must still match the raw oracle exactly.
+TEST(ExecutorDiffScaleTest, MultiBlockCompressedStoreMatchesRawOracle) {
+  auto ds = qb::Generate(qb::EurostatSpec(1500));
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  auto compressed =
+      CloneWithFormat(*ds->store, rdf::IndexFormat::kCompressed);
+  ASSERT_TRUE(compressed->compressed_index());
+  ASSERT_GT(compressed->spo_blocks()->block_count(), 1u)
+      << "scale spec too small to exercise block seams";
+  const qb::DatasetSpec& spec = ds->spec;
+  const std::string queries[] = {
+      "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+      "SELECT * WHERE { ?obs <" + spec.iri_base +
+          spec.dimensions[0].predicate +
+          "> ?d . OPTIONAL { ?obs ?p ?v . } OPTIONAL { ?d ?q ?w . } }",
+      "SELECT ?d (COUNT(*) AS ?n) WHERE { ?obs <" + spec.iri_base +
+          spec.dimensions[0].predicate + "> ?d } GROUP BY ?d",
+  };
+  for (const std::string& query : queries) {
+    SCOPED_TRACE(query);
+    ExpectSameResults(*compressed, query);
+    ExpectSameAcrossStores(*ds->store, *compressed, query);
   }
 }
 

@@ -1,0 +1,391 @@
+// Property tests of the index-cursor abstraction and the compressed block
+// index format: randomized triple sets (duplicate-heavy and
+// single-predicate-skewed shapes) must round-trip through raw and
+// compressed Freeze with bit-identical Match / CountMatches results and
+// identical freeze_epoch; cursor seeks and chunked scans must agree with
+// the plain sorted arrays; corrupted blocks must surface typed Status,
+// never crash.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rdf/compressed_index.h"
+#include "rdf/index_cursor.h"
+#include "rdf/triple_store.h"
+
+namespace re2xolap::rdf {
+namespace {
+
+constexpr TermId kUnbound = kInvalidTermId;
+
+/// Uniform term id in [lo, lo + n) — mt19937 yields unsigned long on this
+/// platform, so aggregate-init of EncodedTriple needs the explicit cast.
+TermId Rand(std::mt19937& rng, uint32_t n, uint32_t lo = 1) {
+  return static_cast<TermId>(lo + rng() % n);
+}
+
+/// Interns `terms` distinct IRIs and returns a store with `triples` added
+/// (not yet frozen). `shape` picks the id distribution:
+///   duplicate-heavy: tiny id universe, so most triples collide and the
+///     dedup + zero-delta encodings (d0=0, d1=0 runs) dominate;
+///   single-predicate skew: 90% of triples share one predicate, so one
+///     POS run spans many blocks.
+enum class Shape { kDuplicateHeavy, kSinglePredicateSkew };
+
+void FillStore(TripleStore* store, Shape shape, size_t triples,
+               uint32_t seed) {
+  std::mt19937 rng(seed);
+  const uint32_t terms = shape == Shape::kDuplicateHeavy ? 24 : 4000;
+  for (uint32_t i = 0; i < terms; ++i) {
+    store->dictionary().Intern(
+        Term::Iri("http://t/" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < triples; ++i) {
+    EncodedTriple t;
+    if (shape == Shape::kDuplicateHeavy) {
+      t = {Rand(rng, terms), Rand(rng, terms), Rand(rng, terms)};
+    } else {
+      t.s = Rand(rng, terms);
+      t.p = rng() % 10 != 0 ? 7 : Rand(rng, 16);  // 90% one predicate
+      t.o = Rand(rng, terms);
+    }
+    store->AddEncoded(t);
+  }
+}
+
+/// The store's exact encoded triples via Match — materialized so two
+/// stores' answers can be compared bit-for-bit.
+std::vector<EncodedTriple> Materialize(IndexRange range) {
+  std::vector<EncodedTriple> out;
+  out.reserve(range.size());
+  for (const EncodedTriple& t : range) out.push_back(t);
+  return out;
+}
+
+bool SameTriples(const std::vector<EncodedTriple>& a,
+                 const std::vector<EncodedTriple>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].s != b[i].s || a[i].p != b[i].p || a[i].o != b[i].o) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class IndexFormatPropertyTest : public ::testing::TestWithParam<Shape> {};
+
+// The core round-trip property: for the same input triples, a raw-frozen
+// and a compressed-frozen store answer every pattern shape (all 8 bound
+// combinations) with bit-identical triples in identical order, identical
+// CountMatches, and identical freeze_epoch.
+TEST_P(IndexFormatPropertyTest, RawAndCompressedMatchBitIdentically) {
+  TripleStore raw, compressed;
+  raw.set_index_format(IndexFormat::kRaw);  // env-proof: force both formats
+  compressed.set_index_format(IndexFormat::kCompressed);
+  FillStore(&raw, GetParam(), 6000, 20260809);
+  FillStore(&compressed, GetParam(), 6000, 20260809);
+  raw.Freeze();
+  compressed.Freeze();
+  ASSERT_FALSE(raw.compressed_index());
+  ASSERT_TRUE(compressed.compressed_index());
+  EXPECT_EQ(raw.size(), compressed.size());
+  EXPECT_EQ(raw.freeze_epoch(), compressed.freeze_epoch());
+
+  std::mt19937 rng(7);
+  std::vector<EncodedTriple> all = Materialize(raw.Match(TriplePattern{}));
+  ASSERT_FALSE(all.empty());
+  for (int probe = 0; probe < 200; ++probe) {
+    // Half the probes are triples that exist (so bound components hit),
+    // half arbitrary ids (mostly misses).
+    EncodedTriple base = probe % 2 == 0
+                             ? all[rng() % all.size()]
+                             : EncodedTriple{Rand(rng, 64), Rand(rng, 64),
+                                             Rand(rng, 64)};
+    for (uint32_t mask = 0; mask < 8; ++mask) {
+      TriplePattern q;
+      q.s = (mask & 1) != 0 ? base.s : kUnbound;
+      q.p = (mask & 2) != 0 ? base.p : kUnbound;
+      q.o = (mask & 4) != 0 ? base.o : kUnbound;
+      SCOPED_TRACE("mask=" + std::to_string(mask) +
+                   " s=" + std::to_string(q.s) + " p=" + std::to_string(q.p) +
+                   " o=" + std::to_string(q.o));
+      EXPECT_EQ(raw.CountMatches(q), compressed.CountMatches(q));
+      EXPECT_TRUE(
+          SameTriples(Materialize(raw.Match(q)), Materialize(compressed.Match(q))));
+    }
+    EXPECT_EQ(raw.PredicatesOfSubject(base.s),
+              compressed.PredicatesOfSubject(base.s));
+    EXPECT_EQ(raw.PredicatesOfObject(base.o),
+              compressed.PredicatesOfObject(base.o));
+  }
+}
+
+// Re-freezing after a mutation must advance both stores' epochs in
+// lockstep, and the compressed store must keep answering correctly after
+// the Materialize -> mutate -> re-Freeze cycle.
+TEST_P(IndexFormatPropertyTest, MutationRefreezeKeepsEpochAndResultsAligned) {
+  TripleStore raw, compressed;
+  raw.set_index_format(IndexFormat::kRaw);  // env-proof: force both formats
+  compressed.set_index_format(IndexFormat::kCompressed);
+  FillStore(&raw, GetParam(), 3000, 99);
+  FillStore(&compressed, GetParam(), 3000, 99);
+  raw.Freeze();
+  compressed.Freeze();
+  ASSERT_EQ(raw.freeze_epoch(), 1u);
+  ASSERT_EQ(compressed.freeze_epoch(), 1u);
+
+  raw.AddEncoded({2, 3, 4});
+  compressed.AddEncoded({2, 3, 4});
+  raw.Freeze();
+  compressed.Freeze();
+  EXPECT_EQ(raw.freeze_epoch(), 2u);
+  EXPECT_EQ(compressed.freeze_epoch(), 2u);
+  EXPECT_EQ(raw.size(), compressed.size());
+  EXPECT_TRUE(SameTriples(Materialize(raw.Match(TriplePattern{})),
+                          Materialize(compressed.Match(TriplePattern{}))));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, IndexFormatPropertyTest,
+                         ::testing::Values(Shape::kDuplicateHeavy,
+                                           Shape::kSinglePredicateSkew));
+
+// --- CompressedPermutation codec --------------------------------------------
+
+std::vector<EncodedTriple> SortedUnique(std::vector<EncodedTriple> v,
+                                        Perm perm) {
+  std::sort(v.begin(), v.end(), [perm](const EncodedTriple& a,
+                                       const EncodedTriple& b) {
+    return PermLess(perm, a, b);
+  });
+  v.erase(std::unique(v.begin(), v.end(),
+                      [](const EncodedTriple& a, const EncodedTriple& b) {
+                        return a.s == b.s && a.p == b.p && a.o == b.o;
+                      }),
+          v.end());
+  return v;
+}
+
+TEST(CompressedPermutationTest, BuildDecodeAllRoundTripsEveryPerm) {
+  std::mt19937 rng(42);
+  std::vector<EncodedTriple> triples;
+  for (int i = 0; i < 5000; ++i) {
+    triples.push_back({Rand(rng, 300), Rand(rng, 8), Rand(rng, 1000)});
+  }
+  for (Perm perm : {Perm::kSpo, Perm::kPos, Perm::kOsp}) {
+    std::vector<EncodedTriple> sorted = SortedUnique(triples, perm);
+    CompressedPermutation cp = CompressedPermutation::Build(sorted, perm);
+    EXPECT_EQ(cp.size(), sorted.size());
+    EXPECT_EQ(cp.block_count(),
+              CompressedPermutation::BlockCountFor(sorted.size()));
+    EXPECT_LT(cp.byte_size(), sorted.size() * sizeof(EncodedTriple))
+        << "compressed form should beat 12 bytes/triple on dense ids";
+    std::vector<EncodedTriple> decoded;
+    cp.DecodeAll(&decoded);
+    EXPECT_TRUE(SameTriples(decoded, sorted));
+    // Checked decode agrees with the trusted decode on clean data.
+    std::vector<EncodedTriple> block;
+    for (uint64_t b = 0; b < cp.block_count(); ++b) {
+      ASSERT_TRUE(cp.DecodeBlockChecked(b, &block).ok());
+    }
+  }
+}
+
+TEST(CompressedPermutationTest, CorruptedPayloadYieldsTypedStatusNeverUB) {
+  std::vector<EncodedTriple> sorted;
+  for (uint32_t i = 1; i <= 3000; ++i) sorted.push_back({i, 1 + i % 5, i});
+  sorted = SortedUnique(std::move(sorted), Perm::kSpo);
+  CompressedPermutation cp = CompressedPermutation::Build(sorted, Perm::kSpo);
+  ASSERT_GT(cp.block_count(), 1u);
+
+  // Flip one payload byte at a time (sampled) and re-adopt the parts:
+  // every corruption must either decode-check to a ParseError or be
+  // caught by the checksum — and the trusted decoder must stay within
+  // bounds (ASan guards the "never UB" half).
+  std::vector<BlockMeta> skip(cp.skip().begin(), cp.skip().end());
+  std::vector<uint8_t> payload(cp.payload().begin(), cp.payload().end());
+  std::mt19937 rng(5);
+  int detected = 0;
+  for (int trial = 0; trial < 32; ++trial) {
+    std::vector<uint8_t> bad = payload;
+    bad[rng() % bad.size()] ^= 0x5b;
+    CompressedPermutation view = CompressedPermutation::FromParts(
+        skip, bad, sorted.size(), Perm::kSpo);
+    std::vector<EncodedTriple> block;
+    bool ok = true;
+    for (uint64_t b = 0; b < view.block_count() && ok; ++b) {
+      util::Status st = view.DecodeBlockChecked(b, &block);
+      if (!st.ok()) {
+        EXPECT_TRUE(st.IsParseError()) << st.ToString();
+        ok = false;
+      }
+      // Trusted decode on the same corrupt block: wrong triples are
+      // acceptable, out-of-bounds reads are not.
+      view.DecodeBlock(b, &block);
+    }
+    if (!ok) ++detected;
+  }
+  EXPECT_EQ(detected, 32) << "every payload bit flip must fail validation";
+
+  // A skip-table corruption (byte offset) shifts two adjacent block
+  // bodies, so both checksums mismatch with a typed ParseError. (A
+  // corrupted first-triple key is only detectable across blocks; the
+  // snapshot loader's cross-block ordering pass owns that check.)
+  std::vector<BlockMeta> bad_skip = skip;
+  bad_skip[1].byte_offset += 1;
+  CompressedPermutation view = CompressedPermutation::FromParts(
+      bad_skip, payload, sorted.size(), Perm::kSpo);
+  std::vector<EncodedTriple> block;
+  for (uint64_t b : {uint64_t{0}, uint64_t{1}}) {
+    util::Status st = view.DecodeBlockChecked(b, &block);
+    EXPECT_FALSE(st.ok());
+    EXPECT_TRUE(st.IsParseError()) << st.ToString();
+  }
+}
+
+// --- IndexRange / IndexCursor semantics --------------------------------------
+
+class IndexRangeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::mt19937 rng(11);
+    for (int i = 0; i < 4000; ++i) {
+      triples_.push_back({Rand(rng, 200), Rand(rng, 6), Rand(rng, 500)});
+    }
+    triples_ = SortedUnique(std::move(triples_), Perm::kSpo);
+    cp_ = CompressedPermutation::Build(triples_, Perm::kSpo);
+    raw_ = IndexRange::FromSpan(triples_, Perm::kSpo);
+    comp_ = IndexRange::FromBlocks(&cp_, 0, cp_.size(), Perm::kSpo);
+  }
+
+  std::vector<EncodedTriple> triples_;
+  CompressedPermutation cp_;
+  IndexRange raw_;
+  IndexRange comp_;
+};
+
+TEST_F(IndexRangeTest, SearchesAgreeWithStdAlgorithmsOnBothBackings) {
+  std::mt19937 rng(3);
+  IndexBlockScratch scratch;
+  for (int i = 0; i < 400; ++i) {
+    EncodedTriple probe{Rand(rng, 220), Rand(rng, 8, 0), Rand(rng, 520, 0)};
+    const uint64_t expect_lb =
+        std::lower_bound(triples_.begin(), triples_.end(), probe,
+                         SpoLess()) -
+        triples_.begin();
+    const uint64_t expect_ub =
+        std::upper_bound(triples_.begin(), triples_.end(), probe,
+                         SpoLess()) -
+        triples_.begin();
+    for (const IndexRange* r : {&raw_, &comp_}) {
+      EXPECT_EQ(r->LowerBound(probe, &scratch), expect_lb);
+      EXPECT_EQ(r->UpperBound(probe, &scratch), expect_ub);
+      // Gallop from an arbitrary valid start at or before the answer.
+      const uint64_t from = expect_lb == 0 ? 0 : rng() % expect_lb;
+      EXPECT_EQ(r->GallopLowerBound(from, probe, &scratch), expect_lb);
+      EXPECT_EQ(r->GallopUpperBound(from, probe, &scratch), expect_ub);
+    }
+  }
+}
+
+TEST_F(IndexRangeTest, SlicedRangesKeepRelativePositionSemantics) {
+  std::mt19937 rng(17);
+  IndexBlockScratch scratch;
+  for (int i = 0; i < 50; ++i) {
+    uint64_t lo = rng() % triples_.size();
+    uint64_t hi = lo + rng() % (triples_.size() - lo);
+    IndexRange raw_slice = raw_.Slice(lo, hi);
+    IndexRange comp_slice = comp_.Slice(lo, hi);
+    ASSERT_EQ(raw_slice.size(), hi - lo);
+    ASSERT_EQ(comp_slice.size(), hi - lo);
+    if (lo < hi) {
+      EXPECT_EQ(raw_slice.front().s, triples_[lo].s);
+      EXPECT_EQ(comp_slice.front().s, triples_[lo].s);
+      EXPECT_EQ(comp_slice.back().o, triples_[hi - 1].o);
+      const uint64_t mid = (hi - lo) / 2;
+      EXPECT_EQ(comp_slice[mid].p, triples_[lo + mid].p);
+    }
+    EXPECT_TRUE(SameTriples(Materialize(raw_slice), Materialize(comp_slice)));
+  }
+}
+
+TEST_F(IndexRangeTest, RawFetchIsZeroCopyWholeRemainder) {
+  // The raw path must keep the old zero-copy span behavior: one Fetch
+  // returns the entire remainder aliasing the source array, so cursor
+  // loops cost a single extra iteration and no copies.
+  std::span<const EncodedTriple> chunk = raw_.Fetch(5, 0, nullptr);
+  EXPECT_EQ(chunk.size(), triples_.size() - 5);
+  EXPECT_EQ(chunk.data(), triples_.data() + 5);
+  std::span<const EncodedTriple> capped = raw_.Fetch(5, 7, nullptr);
+  EXPECT_EQ(capped.size(), 7u);
+  EXPECT_EQ(capped.data(), triples_.data() + 5);
+}
+
+TEST_F(IndexRangeTest, CompressedFetchStopsAtBlockBoundaries) {
+  IndexBlockScratch scratch;
+  uint64_t pos = 0;
+  std::vector<EncodedTriple> seen;
+  size_t chunks = 0;
+  while (pos < comp_.size()) {
+    std::span<const EncodedTriple> chunk = comp_.Fetch(pos, 0, &scratch);
+    ASSERT_FALSE(chunk.empty());
+    // A chunk never crosses a block seam.
+    EXPECT_LE(chunk.size(), kIndexBlockSize - pos % kIndexBlockSize);
+    seen.insert(seen.end(), chunk.begin(), chunk.end());
+    pos += chunk.size();
+    ++chunks;
+  }
+  EXPECT_GE(chunks, cp_.block_count());
+  EXPECT_TRUE(SameTriples(seen, triples_));
+}
+
+TEST_F(IndexRangeTest, CursorSeekAndChunkContractOnBothBackings) {
+  for (const IndexRange* r : {&raw_, &comp_}) {
+    IndexCursor cursor(*r);
+    EXPECT_FALSE(cursor.done());
+    // Seek to an existing triple: the next chunk must start with it.
+    const EncodedTriple target = triples_[triples_.size() / 2];
+    cursor.SeekLowerBound(target);
+    std::span<const EncodedTriple> chunk = cursor.NextChunk(3);
+    ASSERT_EQ(chunk.size(), 3u);
+    EXPECT_EQ(chunk[0].s, target.s);
+    EXPECT_EQ(chunk[0].p, target.p);
+    EXPECT_EQ(chunk[0].o, target.o);
+    // Drain the rest; empty chunk <=> done().
+    while (!cursor.NextChunk().empty()) {
+    }
+    EXPECT_TRUE(cursor.done());
+    EXPECT_TRUE(cursor.NextChunk().empty());
+    // Re-attach resets the position.
+    cursor.Attach(*r);
+    EXPECT_EQ(cursor.position(), 0u);
+    EXPECT_FALSE(cursor.done());
+  }
+}
+
+TEST_F(IndexRangeTest, SharedScratchSurvivesInterleavedRanges) {
+  // One scratch bounced between two different compressed permutations
+  // must never serve a stale block: generations differ, so every switch
+  // re-decodes.
+  CompressedPermutation other =
+      CompressedPermutation::Build(triples_, Perm::kSpo);
+  ASSERT_NE(other.generation(), cp_.generation());
+  IndexRange other_range = IndexRange::FromBlocks(&other, 0, other.size(),
+                                                  Perm::kSpo);
+  IndexBlockScratch scratch;
+  std::mt19937 rng(23);
+  for (int i = 0; i < 200; ++i) {
+    const uint64_t pos = rng() % triples_.size();
+    std::span<const EncodedTriple> a = comp_.Fetch(pos, 1, &scratch);
+    ASSERT_EQ(a.size(), 1u);
+    EXPECT_EQ(a[0].o, triples_[pos].o);
+    std::span<const EncodedTriple> b = other_range.Fetch(pos, 1, &scratch);
+    ASSERT_EQ(b.size(), 1u);
+    EXPECT_EQ(b[0].o, triples_[pos].o);
+  }
+}
+
+}  // namespace
+}  // namespace re2xolap::rdf
