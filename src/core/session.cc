@@ -103,6 +103,11 @@ util::Status Session::PickCandidate(size_t index) {
 }
 
 util::Result<const sparql::ResultTable*> Session::Execute() {
+  return Execute(exec_options_);
+}
+
+util::Result<const sparql::ResultTable*> Session::Execute(
+    const sparql::ExecOptions& options) {
   if (history_.empty()) {
     return util::Status::InvalidArgument("no current query; call Start/Pick");
   }
@@ -111,7 +116,7 @@ util::Result<const sparql::ResultTable*> Session::Execute() {
     last_exec_ = sparql::ExecStats{};
     RE2X_ASSIGN_OR_RETURN(
         engine::TableHandle table,
-        engine_->Execute(history_.back().query, exec_options_, &last_exec_));
+        engine_->Execute(history_.back().query, options, &last_exec_));
     stats_.cumulative_tuples += table->row_count();
     stats_.cumulative_exec_millis += last_exec_.exec_millis;
     stats_.cumulative_triples_scanned += last_exec_.triples_scanned;

@@ -95,8 +95,27 @@ class Session {
       : store_(store),
         vsg_(vsg),
         text_(text),
-        engine_(std::make_unique<engine::QueryEngine>(*store, engine_config)),
-        reolap_(store, vsg, text, engine_.get()),
+        owned_engine_(
+            std::make_unique<engine::QueryEngine>(*store, engine_config)),
+        engine_(owned_engine_.get()),
+        reolap_(store, vsg, text, engine_),
+        exec_options_(exec_options) {}
+
+  /// Variant sharing an externally owned engine: every session query
+  /// (including ReOLAP validation probes) executes through
+  /// `shared_engine`, so many concurrent sessions over one frozen store
+  /// share a single plan/result cache (the server front door's
+  /// configuration). The engine must be built over `*store` and outlive
+  /// the session; QueryEngine is safe for concurrent use once the store
+  /// is frozen.
+  Session(const rdf::TripleStore* store, const VirtualSchemaGraph* vsg,
+          const rdf::TextIndex* text, engine::QueryEngine* shared_engine,
+          sparql::ExecOptions exec_options = {})
+      : store_(store),
+        vsg_(vsg),
+        text_(text),
+        engine_(shared_engine),
+        reolap_(store, vsg, text, engine_),
         exec_options_(exec_options) {}
 
   /// Query synthesis phase: runs ReOLAP on the example tuple and stores
@@ -110,6 +129,13 @@ class Session {
 
   /// Executes the current query (cached until the state changes).
   util::Result<const sparql::ResultTable*> Execute();
+
+  /// Same, under per-call options (e.g. a server request's
+  /// arrival-anchored guard) instead of the session defaults. A result
+  /// cached since the last state change is returned without re-executing
+  /// either way.
+  util::Result<const sparql::ResultTable*> Execute(
+      const sparql::ExecOptions& options);
 
   /// Produces refinements of the current state with the given method.
   /// TopK/Percentile/Similarity/Cluster execute the current query first if
@@ -182,7 +208,9 @@ class Session {
   const VirtualSchemaGraph* vsg_;
   const rdf::TextIndex* text_;
   // Declared before reolap_ so the engine exists when Reolap captures it.
-  std::unique_ptr<engine::QueryEngine> engine_;
+  // Null when the session runs on a shared, externally owned engine.
+  std::unique_ptr<engine::QueryEngine> owned_engine_;
+  engine::QueryEngine* engine_;
   Reolap reolap_;
   sparql::ExecOptions exec_options_;
 

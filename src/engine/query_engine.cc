@@ -350,6 +350,16 @@ util::Result<TableHandle> QueryEngine::Execute(
   int attempt = 0;
   for (;; ++attempt) {
     util::Status fp = util::FailpointStatus("engine.execute");
+    // Re-check the guard per attempt: a request cancelled or expired
+    // while this loop slept (injected delay, retry backoff) must not
+    // start another execution — the executor's own polling only fires
+    // every few batches, too late for small queries.
+    if (options.guard != nullptr) {
+      if (util::Status st = options.guard->Check(); !st.ok()) {
+        executed = st;
+        break;
+      }
+    }
     if (!fp.ok()) {
       executed = fp;
     } else if (plan != nullptr) {

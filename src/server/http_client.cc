@@ -1,0 +1,244 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/string_utils.h"
+
+namespace re2xolap::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMillis(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return std::max<int>(1, static_cast<int>(left.count()));
+}
+
+bool Expired(Clock::time_point deadline) { return Clock::now() >= deadline; }
+
+}  // namespace
+
+std::string_view ClientResponse::Header(std::string_view name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return {};
+}
+
+HttpClient::HttpClient(std::string host, uint16_t port, uint64_t timeout_millis)
+    : host_(std::move(host)), port_(port), timeout_millis_(timeout_millis) {}
+
+HttpClient::~HttpClient() { Disconnect(); }
+
+void HttpClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+util::Status HttpClient::Connect() {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return util::Status::Unavailable(std::string("socket(): ") +
+                                     std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Disconnect();
+    return util::Status::InvalidArgument("bad host \"" + host_ + "\"");
+  }
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc < 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    if (::poll(&pfd, 1, static_cast<int>(timeout_millis_)) <= 0) {
+      Disconnect();
+      return util::Status::Unavailable("connect timeout to " + host_ + ":" +
+                                       std::to_string(port_));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      Disconnect();
+      return util::Status::Unavailable("connect to " + host_ + ":" +
+                                       std::to_string(port_) + ": " +
+                                       std::strerror(err));
+    }
+  } else if (rc < 0) {
+    util::Status st = util::Status::Unavailable(
+        "connect to " + host_ + ":" + std::to_string(port_) + ": " +
+        std::strerror(errno));
+    Disconnect();
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return util::Status::OK();
+}
+
+util::Result<ClientResponse> HttpClient::Request(std::string_view method,
+                                                 std::string_view target,
+                                                 std::string_view body) {
+  std::string wire;
+  wire.reserve(body.size() + 128);
+  wire += method;
+  wire += ' ';
+  wire += target;
+  wire += " HTTP/1.1\r\nHost: ";
+  wire += host_;
+  wire += "\r\nContent-Length: ";
+  wire += std::to_string(body.size());
+  wire += "\r\n\r\n";
+  wire += body;
+
+  const bool had_conn = fd_ >= 0;
+  if (!had_conn) RE2X_RETURN_IF_ERROR(Connect());
+  auto resp = RoundTrip(wire);
+  if (!resp.ok() && had_conn && !resp.status().IsTimeout()) {
+    // The server closed our idle keep-alive connection (drain, shed on a
+    // previous request, injected write fault); retry once on a fresh one.
+    RE2X_RETURN_IF_ERROR(Connect());
+    return RoundTrip(wire);
+  }
+  return resp;
+}
+
+util::Result<ClientResponse> HttpClient::RoundTrip(std::string_view wire) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_millis_);
+  // Send.
+  size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n =
+        ::send(fd_, wire.data() + off, wire.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (Expired(deadline)) {
+        return util::Status::Timeout("send timeout");
+      }
+      pollfd pfd{fd_, POLLOUT, 0};
+      ::poll(&pfd, 1, RemainingMillis(deadline));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    util::Status st = util::Status::Unavailable(std::string("send(): ") +
+                                                std::strerror(errno));
+    Disconnect();
+    return st;
+  }
+
+  // Receive head.
+  auto read_more = [&]() -> util::Status {
+    if (Expired(deadline)) return util::Status::Timeout("response timeout");
+    pollfd pfd{fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, RemainingMillis(deadline));
+    if (pr == 0) return util::Status::Timeout("response timeout");
+    if (pr < 0) {
+      if (errno == EINTR) return util::Status::OK();
+      return util::Status::Internal(std::string("poll(): ") +
+                                    std::strerror(errno));
+    }
+    char buf[8192];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      return util::Status::Unavailable("server closed connection");
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+        return util::Status::OK();
+      }
+      return util::Status::Unavailable(std::string("recv(): ") +
+                                       std::strerror(errno));
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+    return util::Status::OK();
+  };
+
+  size_t head_end;
+  for (;;) {
+    head_end = inbuf_.find("\r\n\r\n");
+    if (head_end != std::string::npos) break;
+    util::Status st = read_more();
+    if (!st.ok()) {
+      Disconnect();
+      return st;
+    }
+  }
+
+  ClientResponse resp;
+  std::string_view head = std::string_view(inbuf_).substr(0, head_end);
+  size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) line_end = head.size();
+  std::string_view status_line = head.substr(0, line_end);
+  // "HTTP/1.1 503 Service Unavailable"
+  size_t sp = status_line.find(' ');
+  if (sp == std::string_view::npos || status_line.size() < sp + 4) {
+    Disconnect();
+    return util::Status::ParseError("malformed status line");
+  }
+  resp.status = (status_line[sp + 1] - '0') * 100 +
+                (status_line[sp + 2] - '0') * 10 + (status_line[sp + 3] - '0');
+
+  uint64_t content_length = 0;
+  bool server_closes = false;
+  size_t pos = line_end;
+  while (pos < head.size()) {
+    pos += 2;
+    size_t next = head.find("\r\n", pos);
+    if (next == std::string_view::npos) next = head.size();
+    std::string_view field = head.substr(pos, next - pos);
+    pos = next;
+    size_t colon = field.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = util::ToLower(util::Trim(field.substr(0, colon)));
+    std::string value(util::Trim(field.substr(colon + 1)));
+    if (name == "content-length") {
+      content_length = 0;
+      for (char c : value) {
+        if (c >= '0' && c <= '9') {
+          content_length = content_length * 10 + static_cast<uint64_t>(c - '0');
+        }
+      }
+    }
+    if (name == "connection" && util::ToLower(value) == "close") {
+      server_closes = true;
+    }
+    resp.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  const size_t total = head_end + 4 + content_length;
+  while (inbuf_.size() < total) {
+    util::Status st = read_more();
+    if (!st.ok()) {
+      Disconnect();
+      return st;
+    }
+  }
+  resp.body = inbuf_.substr(head_end + 4, content_length);
+  inbuf_.erase(0, total);
+  if (server_closes) Disconnect();
+  return resp;
+}
+
+}  // namespace re2xolap::server

@@ -1,0 +1,71 @@
+#ifndef RE2XOLAP_SERVER_HTTP_CLIENT_H_
+#define RE2XOLAP_SERVER_HTTP_CLIENT_H_
+
+// Minimal blocking HTTP/1.1 client over POSIX sockets, for the pieces of
+// the repo that drive the server: the concurrency tests, the closed-loop
+// bench driver, and nothing else. One keep-alive connection per
+// instance; Content-Length responses only (matching what server.cc
+// emits). Not a general client — no TLS, no redirects, no chunked
+// encoding.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace re2xolap::server {
+
+struct ClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;  // lowercased names
+  std::string body;
+
+  /// Value of response header `name` (lowercase), or "" when absent.
+  std::string_view Header(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  /// `timeout_millis` bounds connect, each send, and each response read.
+  HttpClient(std::string host, uint16_t port, uint64_t timeout_millis = 5'000);
+  ~HttpClient();
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// One request/response round trip. Reconnects transparently when the
+  /// server closed the keep-alive connection (e.g. after a shed or an
+  /// injected write fault). kUnavailable = could not connect;
+  /// kTimeout = server did not answer in time.
+  util::Result<ClientResponse> Request(std::string_view method,
+                                       std::string_view target,
+                                       std::string_view body = {});
+
+  util::Result<ClientResponse> Get(std::string_view target) {
+    return Request("GET", target);
+  }
+  util::Result<ClientResponse> Post(std::string_view target,
+                                    std::string_view body) {
+    return Request("POST", target, body);
+  }
+
+  /// Drops the current connection (next Request reconnects).
+  void Disconnect();
+
+ private:
+  util::Status Connect();
+  util::Result<ClientResponse> RoundTrip(std::string_view wire);
+
+  std::string host_;
+  uint16_t port_;
+  uint64_t timeout_millis_;
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace re2xolap::server
+
+#endif  // RE2XOLAP_SERVER_HTTP_CLIENT_H_

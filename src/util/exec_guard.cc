@@ -27,11 +27,15 @@ struct GuardMetrics {
 }  // namespace
 
 ExecGuard::ExecGuard(const Limits& limits, CancellationToken* token)
+    : ExecGuard(limits, std::chrono::steady_clock::now(), token) {}
+
+ExecGuard::ExecGuard(const Limits& limits,
+                     std::chrono::steady_clock::time_point arrival,
+                     CancellationToken* token)
     : limits_(limits), token_(token) {
   if (limits.deadline_millis != 0) {
     has_deadline_ = true;
-    deadline_ = std::chrono::steady_clock::now() +
-                std::chrono::milliseconds(limits.deadline_millis);
+    deadline_ = arrival + std::chrono::milliseconds(limits.deadline_millis);
   }
 }
 
@@ -39,6 +43,13 @@ ExecGuard ExecGuard::WithDeadline(uint64_t deadline_millis) {
   Limits limits;
   limits.deadline_millis = deadline_millis;
   return ExecGuard(limits);
+}
+
+ExecGuard ExecGuard::WithDeadlineAt(
+    uint64_t deadline_millis, std::chrono::steady_clock::time_point arrival) {
+  Limits limits;
+  limits.deadline_millis = deadline_millis;
+  return ExecGuard(limits, arrival);
 }
 
 ExecGuard& ExecGuard::operator=(ExecGuard&& other) noexcept {

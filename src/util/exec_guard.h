@@ -54,9 +54,26 @@ class ExecGuard {
   explicit ExecGuard(const Limits& limits,
                      CancellationToken* token = nullptr);
 
+  /// Anchors the deadline at `arrival` instead of "now": the deadline is
+  /// `arrival + limits.deadline_millis`, so time the request already
+  /// spent elsewhere — waiting in a server admission queue, being read
+  /// off a slow client socket — counts against its budget. A request
+  /// whose queue wait alone exceeded the deadline fails its very first
+  /// Check() with kTimeout instead of being granted a fresh allowance at
+  /// execution start. Use this constructor everywhere a request can wait
+  /// between arrival and execution.
+  ExecGuard(const Limits& limits,
+            std::chrono::steady_clock::time_point arrival,
+            CancellationToken* token = nullptr);
+
   /// Convenience: deadline-only guard (`deadline_millis` of 0 still means
   /// "no deadline").
   static ExecGuard WithDeadline(uint64_t deadline_millis);
+
+  /// Deadline-only guard anchored at `arrival` (see the arrival-anchored
+  /// constructor above).
+  static ExecGuard WithDeadlineAt(uint64_t deadline_millis,
+                                  std::chrono::steady_clock::time_point arrival);
 
   // Movable (atomics copied by value; moving a guard other threads are
   // polling is a caller bug), not copyable.

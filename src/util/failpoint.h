@@ -25,6 +25,9 @@ namespace re2xolap::util {
 ///   reolap.validate  ReOLAP validation probe      (error, delay)
 ///   snapshot.save    storage::SaveSnapshot entry  (error, delay)
 ///   snapshot.load    storage::LoadSnapshot entry  (error, delay)
+///   server.accept    server acceptor, post-accept (error, delay)
+///   server.parse     server request parse         (error, delay)
+///   server.write     server response write        (error, delay)
 ///
 /// Configuration comes from the environment on first use —
 ///   RE2XOLAP_FAILPOINTS="engine.execute=error;store.scan=delay:50ms;cache.insert=skip"

@@ -46,6 +46,45 @@ TEST(ExecGuardTest, GenerousDeadlinePasses) {
   EXPECT_FALSE(guard.expired());
 }
 
+TEST(ExecGuardTest, ArrivalAnchoredDeadlineChargesQueueWait) {
+  // A request that waited in an admission queue longer than its whole
+  // deadline must fail its FIRST Check(): the deadline anchors at
+  // arrival, not at execution start.
+  const auto arrival =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(50);
+  ExecGuard guard = ExecGuard::WithDeadlineAt(20, arrival);
+  Status st = guard.Check();
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsTimeout()) << st.ToString();
+  EXPECT_TRUE(guard.expired());
+  EXPECT_EQ(guard.remaining_millis(), 0u);
+}
+
+TEST(ExecGuardTest, ArrivalAnchoredDeadlineSpendsPartOfTheBudget) {
+  // Queue wait below the deadline leaves only the remainder: a 10s
+  // budget anchored 2s in the past has well under 10s left.
+  const auto arrival =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(2000);
+  ExecGuard guard = ExecGuard::WithDeadlineAt(10'000, arrival);
+  EXPECT_TRUE(guard.Check().ok());
+  EXPECT_TRUE(guard.has_deadline());
+  EXPECT_LE(guard.remaining_millis(), 8'000u);
+  EXPECT_GT(guard.remaining_millis(), 0u);
+}
+
+TEST(ExecGuardTest, ArrivalAnchoredConstructorKeepsBudgetsAndToken) {
+  CancellationToken token;
+  ExecGuard::Limits limits;
+  limits.deadline_millis = 60'000;
+  limits.max_rows = 10;
+  ExecGuard guard(limits, std::chrono::steady_clock::now(), &token);
+  EXPECT_TRUE(guard.Check().ok());
+  guard.ChargeRows(11);
+  EXPECT_TRUE(guard.Check().IsResourceExhausted());
+  token.Cancel();
+  EXPECT_TRUE(guard.Check().IsCancelled());
+}
+
 TEST(ExecGuardTest, ByteBudgetViolationIsResourceExhausted) {
   ExecGuard::Limits limits;
   limits.max_bytes = 100;
