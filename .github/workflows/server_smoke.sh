@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # End-to-end exercise of the HTTP front door against a real build: boot
-# re2xolap_server on a freshly built snapshot, drive it with real HTTP —
-# health, metrics, a successful query, one guard-cancelled query (504:
-# the arrival-anchored deadline expires inside an injected execution
-# delay) and one shed query (503 + Retry-After: capacity 1 + queue 1 and
-# a third concurrent request) — then SIGTERM it and require a clean
-# drain: exit code 0 and a schema-valid JSONL query log. Run in the
-# Release and ASan jobs so the socket, drain, and log-flush paths stay
-# exercised (and leak-clean) on every push.
+# re2xolap_server on a freshly built snapshot (in --live mode), drive it
+# with real HTTP — health, metrics, a successful query, one
+# guard-cancelled query (504: the arrival-anchored deadline expires
+# inside an injected execution delay), one shed query (503 +
+# Retry-After: capacity 1 + queue 1 and a third concurrent request),
+# and an ingest round (POST /ingest applies a batch, the very next
+# query sees the new triple, no restart) — then SIGTERM it and require
+# a clean drain: exit code 0 and a schema-valid JSONL query log. Run in
+# the Release and ASan jobs so the socket, ingest, drain, and log-flush
+# paths stay exercised (and leak-clean) on every push.
 set -euo pipefail
 
 BUILD_DIR="${1:?usage: server_smoke.sh <build-dir>}"
@@ -36,7 +38,7 @@ EOF
 # small enough to saturate with three curls, slow enough that a 50ms
 # request deadline reliably expires mid-execution.
 RE2XOLAP_FAILPOINTS="engine.execute=delay:500" \
-  "$SERVER" "$WORK/data.snap" --port=0 --workers=1 --queue=1 \
+  "$SERVER" "$WORK/data.snap" --port=0 --workers=1 --queue=1 --live \
   --query-log="$WORK/query_log.jsonl" > "$WORK/server.out" 2> "$WORK/server.err" &
 SERVER_PID=$!
 trap 'kill -9 "$SERVER_PID" 2>/dev/null || true' EXIT
@@ -60,6 +62,7 @@ Q_TIMEOUT='SELECT ?t WHERE { ?t a <http://e/Obs> }'
 Q_PIN1='SELECT ?p1 WHERE { ?p1 a <http://e/Obs> }'
 Q_PIN2='SELECT ?p2 WHERE { ?p2 a <http://e/Obs> }'
 Q_SHED='SELECT ?x WHERE { ?x a <http://e/Obs> }'
+Q_INGEST='SELECT ?i WHERE { ?i a <http://e/Obs> }'
 
 # Health + metrics.
 curl -sf "$BASE/healthz" | grep -q '"status": "serving"' \
@@ -89,6 +92,20 @@ SHED="$(curl -si --max-time 10 -X POST --data "$Q_SHED" "$BASE/query")"
 wait "$C1" "$C2"
 echo "$SHED" | head -1 | grep -q '503' || fail "third query was not shed: $SHED"
 echo "$SHED" | grep -qi '^retry-after:' || fail "shed response lacks Retry-After"
+
+# Ingest round: the server booted with --live, so POST /ingest applies
+# an N-Triples batch atomically and the very next query must see the
+# new observation — no re-freeze, no restart.
+curl -sf "$BASE/healthz" | grep -q '"live": true' \
+  || fail "healthz does not report the store live"
+INGEST_BODY="$(curl -sf --max-time 10 -X POST --data \
+  '<http://e/obs3> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://e/Obs> .' \
+  "$BASE/ingest")"
+echo "$INGEST_BODY" | grep -q '"added": 1' \
+  || fail "ingest did not apply the batch: $INGEST_BODY"
+AFTER_BODY="$(curl -sf --max-time 10 -X POST --data "$Q_INGEST" "$BASE/query")"
+echo "$AFTER_BODY" | grep -q '"row_count": 3' \
+  || fail "query after ingest did not see 3 observations: $AFTER_BODY"
 
 # SIGTERM -> graceful drain: the process must exit 0 on its own.
 kill -TERM "$SERVER_PID"

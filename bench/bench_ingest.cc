@@ -1,0 +1,308 @@
+// Ingestion-interference benchmark for the live epoch-chain store: a
+// pool of closed-loop query clients drives POST /query against a live
+// server::Server while a streaming insert driver POSTs N-Triples batches
+// to /ingest, in three phases over the same Eurostat-shaped dataset:
+//
+//   queries_only   the live store serves queries with no writer: the
+//                  baseline p50/p99 (result cache warm — the epoch never
+//                  moves, as in a frozen deployment).
+//   ingest_only    the insert driver alone: steady-state batch latency
+//                  and triples/s through parse -> intern -> seal ->
+//                  publish, with background compaction folding the chain.
+//   mixed          both at once: the number the subsystem exists for —
+//                  query p50/p99 while every published batch bumps the
+//                  epoch (invalidating cached results) and compaction
+//                  churns underneath. Readers must never block: the
+//                  penalty is recomputation, not contention.
+//
+// Results land in BENCH_ingest.json, including the mixed/baseline p50
+// ratio and the server-observed chain state after the run.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "engine/query_engine.h"
+#include "server/http_client.h"
+#include "server/server.h"
+#include "sparql/ast.h"
+#include "store/ingestor.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace re2xolap {
+namespace {
+
+constexpr size_t kQueryClients = 16;
+constexpr size_t kBatchStatements = 64;
+constexpr uint64_t kPhaseMillis = 2'500;
+
+struct QueryLoad {
+  std::vector<double> latencies_millis;
+  uint64_t ok = 0;
+  uint64_t errors = 0;
+  uint64_t transport_errors = 0;
+  double wall_millis = 0;
+};
+
+struct IngestLoad {
+  std::vector<double> latencies_millis;
+  uint64_t batches = 0;
+  uint64_t triples = 0;
+  uint64_t errors = 0;
+  double wall_millis = 0;
+};
+
+double Percentile(std::vector<double>* v, double p) {
+  if (v->empty()) return 0;
+  std::sort(v->begin(), v->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v->size() - 1));
+  return (*v)[idx];
+}
+
+/// `kQueryClients` closed-loop threads hammering POST /query until `stop`.
+QueryLoad RunQueryClients(uint16_t port,
+                          const std::vector<std::string>& queries,
+                          std::atomic<bool>& stop) {
+  std::vector<QueryLoad> per_thread(kQueryClients);
+  std::vector<std::thread> threads;
+  util::WallTimer wall;
+  for (size_t t = 0; t < kQueryClients; ++t) {
+    threads.emplace_back([&, t] {
+      server::HttpClient client("127.0.0.1", port, /*timeout_millis=*/10'000);
+      QueryLoad& mine = per_thread[t];
+      size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::string& q = queries[i++ % queries.size()];
+        util::WallTimer timer;
+        auto resp = client.Post("/query?timeout_ms=5000", q);
+        if (!resp.ok()) {
+          ++mine.transport_errors;
+          continue;
+        }
+        if (resp->status == 200) {
+          ++mine.ok;
+          mine.latencies_millis.push_back(timer.ElapsedMillis());
+        } else {
+          ++mine.errors;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  QueryLoad total;
+  total.wall_millis = wall.ElapsedMillis();
+  for (QueryLoad& mine : per_thread) {
+    total.ok += mine.ok;
+    total.errors += mine.errors;
+    total.transport_errors += mine.transport_errors;
+    total.latencies_millis.insert(total.latencies_millis.end(),
+                                  mine.latencies_millis.begin(),
+                                  mine.latencies_millis.end());
+  }
+  return total;
+}
+
+/// One streaming writer POSTing fresh kBatchStatements-line batches to
+/// /ingest until `stop`. `seq` persists across phases so every triple is
+/// new (inserts never degenerate into visible-triple no-ops).
+IngestLoad RunIngestDriver(uint16_t port, std::atomic<bool>& stop,
+                           uint64_t* seq) {
+  IngestLoad load;
+  server::HttpClient client("127.0.0.1", port, /*timeout_millis=*/10'000);
+  util::WallTimer wall;
+  while (!stop.load(std::memory_order_relaxed)) {
+    std::string body;
+    body.reserve(kBatchStatements * 64);
+    for (size_t i = 0; i < kBatchStatements; ++i) {
+      const uint64_t n = (*seq)++;
+      body += "<http://bench/ingest/s" + std::to_string(n) +
+              "> <http://bench/ingest/p" + std::to_string(n % 8) +
+              "> <http://bench/ingest/o" + std::to_string(n % 1024) + "> .\n";
+    }
+    util::WallTimer timer;
+    auto resp = client.Post("/ingest", body);
+    if (resp.ok() && resp->status == 200) {
+      ++load.batches;
+      load.triples += kBatchStatements;
+      load.latencies_millis.push_back(timer.ElapsedMillis());
+    } else {
+      ++load.errors;
+    }
+  }
+  load.wall_millis = wall.ElapsedMillis();
+  return load;
+}
+
+void RecordQueryPhase(bench::JsonBenchLog& log, const std::string& phase,
+                      QueryLoad r) {
+  const double qps =
+      r.wall_millis > 0
+          ? static_cast<double>(r.ok) / (r.wall_millis / 1000.0)
+          : 0;
+  log.AddRecord()
+      .Str("phase", phase)
+      .Int("clients", static_cast<long long>(kQueryClients))
+      .Int("ok", static_cast<long long>(r.ok))
+      .Int("errors", static_cast<long long>(r.errors))
+      .Int("transport_errors", static_cast<long long>(r.transport_errors))
+      .Num("wall_millis", r.wall_millis)
+      .Num("qps", qps)
+      .Num("p50_millis", Percentile(&r.latencies_millis, 0.50))
+      .Num("p99_millis", Percentile(&r.latencies_millis, 0.99));
+  std::cout << phase << ": " << r.ok << " ok (" << bench::Ms(qps)
+            << " qps), p50=" << bench::Ms(Percentile(&r.latencies_millis, 0.5))
+            << "ms p99=" << bench::Ms(Percentile(&r.latencies_millis, 0.99))
+            << "ms\n";
+}
+
+void RecordIngestPhase(bench::JsonBenchLog& log, const std::string& phase,
+                       IngestLoad r) {
+  const double tps =
+      r.wall_millis > 0
+          ? static_cast<double>(r.triples) / (r.wall_millis / 1000.0)
+          : 0;
+  log.AddRecord()
+      .Str("phase", phase)
+      .Int("batches", static_cast<long long>(r.batches))
+      .Int("triples", static_cast<long long>(r.triples))
+      .Int("errors", static_cast<long long>(r.errors))
+      .Num("wall_millis", r.wall_millis)
+      .Num("triples_per_sec", tps)
+      .Num("batch_p50_millis", Percentile(&r.latencies_millis, 0.50))
+      .Num("batch_p99_millis", Percentile(&r.latencies_millis, 0.99));
+  std::cout << phase << ": " << r.batches << " batches ("
+            << bench::Ms(tps) << " triples/s), batch p50="
+            << bench::Ms(Percentile(&r.latencies_millis, 0.5)) << "ms p99="
+            << bench::Ms(Percentile(&r.latencies_millis, 0.99)) << "ms\n";
+}
+
+}  // namespace
+}  // namespace re2xolap
+
+int main() {
+  using namespace re2xolap;
+
+  uint64_t obs = bench::DefaultObservations("Eurostat") / 4;
+  bench::BenchEnv env = bench::MakeEnv("Eurostat", obs);
+  rdf::TripleStore* store = env.dataset.store.get();
+  engine::QueryEngine engine(*store);
+
+  // Synthesize a pool of real exploration queries before entering live
+  // mode (same recipe as bench_server: what a session would execute).
+  std::vector<std::string> queries;
+  {
+    core::Session session(store, env.vsg.get(), env.text.get(), &engine);
+    util::Rng rng(42);
+    for (int attempt = 0; attempt < 16 && queries.size() < 6; ++attempt) {
+      std::vector<std::string> tuple = bench::SampleExampleTuple(env, 2, rng);
+      if (tuple.empty()) continue;
+      auto candidates = session.Start(tuple);
+      if (!candidates.ok()) continue;
+      for (const core::CandidateQuery& c : *candidates) {
+        if (queries.size() < 6) queries.push_back(sparql::ToSparql(c.query));
+      }
+    }
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries synthesized; dataset too small?\n";
+    return 1;
+  }
+  std::cout << "query pool: " << queries.size() << " synthesized queries, "
+            << store->size() << " base triples\n";
+
+  store->EnterLive();
+  util::ThreadPool pool(util::ThreadPool::DefaultThreads());
+  store::Ingestor ingestor(store, &pool);
+
+  server::Dataset dataset;
+  dataset.store = store;
+  dataset.engine = &engine;
+  dataset.vsg = env.vsg.get();
+  dataset.text = env.text.get();
+  dataset.ingestor = &ingestor;
+  server::ServerConfig config;
+  config.worker_threads = 8;
+  config.queue_capacity = 256;
+  server::Server srv(dataset, config);
+  if (util::Status st = srv.Start(); !st.ok()) {
+    std::cerr << "start: " << st << "\n";
+    return 1;
+  }
+
+  bench::JsonBenchLog log("ingest");
+  uint64_t seq = 0;
+  double baseline_p50 = 0;
+  double mixed_p50 = 0;
+
+  // Phase 1: queries only (baseline, epoch never moves).
+  {
+    std::atomic<bool> stop{false};
+    std::thread timer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPhaseMillis));
+      stop.store(true, std::memory_order_relaxed);
+    });
+    QueryLoad r = RunQueryClients(srv.port(), queries, stop);
+    timer.join();
+    baseline_p50 = Percentile(&r.latencies_millis, 0.50);
+    RecordQueryPhase(log, "queries_only", std::move(r));
+  }
+
+  // Phase 2: ingest only (steady-state write throughput).
+  {
+    std::atomic<bool> stop{false};
+    std::thread timer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPhaseMillis));
+      stop.store(true, std::memory_order_relaxed);
+    });
+    IngestLoad w = RunIngestDriver(srv.port(), stop, &seq);
+    timer.join();
+    RecordIngestPhase(log, "ingest_only", std::move(w));
+  }
+
+  // Phase 3: mixed — the interference measurement.
+  {
+    std::atomic<bool> stop{false};
+    IngestLoad w;
+    std::thread writer([&] { w = RunIngestDriver(srv.port(), stop, &seq); });
+    std::thread timer([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPhaseMillis));
+      stop.store(true, std::memory_order_relaxed);
+    });
+    QueryLoad r = RunQueryClients(srv.port(), queries, stop);
+    writer.join();
+    timer.join();
+    if (r.ok == 0 || w.batches == 0) {
+      std::cerr << "FAIL: mixed phase starved one side (queries ok=" << r.ok
+                << ", batches=" << w.batches << ")\n";
+      return 1;
+    }
+    mixed_p50 = Percentile(&r.latencies_millis, 0.50);
+    RecordQueryPhase(log, "mixed_queries", std::move(r));
+    RecordIngestPhase(log, "mixed_ingest", std::move(w));
+  }
+
+  const rdf::TripleStore::LiveInfo info = store->live_info();
+  log.AddRecord()
+      .Str("phase", "final_chain")
+      .Num("p50_interference_ratio",
+           baseline_p50 > 0 ? mixed_p50 / baseline_p50 : 0)
+      .Int("epoch", static_cast<long long>(info.epoch))
+      .Int("chain_depth", static_cast<long long>(info.chain_depth))
+      .Int("delta_adds", static_cast<long long>(info.delta_adds))
+      .Int("delta_dels", static_cast<long long>(info.delta_dels))
+      .Int("visible_triples", static_cast<long long>(info.visible_triples))
+      .Int("compacted_base", info.compacted_base ? 1 : 0);
+  std::cout << "final: epoch " << info.epoch << ", depth " << info.chain_depth
+            << ", " << info.visible_triples << " visible, p50 interference x"
+            << (baseline_p50 > 0 ? mixed_p50 / baseline_p50 : 0) << "\n";
+
+  srv.Stop();
+  log.Write("BENCH_ingest.json");
+  return 0;
+}

@@ -8,6 +8,11 @@
 //     --deadline-ms=N       default per-request deadline (default 10000)
 //     --drain-grace-ms=N    drain grace before guard-cancel (default 2000)
 //     --query-log=PATH      arm the JSONL query-log sink
+//     --live                enter live mode: POST /ingest applies N-Triples
+//                           batches while queries keep serving (implied
+//                           when the image is a version 3 live snapshot)
+//     --per-client-cap=N    fair shedding: max queued requests per client
+//                           IP (default 0 = disabled)
 //
 // Boots the dataset from a snapshot image (store always; text index +
 // schema graph when the image carries them, enabling the /session
@@ -19,6 +24,7 @@
 #include <csignal>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/virtual_schema_graph.h"
@@ -26,6 +32,7 @@
 #include "obs/query_log.h"
 #include "server/server.h"
 #include "storage/snapshot.h"
+#include "store/ingestor.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -43,7 +50,8 @@ extern "C" void HandleSignal(int) {
 int Usage() {
   std::cerr << "usage: re2xolap_server <file.snap> [--bind=ADDR] [--port=N]\n"
             << "         [--workers=N] [--queue=N] [--deadline-ms=N]\n"
-            << "         [--drain-grace-ms=N] [--query-log=PATH]\n";
+            << "         [--drain-grace-ms=N] [--query-log=PATH] [--live]\n"
+            << "         [--per-client-cap=N]\n";
   return 1;
 }
 
@@ -66,6 +74,7 @@ int main(int argc, char** argv) {
   server::ServerConfig config;
   config.port = 8280;
   std::string query_log_path;
+  bool live = false;
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
     auto value = [&](const char* prefix) -> std::string {
@@ -90,6 +99,11 @@ int main(int argc, char** argv) {
       config.drain_grace_millis = n;
     } else if (arg.rfind("--query-log=", 0) == 0) {
       query_log_path = value("--query-log=");
+    } else if (arg == "--live") {
+      live = true;
+    } else if (arg.rfind("--per-client-cap=", 0) == 0 &&
+               ParseUint(value("--per-client-cap="), &n)) {
+      config.per_client_queue_cap = n;
     } else {
       std::cerr << "error: unknown option " << arg << "\n";
       return Usage();
@@ -139,6 +153,17 @@ int main(int argc, char** argv) {
   dataset.engine = &engine;
   dataset.vsg = vsg.get();
   dataset.text = loaded->text.get();
+
+  // A version 3 image comes back already live; --live upgrades a frozen
+  // image in place. Either way the ingestor enables POST /ingest.
+  std::unique_ptr<store::Ingestor> ingestor;
+  if (live || loaded->store->live()) {
+    if (!loaded->store->live()) loaded->store->EnterLive();
+    ingestor = std::make_unique<store::Ingestor>(loaded->store.get(), &pool);
+    dataset.ingestor = ingestor.get();
+    std::cerr << "live ingestion enabled (POST /ingest, chain depth "
+              << loaded->store->chain_depth() << ")\n";
+  }
 
   server::Server srv(dataset, config);
   g_server = &srv;

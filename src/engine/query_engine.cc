@@ -257,6 +257,11 @@ util::Result<TableHandle> QueryEngine::Execute(
     }
   }
 
+  // Pin the store's epoch chain for the whole request (no-op on classic
+  // stores): every index read below — cache-key epoch, planning stats,
+  // execution — sees one consistent chain even while ingest or compaction
+  // publish newer epochs concurrently.
+  rdf::TripleStore::ReadPin pin(store_);
   const uint64_t epoch = SyncEpoch();
   span.SetAttr("epoch", epoch);
   std::string normalized = sparql::ToSparql(query);

@@ -403,6 +403,28 @@ void QueryLog::WriteIntrospectionReport(std::ostream& os, size_t top_n) const {
                 reg.GetGauge("store.index.osp.bytes").value())
          << "\n";
     }
+    // Epoch chain (live stores only: store.epoch is published exclusively
+    // by chain publications, so it stays 0 on freeze-once stores).
+    const double chain_epoch = reg.GetGauge("store.epoch").value();
+    if (chain_epoch > 0) {
+      os << "\n-- live ingestion (epoch chain) --\n";
+      os << "  epoch: " << static_cast<uint64_t>(chain_epoch)
+         << ", chain depth: "
+         << static_cast<uint64_t>(reg.GetGauge("store.delta.layers").value())
+         << "\n";
+      os << "  delta triples: "
+         << static_cast<uint64_t>(reg.GetGauge("store.delta.triples").value())
+         << ", tombstones: "
+         << static_cast<uint64_t>(
+                reg.GetGauge("store.delta.tombstones").value())
+         << "\n";
+      os << "  ingest batches: "
+         << reg.GetCounter("store.delta.ingest.batches").value()
+         << " (+" << reg.GetCounter("store.delta.ingest.triples").value()
+         << " / -" << reg.GetCounter("store.delta.ingest.deletes").value()
+         << " triples), compactions: "
+         << reg.GetCounter("store.delta.compactions").value() << "\n";
+    }
   }
 
   // Per-operation breakdown.

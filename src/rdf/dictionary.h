@@ -1,7 +1,12 @@
 #ifndef RE2XOLAP_RDF_DICTIONARY_H_
 #define RE2XOLAP_RDF_DICTIONARY_H_
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
+#include <deque>
+#include <shared_mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -29,6 +34,14 @@ inline constexpr TermId kInvalidTermId = 0;
 /// with no lazy caches. Intern() mutates and must never overlap a read;
 /// query paths must use Lookup() only. The TripleStore wrapper asserts
 /// this in debug builds.
+///
+/// Live mode (EnterLive, driven by TripleStore::EnterLive): the base
+/// mapping built so far becomes immutable — its vector and hash index are
+/// never touched again, so base reads stay lock-free — and new terms land
+/// in an extension area (stable-address deque + Term-keyed map) guarded by
+/// a shared_mutex. InternLive() is the only mutator afterwards; it may run
+/// concurrently with any reads, but InternLive() calls themselves must be
+/// externally serialized (store::Ingestor's batch mutex does this).
 class Dictionary {
  public:
   Dictionary()
@@ -41,31 +54,67 @@ class Dictionary {
   Dictionary& operator=(const Dictionary&) = delete;
 
   /// Interns `term`, returning its id (existing id if already present).
+  /// Load-time only: rejected after EnterLive().
   TermId Intern(const Term& term);
   /// Move-interning overload: bulk loaders (snapshot restore, parsers)
   /// hand the Term over instead of paying a lexical-form copy per call.
   TermId Intern(Term&& term);
 
+  /// Freezes the current mapping as the immutable base and switches new
+  /// interning to the locked extension area. Irreversible.
+  void EnterLive();
+
+  bool live() const { return live_.load(std::memory_order_acquire); }
+
+  /// Interns a term into a live dictionary; safe against concurrent
+  /// reads. Concurrent InternLive() calls must be serialized by the
+  /// caller (one ingest batch at a time).
+  TermId InternLive(const Term& term);
+
   /// Looks up an existing term; kInvalidTermId when absent.
   TermId Lookup(const Term& term) const;
 
-  /// The term for `id`. `id` must be a valid interned id.
-  const Term& term(TermId id) const { return terms_[id]; }
+  /// The term for `id`. `id` must be a valid interned id. The reference
+  /// stays valid for the dictionary's lifetime (extension storage is a
+  /// deque: no reallocation).
+  const Term& term(TermId id) const {
+    if (id < terms_.size()) return terms_[id];
+    return ExtTerm(id);
+  }
 
-  bool IsValid(TermId id) const { return id > 0 && id < terms_.size(); }
+  bool IsValid(TermId id) const {
+    if (id == 0) return false;
+    if (id < terms_.size()) return true;
+    if (!live()) return false;
+    std::shared_lock lk(ext_mu_);
+    return id < terms_.size() + ext_terms_.size();
+  }
 
   /// Number of interned terms (excluding the reserved invalid slot).
-  size_t size() const { return terms_.size() - 1; }
+  size_t size() const {
+    size_t n = terms_.size() - 1;
+    if (live()) {
+      std::shared_lock lk(ext_mu_);
+      n += ext_terms_.size();
+    }
+    return n;
+  }
 
   /// Pre-sizes the term vector and hash index for `n` terms (snapshot
   /// restore knows the exact count up front).
   void Reserve(size_t n);
 
   /// Iterates every interned (id, term) pair in id order. Fn is called as
-  /// fn(TermId, const Term&).
+  /// fn(TermId, const Term&). On a live dictionary the extension area is
+  /// walked under the shared lock, so the iteration is a consistent
+  /// point-in-time enumeration even against a concurrent InternLive().
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (TermId id = 1; id < terms_.size(); ++id) fn(id, terms_[id]);
+    if (!live()) return;
+    std::shared_lock lk(ext_mu_);
+    TermId id = static_cast<TermId>(terms_.size());
+    for (const Term& t : ext_terms_) fn(id++, t);
   }
 
   /// Approximate heap footprint in bytes (for Table 3-style reporting).
@@ -97,8 +146,18 @@ class Dictionary {
     bool operator()(const Term& a, TermId b) const { return (*terms)[b] == a; }
   };
 
+  /// Extension-area slot for `id` (id >= terms_.size(); live mode only).
+  const Term& ExtTerm(TermId id) const;
+
   std::vector<Term> terms_;
   std::unordered_set<TermId, IdHash, IdEq> index_;
+  // Live-mode extension area: terms interned after EnterLive(). The deque
+  // gives stable element addresses, so term() can hand out references
+  // that outlive the shared lock.
+  std::atomic<bool> live_{false};
+  mutable std::shared_mutex ext_mu_;
+  std::deque<Term> ext_terms_;  // id = terms_.size() + deque index
+  std::unordered_map<Term, TermId, TermHash> ext_index_;
 };
 
 }  // namespace re2xolap::rdf

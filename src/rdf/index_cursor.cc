@@ -5,6 +5,7 @@
 
 #include "obs/metrics.h"
 #include "rdf/compressed_index.h"
+#include "rdf/delta_layer.h"
 
 namespace re2xolap::rdf {
 
@@ -162,6 +163,7 @@ std::span<const EncodedTriple> IndexRange::Fetch(
   if (pos >= size()) return {};
   uint64_t n = size() - pos;
   if (limit != 0 && limit < n) n = limit;
+  if (merged()) return FetchMerged(pos, n, scratch);
   if (!compressed()) {
     return {data_ + begin_ + pos, static_cast<size_t>(n)};
   }
@@ -173,8 +175,45 @@ std::span<const EncodedTriple> IndexRange::Fetch(
   return block.subspan(in_block, take);
 }
 
+// Merged window materialization: serve from the scratch's window when it
+// covers `pos`, continue the K-way merge when `pos` is the window's end,
+// and otherwise rank-seek to `pos` cold. `limit` is already clipped to
+// the range's remainder by Fetch.
+std::span<const EncodedTriple> IndexRange::FetchMerged(
+    uint64_t pos, uint64_t limit, IndexBlockScratch* scratch) const {
+  // Window size: enough that sequential scans amortize the per-window
+  // source setup, small enough to stay cache-resident like the
+  // compressed decode blocks.
+  constexpr uint64_t kMergedWindow = 1024;
+  if (scratch == nullptr) scratch = &t_point_scratch;
+  const MergedRun& run = *merged_;
+  const uint64_t abs = begin_ + pos;
+  const bool same_run = scratch->merged_id == run.id();
+  if (same_run && abs >= scratch->merged_win_start &&
+      abs < scratch->merged_win_start + scratch->merged_buf.size()) {
+    const uint64_t in_win = abs - scratch->merged_win_start;
+    const uint64_t take =
+        std::min<uint64_t>(limit, scratch->merged_buf.size() - in_win);
+    return {scratch->merged_buf.data() + in_win, static_cast<size_t>(take)};
+  }
+  if (!same_run || scratch->merged_cur.merged_pos != abs) {
+    run.Seek(abs, &scratch->merged_cur);
+    scratch->merged_id = run.id();
+  }
+  scratch->merged_buf.clear();
+  scratch->merged_win_start = abs;
+  const uint64_t want =
+      std::max<uint64_t>(std::min<uint64_t>(run.size() - abs, kMergedWindow),
+                         std::min<uint64_t>(limit, kMergedWindow));
+  run.Advance(&scratch->merged_cur, want, &scratch->merged_buf);
+  const uint64_t take =
+      std::min<uint64_t>(limit, scratch->merged_buf.size());
+  return {scratch->merged_buf.data(), static_cast<size_t>(take)};
+}
+
 EncodedTriple IndexRange::operator[](uint64_t i) const {
   assert(i < size());
+  if (merged()) return FetchMerged(i, 1, nullptr)[0];
   if (!compressed()) return data_[begin_ + i];
   const uint64_t abs = begin_ + i;
   const uint64_t b = blocks_->BlockOf(abs);
@@ -266,6 +305,14 @@ uint64_t IndexRange::UpperBound(const EncodedTriple& probe,
 
 uint64_t IndexRange::GallopLowerBound(uint64_t from, const EncodedTriple& probe,
                                       IndexBlockScratch* scratch) const {
+  if (merged()) {
+    // Merged bounds are sums of per-source bounds (exact under the
+    // delta-layer invariants); `from` only clamps, like the compressed
+    // path's absolute-position clamp.
+    const uint64_t abs =
+        std::clamp(merged_->Bound(probe, /*upper=*/false), begin_ + from, end_);
+    return abs - begin_;
+  }
   const Perm perm = perm_;
   return RangeGallop(
       blocks_, data_, begin_, end_, from,
@@ -275,6 +322,11 @@ uint64_t IndexRange::GallopLowerBound(uint64_t from, const EncodedTriple& probe,
 
 uint64_t IndexRange::GallopUpperBound(uint64_t from, const EncodedTriple& probe,
                                       IndexBlockScratch* scratch) const {
+  if (merged()) {
+    const uint64_t abs =
+        std::clamp(merged_->Bound(probe, /*upper=*/true), begin_ + from, end_);
+    return abs - begin_;
+  }
   const Perm perm = perm_;
   return RangeGallop(
       blocks_, data_, begin_, end_, from,
@@ -295,7 +347,7 @@ void IndexRange::Iterator::Refill() {
     chunk_ = {};
     return;
   }
-  if (range_->compressed() && scratch_ == nullptr) {
+  if ((range_->compressed() || range_->merged()) && scratch_ == nullptr) {
     scratch_ = std::make_shared<IndexBlockScratch>();
   }
   chunk_ = range_->Fetch(pos_, 0, scratch_.get());

@@ -31,6 +31,7 @@
 namespace re2xolap::rdf {
 
 class CompressedPermutation;
+class MergedRun;
 
 /// The three index permutations. The numeric values are wire-stable: the
 /// compressed snapshot sections identify their permutation by this value.
@@ -85,10 +86,30 @@ inline bool PermLess(Perm perm, const EncodedTriple& a,
 /// prevents stale hits when a range from a different permutation — or a
 /// permutation that has since been destroyed and its address reused — is
 /// attached to the same scratch.
+/// Per-source merge positions of a MergedRun reader (adds first, then
+/// tombstone sources), plus the merged position they correspond to.
+/// Lives inside IndexBlockScratch so a cursor's scratch can continue a
+/// sequential merged scan without re-seeking.
+struct MergedCursorState {
+  uint64_t merged_pos = 0;
+  std::vector<uint64_t> src;
+};
+
 struct IndexBlockScratch {
   std::shared_ptr<const std::vector<EncodedTriple>> pinned;
   uint64_t generation = 0;             // CompressedPermutation::generation()
   uint64_t block = ~static_cast<uint64_t>(0);
+  // Merged-run window (live stores, rdf/delta_layer.h): `merged_buf`
+  // holds the materialized window starting at absolute merged position
+  // `merged_win_start` of the run identified by `merged_id`, and
+  // `merged_cur` sits at the window's end so sequential Fetch calls
+  // continue the K-way merge without a rank re-seek. The buffer is owned
+  // by the scratch, so handed-out spans follow the usual scratch-reuse
+  // lifetime rule.
+  uint64_t merged_id = 0;  // MergedRun::id(); 0 = no window
+  uint64_t merged_win_start = 0;
+  std::vector<EncodedTriple> merged_buf;
+  MergedCursorState merged_cur;
 };
 
 /// A contiguous sorted run of triples inside one permutation. Cheap value
@@ -119,14 +140,31 @@ class IndexRange {
     return r;
   }
 
+  /// Merged backing (live stores): positions [begin, end) of `run`, the
+  /// K-way base-plus-delta view of rdf/delta_layer.h. The shared_ptr
+  /// keeps the run — and through it the pinned epoch chain — alive for
+  /// as long as any copy of the range exists, so merged ranges survive
+  /// concurrent chain publication.
+  static IndexRange FromMerged(std::shared_ptr<const MergedRun> run,
+                               uint64_t begin, uint64_t end, Perm perm) {
+    IndexRange r;
+    r.merged_ = std::move(run);
+    r.begin_ = begin;
+    r.end_ = end;
+    r.perm_ = perm;
+    return r;
+  }
+
   uint64_t size() const { return end_ - begin_; }
   bool empty() const { return end_ == begin_; }
   bool compressed() const { return blocks_ != nullptr; }
+  bool merged() const { return merged_ != nullptr; }
   Perm perm() const { return perm_; }
 
-  /// Zero-copy access to a raw-backed range. Precondition: !compressed().
+  /// Zero-copy access to a raw-backed range. Precondition: !compressed()
+  /// and !merged().
   std::span<const EncodedTriple> raw() const {
-    assert(!compressed());
+    assert(!compressed() && !merged());
     return {data_ + begin_, static_cast<size_t>(end_ - begin_)};
   }
 
@@ -220,10 +258,16 @@ class IndexRange {
   Iterator end() const { return Iterator(this, size()); }
 
  private:
+  std::span<const EncodedTriple> FetchMerged(uint64_t pos, uint64_t limit,
+                                             IndexBlockScratch* scratch) const;
+
   const CompressedPermutation* blocks_ = nullptr;  // null => raw backing
   const EncodedTriple* data_ = nullptr;            // raw backing base
-  uint64_t begin_ = 0;  // raw: 0; compressed: absolute permutation position
-  uint64_t end_ = 0;    // raw: size; compressed: absolute end position
+  // Merged backing (null otherwise): copying a null shared_ptr is free,
+  // so classic raw/compressed ranges pay nothing for this member.
+  std::shared_ptr<const MergedRun> merged_;
+  uint64_t begin_ = 0;  // raw: 0; compressed/merged: absolute position
+  uint64_t end_ = 0;    // raw: size; compressed/merged: absolute end
   Perm perm_ = Perm::kSpo;
 };
 

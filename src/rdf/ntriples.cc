@@ -138,7 +138,12 @@ void WriteNTriples(const TripleStore& store, std::ostream& os) {
   }
 }
 
-util::Status ParseNTriples(std::string_view text, TripleStore* store) {
+namespace {
+
+// Shared statement walk for the two parse entry points: calls
+// emit(s, p, o) per valid statement.
+template <typename Emit>
+util::Status ParseStatements(std::string_view text, Emit&& emit) {
   size_t line_no = 0;
   size_t pos = 0;
   while (pos <= text.size()) {
@@ -170,9 +175,24 @@ util::Status ParseNTriples(std::string_view text, TripleStore* store) {
       return util::Status::ParseError("line " + std::to_string(line_no) +
                                       ": predicate must be an IRI");
     }
-    store->Add(s, p, o);
+    emit(std::move(s), std::move(p), std::move(o));
   }
   return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status ParseNTriples(std::string_view text, TripleStore* store) {
+  return ParseStatements(text, [store](Term&& s, Term&& p, Term&& o) {
+    store->Add(s, p, o);
+  });
+}
+
+util::Status ParseNTriplesTerms(std::string_view text,
+                                std::vector<std::array<Term, 3>>* out) {
+  return ParseStatements(text, [out](Term&& s, Term&& p, Term&& o) {
+    out->push_back({std::move(s), std::move(p), std::move(o)});
+  });
 }
 
 }  // namespace re2xolap::rdf

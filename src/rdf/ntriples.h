@@ -1,9 +1,11 @@
 #ifndef RE2XOLAP_RDF_NTRIPLES_H_
 #define RE2XOLAP_RDF_NTRIPLES_H_
 
+#include <array>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rdf/triple_store.h"
 #include "util/status.h"
@@ -32,6 +34,14 @@ void WriteNTriples(const TripleStore& store, std::ostream& os);
 /// an unknown escape keeps the escaped character. The caller still needs
 /// to Freeze() the store.
 util::Status ParseNTriples(std::string_view text, TripleStore* store);
+
+/// Same grammar as ParseNTriples, but appends parsed (s, p, o) term
+/// triples to `out` instead of mutating a store — the live-ingest path
+/// (store::Ingestor) parses first and interns later, under its own
+/// concurrency rules, so parsing must not touch the store. On error,
+/// `out` keeps the statements parsed before the bad line.
+util::Status ParseNTriplesTerms(std::string_view text,
+                                std::vector<std::array<Term, 3>>* out);
 
 }  // namespace re2xolap::rdf
 

@@ -8,6 +8,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rdf/compressed_index.h"
+#include "rdf/delta_layer.h"
 #include "util/thread_pool.h"
 
 namespace re2xolap::rdf {
@@ -37,6 +38,7 @@ void TripleStore::AddEncoded(EncodedTriple t) {
   assert(dict_.IsValid(t.s) && dict_.IsValid(t.p) && dict_.IsValid(t.o));
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::Add() during concurrent reads of a frozen store");
+  assert(!live() && "live stores mutate via store::Ingestor, not Add()");
   Materialize();
   spo_.push_back(t);
   frozen_ = false;
@@ -85,6 +87,7 @@ void TripleStore::AdoptFrozen(std::vector<EncodedTriple> spo,
                               uint64_t epoch) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::AdoptFrozen() during concurrent reads");
+  assert(!live() && "TripleStore::AdoptFrozen() on a live store");
   ResetIndexState();
   spo_ = std::move(spo);
   pos_ = std::move(pos);
@@ -102,6 +105,7 @@ void TripleStore::AdoptFrozenView(
     std::shared_ptr<const void> keepalive) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::AdoptFrozenView() during concurrent reads");
+  assert(!live() && "TripleStore::AdoptFrozenView() on a live store");
   assert(keepalive != nullptr && "view adoption requires a keepalive");
   ResetIndexState();
   spo_view_ = spo;
@@ -121,6 +125,7 @@ void TripleStore::AdoptFrozenCompressed(
     std::shared_ptr<const void> keepalive) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::AdoptFrozenCompressed() during concurrent reads");
+  assert(!live() && "TripleStore::AdoptFrozenCompressed() on a live store");
   assert(spo.size() == pos.size() && pos.size() == osp.size());
   ResetIndexState();
   spo_blocks_ = std::make_unique<CompressedPermutation>(std::move(spo));
@@ -136,6 +141,7 @@ void TripleStore::AdoptFrozenCompressed(
 void TripleStore::Freeze(util::ThreadPool* pool) {
   assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
          "TripleStore::Freeze() during concurrent reads");
+  assert(!live() && "live stores advance epochs via PublishChain()");
   obs::Span span("store.freeze");
   Materialize();
   span.SetAttr("triples", static_cast<uint64_t>(spo_.size()));
@@ -194,22 +200,23 @@ void TripleStore::BuildIndexes(util::ThreadPool* pool) {
   std::sort(osp_.begin(), osp_.end(), OspLess());
 }
 
-void TripleStore::ComputeStats(util::ThreadPool* pool) {
-  stats_.clear();
-  // pos_ is sorted by (p, o, s): per-predicate runs are contiguous, and
-  // within a run objects are grouped, enabling distinct-object counting in
-  // one pass. Distinct subjects need a second pass over a scratch copy per
-  // predicate run sorted by subject.
+std::unordered_map<TermId, PredicateStats> ComputePredicateStats(
+    std::span<const EncodedTriple> pos_sorted, util::ThreadPool* pool) {
+  std::unordered_map<TermId, PredicateStats> stats;
+  // The input is sorted by (p, o, s): per-predicate runs are contiguous,
+  // and within a run objects are grouped, enabling distinct-object
+  // counting in one pass. Distinct subjects need a second pass over a
+  // scratch copy per predicate run sorted by subject.
   std::vector<std::pair<size_t, size_t>> runs;  // [begin, end) per predicate
   size_t i = 0;
-  while (i < pos_.size()) {
+  while (i < pos_sorted.size()) {
     size_t j = i;
-    while (j < pos_.size() && pos_[j].p == pos_[i].p) ++j;
+    while (j < pos_sorted.size() && pos_sorted[j].p == pos_sorted[i].p) ++j;
     runs.emplace_back(i, j);
     i = j;
   }
   std::vector<PredicateStats> per_run(runs.size());
-  auto stat_one = [this, &runs, &per_run](size_t r) {
+  auto stat_one = [pos_sorted, &runs, &per_run](size_t r) {
     auto [begin, end] = runs[r];
     PredicateStats st;
     TermId prev_o = kInvalidTermId;
@@ -217,11 +224,11 @@ void TripleStore::ComputeStats(util::ThreadPool* pool) {
     subjects.reserve(end - begin);
     for (size_t k = begin; k < end; ++k) {
       ++st.triple_count;
-      if (pos_[k].o != prev_o) {
+      if (pos_sorted[k].o != prev_o) {
         ++st.distinct_objects;
-        prev_o = pos_[k].o;
+        prev_o = pos_sorted[k].o;
       }
-      subjects.push_back(pos_[k].s);
+      subjects.push_back(pos_sorted[k].s);
     }
     std::sort(subjects.begin(), subjects.end());
     st.distinct_subjects = static_cast<uint64_t>(
@@ -233,10 +240,15 @@ void TripleStore::ComputeStats(util::ThreadPool* pool) {
   } else {
     for (size_t r = 0; r < runs.size(); ++r) stat_one(r);
   }
-  stats_.reserve(runs.size());
+  stats.reserve(runs.size());
   for (size_t r = 0; r < runs.size(); ++r) {
-    stats_.emplace(pos_[runs[r].first].p, per_run[r]);
+    stats.emplace(pos_sorted[runs[r].first].p, per_run[r]);
   }
+  return stats;
+}
+
+void TripleStore::ComputeStats(util::ThreadPool* pool) {
+  stats_ = ComputePredicateStats(pos_, pool);
 }
 
 void TripleStore::CompressIndexes(util::ThreadPool* pool) {
@@ -273,6 +285,11 @@ void TripleStore::CompressIndexes(util::ThreadPool* pool) {
 }
 
 IndexRange TripleStore::PermutationRange(Perm perm) const {
+  if (live()) return LivePermutationRange(perm);
+  return ClassicPermutationRange(perm);
+}
+
+IndexRange TripleStore::ClassicPermutationRange(Perm perm) const {
   switch (perm) {
     case Perm::kSpo:
       if (spo_blocks_ != nullptr) {
@@ -307,7 +324,164 @@ IndexRange ClipRange(const IndexRange& perm_range, const EncodedTriple& lo,
   return perm_range.Slice(first, last);
 }
 
+// Per-thread stack of pinned chains. A stack (not a single slot) so
+// nested pins — e.g. a query engine pin around a test helper's own pin —
+// compose; lookups scan backwards so the innermost pin for a given store
+// wins. Entries hold shared_ptrs, so a pinned chain survives any number
+// of concurrent publications.
+struct PinFrame {
+  const TripleStore* store;
+  std::shared_ptr<const EpochChain> chain;
+};
+thread_local std::vector<PinFrame> t_pin_stack;
+
 }  // namespace
+
+TripleStore::ReadPin::ReadPin(const TripleStore& store) {
+  if (!store.live()) return;
+  t_pin_stack.push_back(
+      {&store, store.chain_.load(std::memory_order_acquire)});
+  store_ = &store;
+}
+
+TripleStore::ReadPin::~ReadPin() {
+  if (store_ == nullptr) return;
+  assert(!t_pin_stack.empty() && t_pin_stack.back().store == store_ &&
+         "ReadPin destruction order violates stack discipline");
+  t_pin_stack.pop_back();
+}
+
+std::shared_ptr<const EpochChain> TripleStore::PinnedChain() const {
+  for (auto it = t_pin_stack.rbegin(); it != t_pin_stack.rend(); ++it) {
+    if (it->store == this) return it->chain;
+  }
+  return chain_.load(std::memory_order_acquire);
+}
+
+std::shared_ptr<const EpochChain> TripleStore::live_chain() const {
+  if (!live()) return nullptr;
+  return PinnedChain();
+}
+
+uint64_t TripleStore::freeze_epoch() const {
+  if (live()) return PinnedChain()->epoch;
+  return freeze_epoch_;
+}
+
+void TripleStore::EnterLive() {
+  assert(frozen_ && "EnterLive() requires a frozen store");
+  assert(!live() && "EnterLive() called twice");
+  assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
+         "TripleStore::EnterLive() during concurrent reads");
+  dict_.EnterLive();
+  auto chain = std::make_shared<EpochChain>();
+  chain->epoch = freeze_epoch_;
+  chain->visible_triples = ClassicSize();
+  chain->stats = stats_;
+  UpdateChainGauges(*chain);
+  chain_.store(std::shared_ptr<const EpochChain>(std::move(chain)),
+               std::memory_order_release);
+  live_.store(true, std::memory_order_release);
+}
+
+void TripleStore::PublishChain(std::shared_ptr<const EpochChain> chain) {
+  assert(live() && "PublishChain() requires EnterLive()");
+  assert(chain != nullptr);
+  UpdateChainGauges(*chain);
+  chain_.store(std::move(chain), std::memory_order_release);
+}
+
+void TripleStore::RestoreChain(
+    std::vector<std::shared_ptr<const DeltaLayer>> layers, uint64_t epoch) {
+  assert(live() && "RestoreChain() requires EnterLive()");
+  auto chain = std::make_shared<EpochChain>();
+  chain->layers = std::move(layers);
+  chain->epoch = epoch;
+  chain->stats = stats_;
+  uint64_t visible = ClassicSize();
+  for (const std::shared_ptr<const DeltaLayer>& layer : chain->layers) {
+    chain->delta_adds += layer->add_count();
+    chain->delta_dels += layer->del_count();
+    visible += layer->add_count();
+    visible -= layer->del_count();
+    ApplyLayerToStats(*layer, &chain->stats);
+  }
+  chain->visible_triples = visible;
+  PublishChain(std::move(chain));
+}
+
+uint64_t TripleStore::chain_depth() const {
+  return live() ? PinnedChain()->depth() : 0;
+}
+
+TripleStore::LiveInfo TripleStore::live_info() const {
+  LiveInfo info;
+  if (!live()) return info;
+  std::shared_ptr<const EpochChain> chain = PinnedChain();
+  info.live = true;
+  info.epoch = chain->epoch;
+  info.chain_depth = chain->depth();
+  info.delta_adds = chain->delta_adds;
+  info.delta_dels = chain->delta_dels;
+  info.visible_triples = chain->visible_triples;
+  info.compacted_base = chain->base != nullptr;
+  return info;
+}
+
+void TripleStore::UpdateChainGauges(const EpochChain& chain) const {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.GetGauge("store.epoch").Set(static_cast<double>(chain.epoch));
+  reg.GetGauge("store.delta.layers").Set(static_cast<double>(chain.depth()));
+  reg.GetGauge("store.delta.triples")
+      .Set(static_cast<double>(chain.delta_adds));
+  reg.GetGauge("store.delta.tombstones")
+      .Set(static_cast<double>(chain.delta_dels));
+  reg.GetGauge("store.triples")
+      .Set(static_cast<double>(chain.visible_triples));
+}
+
+IndexRange TripleStore::LivePermutationRange(Perm perm) const {
+  return ChainPermutationRange(PinnedChain(), perm);
+}
+
+IndexRange TripleStore::ChainPermutationRange(
+    std::shared_ptr<const EpochChain> chain, Perm perm) const {
+  const LiveBase* base = chain->base.get();
+  if (base == nullptr && chain->layers.empty()) {
+    // Pristine chain: the store's own frozen arrays ARE the view, and
+    // they are store-owned, so no keepalive is needed.
+    return ClassicPermutationRange(perm);
+  }
+  std::vector<IndexRange> adds;
+  std::vector<IndexRange> dels;
+  adds.reserve(chain->layers.size() + 1);
+  IndexRange base_range;
+  if (base != nullptr) {
+    const std::vector<EncodedTriple>& v = perm == Perm::kSpo   ? base->spo
+                                          : perm == Perm::kPos ? base->pos
+                                                               : base->osp;
+    base_range = IndexRange::FromSpan(v, perm);
+  } else {
+    base_range = ClassicPermutationRange(perm);
+  }
+  if (!base_range.empty()) adds.push_back(base_range);
+  for (const std::shared_ptr<const DeltaLayer>& layer : chain->layers) {
+    if (!layer->adds(perm).empty()) {
+      adds.push_back(IndexRange::FromSpan(layer->adds(perm), perm));
+    }
+    if (!layer->dels(perm).empty()) {
+      dels.push_back(IndexRange::FromSpan(layer->dels(perm), perm));
+    }
+  }
+  if (adds.empty()) return IndexRange();
+  // Even a single-source view goes through MergedRun when it aliases
+  // chain-owned memory (a compacted base or a layer): the run's
+  // keepalive is what lets the range outlive a concurrent publication.
+  auto run = std::make_shared<const MergedRun>(std::move(adds),
+                                               std::move(dels), perm, chain);
+  const uint64_t n = run->size();
+  return IndexRange::FromMerged(std::move(run), 0, n, perm);
+}
 
 IndexRange TripleStore::Match(const TriplePattern& q) const {
   assert(frozen_ && "TripleStore::Freeze() must be called before Match()");
@@ -373,19 +547,35 @@ std::vector<TermId> TripleStore::PredicatesOfObject(TermId o) const {
 }
 
 std::vector<TermId> TripleStore::AllPredicates() const {
+  std::shared_ptr<const EpochChain> chain;
+  const std::unordered_map<TermId, PredicateStats>* stats = &stats_;
+  if (live()) {
+    chain = PinnedChain();
+    stats = &chain->stats;
+  }
   std::vector<TermId> out;
-  out.reserve(stats_.size());
-  for (const auto& [p, st] : stats_) out.push_back(p);
+  out.reserve(stats->size());
+  for (const auto& [p, st] : *stats) out.push_back(p);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 PredicateStats TripleStore::predicate_stats(TermId p) const {
+  if (live()) {
+    std::shared_ptr<const EpochChain> chain = PinnedChain();
+    auto it = chain->stats.find(p);
+    return it == chain->stats.end() ? PredicateStats{} : it->second;
+  }
   auto it = stats_.find(p);
   return it == stats_.end() ? PredicateStats{} : it->second;
 }
 
 uint64_t TripleStore::size() const {
+  if (live()) return PinnedChain()->visible_triples;
+  return ClassicSize();
+}
+
+uint64_t TripleStore::ClassicSize() const {
   if (spo_blocks_ != nullptr) return spo_blocks_->size();
   return SpoView().size();
 }
@@ -408,6 +598,13 @@ StoreMemory TripleStore::MemoryBreakdown() const {
     m.mapped_bytes +=
         (spo_view_.size() + pos_view_.size() + osp_view_.size()) *
         sizeof(EncodedTriple);
+  }
+  if (live()) {
+    std::shared_ptr<const EpochChain> chain = PinnedChain();
+    if (chain->base != nullptr) m.heap_bytes += chain->base->MemoryUsage();
+    for (const std::shared_ptr<const DeltaLayer>& layer : chain->layers) {
+      m.heap_bytes += layer->MemoryUsage();
+    }
   }
   return m;
 }

@@ -22,6 +22,8 @@ class ThreadPool;
 namespace re2xolap::rdf {
 
 class CompressedPermutation;
+struct DeltaLayer;
+struct EpochChain;
 
 /// Per-predicate cardinality statistics used by the query planner for
 /// selectivity-ordered join planning.
@@ -40,6 +42,14 @@ enum class IndexFormat : uint8_t {
 /// Process-wide default, read once from RE2XOLAP_INDEX_FORMAT
 /// ("raw" | "compressed"; anything else falls back to raw).
 IndexFormat DefaultIndexFormat();
+
+/// Per-predicate statistics computed from a (p,o,s)-sorted, deduplicated
+/// triple array — the exact computation Freeze() runs over its POS index,
+/// exposed for epoch-chain compaction (which folds base + deltas into new
+/// sorted arrays and needs fresh stats without a TripleStore). When `pool`
+/// is non-null the per-predicate runs are processed as concurrent tasks.
+std::unordered_map<TermId, PredicateStats> ComputePredicateStats(
+    std::span<const EncodedTriple> pos_sorted, util::ThreadPool* pool);
 
 /// Heap vs file-backed split of a store's footprint: `heap_bytes` is
 /// malloc'd memory (dictionary, owned indexes, stats), `mapped_bytes` the
@@ -111,7 +121,81 @@ class TripleStore {
   /// every entry derived from the previous index state. 0 = never frozen.
   /// Snapshot restore (AdoptFrozen*) reinstalls the epoch the image was
   /// saved at, so cache keys behave identically across a save/load cycle.
-  uint64_t freeze_epoch() const { return freeze_epoch_; }
+  /// Live stores (EnterLive) answer with the current epoch chain's epoch,
+  /// which every published ingest batch / compaction bumps.
+  uint64_t freeze_epoch() const;
+
+  /// --- Live ingestion (rdf/delta_layer.h, src/store/) ---------------------
+
+  /// Switches a frozen store into live mode: the frozen indexes become the
+  /// immutable base of an epoch chain, the dictionary enters its
+  /// concurrent-append mode, and new data arrives as delta layers
+  /// published via PublishChain() (store::Ingestor drives this). Live
+  /// stores reject the freeze-once mutators (Add/Freeze/Adopt*); reads
+  /// keep the frozen-store concurrency contract and additionally tolerate
+  /// concurrent chain publication — a query pins one chain for its
+  /// duration with ReadPin. Irreversible for the store's lifetime.
+  void EnterLive();
+
+  bool live() const { return live_.load(std::memory_order_acquire); }
+
+  /// The chain the calling thread should read: the innermost ReadPin's
+  /// chain when one is active on this thread, else a fresh atomic load of
+  /// the latest published chain. Null on non-live stores.
+  std::shared_ptr<const EpochChain> live_chain() const;
+
+  /// Atomically replaces the current chain (ingest batch publication,
+  /// compaction). In-flight readers keep serving their pinned chain; new
+  /// ReadPins see `chain`. Refreshes the store.delta.* gauges.
+  void PublishChain(std::shared_ptr<const EpochChain> chain);
+
+  /// Rebuilds and publishes a chain over the store's own frozen base from
+  /// snapshot-restored delta layers: merged stats, visible-triple count
+  /// and delta totals are recomputed here, so the loader only supplies
+  /// the layers and the epoch the image was saved at. Requires live().
+  void RestoreChain(std::vector<std::shared_ptr<const DeltaLayer>> layers,
+                    uint64_t epoch);
+
+  /// Number of delta layers above the base (0 on non-live stores).
+  uint64_t chain_depth() const;
+
+  /// The whole permutation as a base-plus-deltas view of an explicit
+  /// chain (rather than the calling thread's pinned one). Compaction
+  /// folds a snapshot of the chain while newer batches keep publishing,
+  /// so it needs ranges over exactly the chain it snapshotted. The
+  /// returned range keeps `chain` alive.
+  IndexRange ChainPermutationRange(std::shared_ptr<const EpochChain> chain,
+                                   Perm perm) const;
+
+  /// Point-in-time chain summary for /healthz and the introspection
+  /// report. `live == false` zeroes the rest.
+  struct LiveInfo {
+    bool live = false;
+    uint64_t epoch = 0;
+    uint64_t chain_depth = 0;
+    uint64_t delta_adds = 0;
+    uint64_t delta_dels = 0;
+    uint64_t visible_triples = 0;
+    bool compacted_base = false;  // chain base is a compaction product
+  };
+  LiveInfo live_info() const;
+
+  /// Pins the current epoch chain for the calling thread: every store
+  /// read between construction and destruction (Match, size,
+  /// freeze_epoch, stats, ...) answers from the pinned chain even if
+  /// ingest or compaction publishes newer chains meanwhile — one query
+  /// sees one epoch. No-op on non-live stores. Scoped, per-thread,
+  /// nestable (innermost pin wins).
+  class ReadPin {
+   public:
+    explicit ReadPin(const TripleStore& store);
+    ~ReadPin();
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+
+   private:
+    const TripleStore* store_ = nullptr;  // null => store was not live
+  };
 
   /// --- Index format -------------------------------------------------------
 
@@ -174,6 +258,9 @@ class TripleStore {
   TermId Intern(const Term& t) {
     assert(active_readers_.load(std::memory_order_relaxed) == 0 &&
            "TripleStore::Intern() during concurrent reads of a frozen store");
+    assert(!live() &&
+           "use dictionary().InternLive() on live stores (Intern is the "
+           "freeze-once mutator)");
     return dict_.Intern(t);
   }
   /// Finds an existing term id; kInvalidTermId when absent.
@@ -301,6 +388,20 @@ class TripleStore {
   void BuildIndexes(util::ThreadPool* pool);
   void ComputeStats(util::ThreadPool* pool);
   void CompressIndexes(util::ThreadPool* pool);
+  /// PermutationRange over the store's own frozen arrays/blocks, ignoring
+  /// any epoch chain (the chain's base when EpochChain::base is null).
+  IndexRange ClassicPermutationRange(Perm perm) const;
+  /// Live read path: the whole permutation as a base-plus-deltas view of
+  /// the calling thread's pinned chain (single-source fast path when the
+  /// chain has no layers and the store's own arrays are the base).
+  IndexRange LivePermutationRange(Perm perm) const;
+  /// The chain reads on this thread should use (see live_chain()).
+  std::shared_ptr<const EpochChain> PinnedChain() const;
+  /// size() of the store's own frozen arrays (the chain-base size).
+  uint64_t ClassicSize() const;
+  /// Refreshes store.epoch / store.delta.* / store.triples after a chain
+  /// publication.
+  void UpdateChainGauges(const EpochChain& chain) const;
   /// Refreshes the store.* gauges (triples, heap/mapped bytes, per-index
   /// bytes) after any freeze/adopt.
   void UpdateStoreGauges() const;
@@ -326,6 +427,10 @@ class TripleStore {
   IndexFormat format_ = IndexFormat::kRaw;
   bool frozen_ = false;
   uint64_t freeze_epoch_ = 0;
+  // Live-mode state (EnterLive): the current epoch chain, replaced
+  // atomically by every publication. live_ flips true exactly once.
+  std::atomic<bool> live_{false};
+  std::atomic<std::shared_ptr<const EpochChain>> chain_;
   mutable std::atomic<int> active_readers_{0};
 };
 

@@ -20,6 +20,7 @@
 #include "obs/query_log.h"
 #include "sparql/ast.h"
 #include "sparql/result_table.h"
+#include "store/ingestor.h"
 #include "util/exec_guard.h"
 #include "util/failpoint.h"
 #include "util/string_utils.h"
@@ -34,6 +35,7 @@ struct ServerMetrics {
   obs::Counter& responses_ok;
   obs::Counter& responses_error;
   obs::Counter& shed;
+  obs::Counter& shed_per_client;
   obs::Counter& expired_in_queue;
   obs::Counter& client_timeouts;
   obs::Counter& accept_faults;
@@ -54,6 +56,7 @@ ServerMetrics& Metrics() {
       reg.GetCounter("server.responses_ok"),
       reg.GetCounter("server.responses_error"),
       reg.GetCounter("server.shed"),
+      reg.GetCounter("server.shed_per_client"),
       reg.GetCounter("server.expired_in_queue"),
       reg.GetCounter("server.client_timeouts"),
       reg.GetCounter("server.accept_faults"),
@@ -117,6 +120,10 @@ bool IsRetryableOverload(const util::Status& st) {
 struct Server::Conn {
   int fd = -1;
   std::string inbuf;
+  /// Fair-shedding key: the peer's IP address, captured at accept (empty
+  /// when the peer address was unavailable; such connections share one
+  /// bucket).
+  std::string client_key;
   /// Stamped by the acceptor when request bytes became readable; the
   /// request's guard deadline anchors here.
   std::chrono::steady_clock::time_point arrival{};
@@ -257,6 +264,7 @@ void Server::Stop() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     queue_.clear();
+    queued_per_client_.clear();
   }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -278,6 +286,7 @@ ServerStats Server::stats() const {
   s.responses_ok = responses_ok_.load(std::memory_order_relaxed);
   s.responses_error = responses_error_.load(std::memory_order_relaxed);
   s.shed = shed_.load(std::memory_order_relaxed);
+  s.shed_per_client = shed_per_client_.load(std::memory_order_relaxed);
   s.expired_in_queue = expired_in_queue_.load(std::memory_order_relaxed);
   s.client_timeouts = client_timeouts_.load(std::memory_order_relaxed);
   s.accept_faults = accept_faults_.load(std::memory_order_relaxed);
@@ -373,8 +382,10 @@ void Server::AcceptorLoop() {
 
 void Server::DrainListenSocket(std::vector<std::unique_ptr<Conn>>* idle) {
   for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                       &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // EAGAIN (drained) or transient failure; next poll retries
@@ -391,6 +402,12 @@ void Server::DrainListenSocket(std::vector<std::unique_ptr<Conn>>* idle) {
       }
     }
     auto conn = std::make_unique<Conn>(fd, &open_conns_);
+    if (peer.sin_family == AF_INET) {
+      char ip[INET_ADDRSTRLEN] = {};
+      if (::inet_ntop(AF_INET, &peer.sin_addr, ip, sizeof(ip)) != nullptr) {
+        conn->client_key = ip;
+      }
+    }
     if (open_conns_.load(std::memory_order_relaxed) > config_.max_connections) {
       ShedConn(std::move(conn), "connection limit reached");
       continue;
@@ -408,15 +425,34 @@ void Server::CollectReturned(std::vector<std::unique_ptr<Conn>>* out) {
 }
 
 void Server::EnqueueOrShed(std::unique_ptr<Conn> conn) {
+  bool over_client_cap = false;
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     if (!stopping_.load(std::memory_order_acquire) &&
         queue_.size() < config_.queue_capacity) {
-      queue_.push_back(std::move(conn));
-      Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
-      queue_cv_.notify_one();
-      return;
+      // Per-client fairness: a client already holding its share of the
+      // queue is shed even though the queue has room, so the remaining
+      // capacity stays available to everyone else.
+      if (config_.per_client_queue_cap > 0 &&
+          queued_per_client_[conn->client_key] >=
+              config_.per_client_queue_cap) {
+        over_client_cap = true;
+      } else {
+        if (config_.per_client_queue_cap > 0) {
+          ++queued_per_client_[conn->client_key];
+        }
+        queue_.push_back(std::move(conn));
+        Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+        queue_cv_.notify_one();
+        return;
+      }
     }
+  }
+  if (over_client_cap) {
+    shed_per_client_.fetch_add(1, std::memory_order_relaxed);
+    Metrics().shed_per_client.Inc();
+    ShedConn(std::move(conn), "per-client queue share exhausted");
+    return;
   }
   ShedConn(std::move(conn),
            stopping_.load(std::memory_order_acquire)
@@ -459,6 +495,12 @@ void Server::WorkerLoop() {
       conn = std::move(queue_.front());
       queue_.pop_front();
       Metrics().queue_depth.Set(static_cast<double>(queue_.size()));
+      if (config_.per_client_queue_cap > 0) {
+        auto it = queued_per_client_.find(conn->client_key);
+        if (it != queued_per_client_.end() && --it->second == 0) {
+          queued_per_client_.erase(it);
+        }
+      }
     }
     Metrics().queue_wait_millis.Observe(MillisSince(conn->arrival));
     const size_t now_inflight =
@@ -819,6 +861,10 @@ HttpResponse Server::Dispatch(const HttpRequest& req,
     if (req.method != "POST") return MethodNotAllowed("POST");
     return HandleQuery(req, guard);
   }
+  if (req.path == "/ingest") {
+    if (req.method != "POST") return MethodNotAllowed("POST");
+    return HandleIngest(req, guard);
+  }
   if (req.path == "/session" || util::StartsWith(req.path, "/session/")) {
     return HandleSession(req, guard);
   }
@@ -829,6 +875,7 @@ HttpResponse Server::Dispatch(const HttpRequest& req,
 
 HttpResponse Server::HandleHealthz() const {
   const engine::EngineCacheStats cache = dataset_.engine->cache_stats();
+  const rdf::TripleStore::LiveInfo live = dataset_.store->live_info();
   std::string body =
       std::string("{\"status\": \"") +
       (stopping_.load(std::memory_order_acquire) ? "draining" : "serving") +
@@ -840,9 +887,18 @@ HttpResponse Server::HandleHealthz() const {
       std::to_string(inflight_.load(std::memory_order_relaxed)) +
       ", \"session_routes\": " +
       (dataset_.vsg != nullptr && dataset_.text != nullptr ? "true" : "false") +
-      ", \"uptime_millis\": " + JsonNumber(MillisSince(started_at_)) +
-      ", \"engine\": {\"plan_hits\": " + std::to_string(cache.plan_hits) +
-      ", \"result_hits\": " + std::to_string(cache.result_hits) + "}}\n";
+      ", \"ingest_route\": " +
+      (dataset_.ingestor != nullptr ? "true" : "false") +
+      ", \"live\": " + (live.live ? "true" : "false");
+  if (live.live) {
+    body += ", \"chain_depth\": " + std::to_string(live.chain_depth) +
+            ", \"delta_adds\": " + std::to_string(live.delta_adds) +
+            ", \"delta_dels\": " + std::to_string(live.delta_dels) +
+            ", \"compacted_base\": " + (live.compacted_base ? "true" : "false");
+  }
+  body += ", \"uptime_millis\": " + JsonNumber(MillisSince(started_at_)) +
+          ", \"engine\": {\"plan_hits\": " + std::to_string(cache.plan_hits) +
+          ", \"result_hits\": " + std::to_string(cache.result_hits) + "}}\n";
   return JsonOk(std::move(body));
 }
 
@@ -871,6 +927,44 @@ HttpResponse Server::HandleQuery(const HttpRequest& req,
     return ErrorResponse(table.status(), config_.retry_after_seconds);
   }
   return TableResponse(**table, req.QueryParamUint("limit", 0), &stats);
+}
+
+HttpResponse Server::HandleIngest(const HttpRequest& req,
+                                  const util::ExecGuard& guard) {
+  const unsigned retry_after = config_.retry_after_seconds;
+  if (dataset_.ingestor == nullptr) {
+    return ErrorResponse(
+        util::Status::InvalidArgument(
+            "this server was started without live ingestion "
+            "(store is not live / no ingestor configured)"),
+        retry_after);
+  }
+  store::IngestOp op = store::IngestOp::kInsert;
+  std::string_view op_param = req.QueryParam("op");
+  if (!op_param.empty()) {
+    std::string lowered = util::ToLower(op_param);
+    if (lowered == "insert") {
+      op = store::IngestOp::kInsert;
+    } else if (lowered == "delete") {
+      op = store::IngestOp::kDelete;
+    } else {
+      return ErrorResponse(
+          util::Status::InvalidArgument("?op= must be insert or delete"),
+          retry_after);
+    }
+  }
+  if (req.body.empty()) {
+    return ErrorResponse(util::Status::InvalidArgument(
+                             "POST N-Triples statements as the request body"),
+                         retry_after);
+  }
+  auto receipt = dataset_.ingestor->IngestText(req.body, op, &guard);
+  if (!receipt.ok()) return ErrorResponse(receipt.status(), retry_after);
+  return JsonOk("{\"epoch\": " + std::to_string(receipt->epoch) +
+                ", \"added\": " + std::to_string(receipt->added) +
+                ", \"deleted\": " + std::to_string(receipt->deleted) +
+                ", \"chain_depth\": " + std::to_string(receipt->chain_depth) +
+                "}\n");
 }
 
 HttpResponse Server::HandleSession(const HttpRequest& req,

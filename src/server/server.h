@@ -14,7 +14,11 @@
 //    The worker count IS the in-flight concurrency cap C — at most C
 //    requests execute at any instant, excess waits in the queue, and a
 //    request arriving with the queue full is shed immediately with
-//    503 + Retry-After. Nothing queues unboundedly.
+//    503 + Retry-After. Nothing queues unboundedly. With
+//    per_client_queue_cap set, admission is additionally fair per
+//    client: a single chatty peer IP can only occupy its share of the
+//    queue, and its overflow is shed while other clients keep getting
+//    in.
 //  - Arrival-anchored deadlines: every request executes under a
 //    util::ExecGuard whose deadline is anchored at the arrival stamp
 //    (ExecGuard's arrival constructor), so queue wait counts against the
@@ -45,6 +49,9 @@
 //   GET  /healthz                          liveness + epoch status
 //   GET  /metrics                          Prometheus text/plain;version=0.0.4
 //   POST /query                            body = SPARQL SELECT/ASK text
+//   POST /ingest?op=insert|delete          body = N-Triples statements
+//                                          (live stores only; admission-
+//                                          controlled like /query)
 //   POST /session                          create session -> {"session": id}
 //   POST /session/<id>/start               body = example values, one/line
 //   POST /session/<id>/pick?index=N        choose a synthesized candidate
@@ -71,6 +78,8 @@
 #include <thread>
 #include <vector>
 
+#include <unordered_map>
+
 #include "core/session.h"
 #include "core/virtual_schema_graph.h"
 #include "engine/query_engine.h"
@@ -81,17 +90,23 @@
 #include "util/result.h"
 #include "util/thread_pool.h"
 
+namespace re2xolap::store {
+class Ingestor;
+}
+
 namespace re2xolap::server {
 
-/// The immutable dataset a Server serves. `store` and `engine` are
-/// required (the store frozen); `vsg`/`text` enable session routes and
-/// may be null for store-only images. All pointers are non-owning and
-/// must outlive the server.
+/// The dataset a Server serves. `store` and `engine` are required (the
+/// store frozen); `vsg`/`text` enable session routes and may be null for
+/// store-only images; `ingestor` enables POST /ingest on a live store
+/// (rdf::TripleStore::EnterLive + store::Ingestor). All pointers are
+/// non-owning and must outlive the server.
 struct Dataset {
   const rdf::TripleStore* store = nullptr;
   engine::QueryEngine* engine = nullptr;
   const core::VirtualSchemaGraph* vsg = nullptr;
   const rdf::TextIndex* text = nullptr;
+  store::Ingestor* ingestor = nullptr;
 };
 
 struct ServerConfig {
@@ -104,6 +119,11 @@ struct ServerConfig {
   /// Bounded admission queue; a ready request beyond this is shed with
   /// 503 + Retry-After.
   size_t queue_capacity = 64;
+  /// Per-client fair shedding: at most this many queued requests per
+  /// client (keyed by peer IP address) before further requests from that
+  /// client are shed with 503 — one chatty client can then never occupy
+  /// the whole admission queue. 0 disables the per-client cap.
+  size_t per_client_queue_cap = 0;
   /// Open-connection cap (idle + queued + executing); accepts beyond it
   /// are shed at the socket.
   size_t max_connections = 1024;
@@ -139,6 +159,7 @@ struct ServerStats {
   uint64_t responses_ok = 0;     // 2xx responses written
   uint64_t responses_error = 0;  // non-2xx responses written
   uint64_t shed = 0;             // 503 + Retry-After admission sheds
+  uint64_t shed_per_client = 0;  // subset of `shed`: per-client-cap sheds
   uint64_t expired_in_queue = 0; // 504 without execution (queue wait)
   uint64_t client_timeouts = 0;  // slow-client read/write cutoffs
   uint64_t accept_faults = 0;    // server.accept failpoint fires
@@ -217,6 +238,8 @@ class Server {
   HttpResponse HandleMetrics() const;
   HttpResponse HandleQuery(const HttpRequest& req,
                            const util::ExecGuard& guard);
+  HttpResponse HandleIngest(const HttpRequest& req,
+                            const util::ExecGuard& guard);
   HttpResponse HandleSession(const HttpRequest& req,
                              const util::ExecGuard& guard);
 
@@ -238,10 +261,14 @@ class Server {
   std::vector<std::thread> workers_;
   bool started_ = false;
 
-  // Request queue (bounded by config_.queue_capacity).
+  // Request queue (bounded by config_.queue_capacity). When
+  // per_client_queue_cap is set, queued_per_client_ tracks how much of
+  // the queue each client key (peer IP) currently occupies; entries are
+  // erased as they drain to zero.
   std::mutex queue_mu_;
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<Conn>> queue_;
+  std::unordered_map<std::string, size_t> queued_per_client_;
 
   // Keep-alive connections handed back by workers, collected by the
   // acceptor on the next wake.
@@ -263,9 +290,9 @@ class Server {
 
   // Instance counters (relaxed; exact under the tests' sync points).
   std::atomic<uint64_t> accepted_conns_{0}, requests_{0}, responses_ok_{0},
-      responses_error_{0}, shed_{0}, expired_in_queue_{0},
-      client_timeouts_{0}, accept_faults_{0}, write_faults_{0},
-      max_inflight_{0};
+      responses_error_{0}, shed_{0}, shed_per_client_{0},
+      expired_in_queue_{0}, client_timeouts_{0}, accept_faults_{0},
+      write_faults_{0}, max_inflight_{0};
 };
 
 }  // namespace re2xolap::server

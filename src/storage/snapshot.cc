@@ -10,6 +10,7 @@
 #include "obs/query_log.h"
 #include "obs/trace.h"
 #include "rdf/compressed_index.h"
+#include "rdf/delta_layer.h"
 #include "storage/snapshot_io.h"
 #include "util/failpoint.h"
 #include "util/thread_pool.h"
@@ -187,6 +188,26 @@ util::Status EncodeVsg(const VsgImage& vsg, std::string* out) {
   for (TermId m : vsg.measures) w.U32(m);
   w.U64(vsg.observation_attrs.size());
   for (TermId a : vsg.observation_attrs) w.U32(a);
+  *out = w.Take();
+  return util::Status::OK();
+}
+
+util::Status EncodeDeltaChain(const rdf::EpochChain& chain, std::string* out) {
+  ByteWriter w;
+  w.Reserve(8 + (chain.delta_adds + chain.delta_dels) * 3 *
+                    sizeof(EncodedTriple));
+  w.U64(chain.layers.size());
+  for (const std::shared_ptr<const rdf::DeltaLayer>& layer : chain.layers) {
+    w.U64(layer->batch_id);
+    w.U64(layer->add_count());
+    w.U64(layer->del_count());
+    const std::vector<EncodedTriple>* arrays[6] = {
+        &layer->add_spo, &layer->add_pos, &layer->add_osp,
+        &layer->del_spo, &layer->del_pos, &layer->del_osp};
+    for (const std::vector<EncodedTriple>* a : arrays) {
+      w.Bytes(a->data(), a->size() * sizeof(EncodedTriple));
+    }
+  }
   *out = w.Take();
   return util::Status::OK();
 }
@@ -463,6 +484,102 @@ util::Status ValidateTriples(std::span<const EncodedTriple> triples,
   return util::Status::OK();
 }
 
+// --- delta chain section (version >= 3) --------------------------------------
+
+/// Decodes and validates the sealed delta layers of a version 3 image.
+/// Structural validation matches the base trio's: every array strictly
+/// sorted in its permutation order with every id inside the dictionary.
+/// (The set-semantics invariants — adds not yet visible, deletes visible —
+/// relate layers to the base and to each other; they are the writer's
+/// responsibility and are covered by the section checksums, exactly like
+/// the base trio's agreement with the stats section.)
+util::Result<std::vector<std::shared_ptr<const rdf::DeltaLayer>>>
+DecodeDeltaChain(const std::byte* data, size_t bytes, uint64_t term_count,
+                 util::ThreadPool* pool, const util::ExecGuard* guard) {
+  ByteReader r(data, bytes);
+  uint64_t layer_count = 0;
+  RE2X_RETURN_IF_ERROR(r.U64(&layer_count));
+  if (layer_count == 0) {
+    return util::Status::ParseError(
+        "snapshot delta_chain declares zero layers; version 3 images are "
+        "only written for non-empty chains");
+  }
+  // Each layer occupies at least its 24-byte fixed part.
+  if (layer_count * 24 > r.remaining()) {
+    return util::Status::ParseError("snapshot delta_chain overruns payload");
+  }
+  std::vector<std::shared_ptr<const rdf::DeltaLayer>> layers;
+  layers.reserve(layer_count);
+  for (uint64_t i = 0; i < layer_count; ++i) {
+    auto layer = std::make_shared<rdf::DeltaLayer>();
+    uint64_t add_count = 0, del_count = 0;
+    RE2X_RETURN_IF_ERROR(r.U64(&layer->batch_id));
+    RE2X_RETURN_IF_ERROR(r.U64(&add_count));
+    RE2X_RETURN_IF_ERROR(r.U64(&del_count));
+    if (add_count + del_count == 0) {
+      return util::Status::ParseError(
+          "snapshot delta_chain layer " + std::to_string(i) +
+          " is empty; empty batches are never published");
+    }
+    if ((add_count + del_count) * 3 * sizeof(EncodedTriple) > r.remaining()) {
+      return util::Status::ParseError("snapshot delta_chain layer " +
+                                      std::to_string(i) +
+                                      " overruns payload");
+    }
+    struct Part {
+      std::vector<EncodedTriple>* arr;
+      uint64_t count;
+      const char* what;
+    };
+    const Part parts[6] = {
+        {&layer->add_spo, add_count, "delta add_spo"},
+        {&layer->add_pos, add_count, "delta add_pos"},
+        {&layer->add_osp, add_count, "delta add_osp"},
+        {&layer->del_spo, del_count, "delta del_spo"},
+        {&layer->del_pos, del_count, "delta del_pos"},
+        {&layer->del_osp, del_count, "delta del_osp"},
+    };
+    for (const Part& p : parts) {
+      p.arr->resize(p.count);
+      if (p.count > 0) {
+        std::memcpy(p.arr->data(), r.cursor(),
+                    p.count * sizeof(EncodedTriple));
+        RE2X_RETURN_IF_ERROR(r.Skip(p.count * sizeof(EncodedTriple)));
+      }
+    }
+    RE2X_RETURN_IF_ERROR(ValidateTriples(std::span<const EncodedTriple>(
+                                             layer->add_spo),
+                                         term_count, SpoLess, "delta add_spo",
+                                         pool, guard));
+    RE2X_RETURN_IF_ERROR(ValidateTriples(std::span<const EncodedTriple>(
+                                             layer->add_pos),
+                                         term_count, PosLess, "delta add_pos",
+                                         pool, guard));
+    RE2X_RETURN_IF_ERROR(ValidateTriples(std::span<const EncodedTriple>(
+                                             layer->add_osp),
+                                         term_count, OspLess, "delta add_osp",
+                                         pool, guard));
+    RE2X_RETURN_IF_ERROR(ValidateTriples(std::span<const EncodedTriple>(
+                                             layer->del_spo),
+                                         term_count, SpoLess, "delta del_spo",
+                                         pool, guard));
+    RE2X_RETURN_IF_ERROR(ValidateTriples(std::span<const EncodedTriple>(
+                                             layer->del_pos),
+                                         term_count, PosLess, "delta del_pos",
+                                         pool, guard));
+    RE2X_RETURN_IF_ERROR(ValidateTriples(std::span<const EncodedTriple>(
+                                             layer->del_osp),
+                                         term_count, OspLess, "delta del_osp",
+                                         pool, guard));
+    layer->RebuildPredicateDelta();
+    layers.push_back(std::move(layer));
+  }
+  if (r.remaining() != 0) {
+    return util::Status::ParseError("snapshot delta_chain has trailing garbage");
+  }
+  return layers;
+}
+
 // --- compressed index sections (version >= 2) --------------------------------
 
 static_assert(std::is_trivially_copyable_v<rdf::BlockMeta>,
@@ -677,12 +794,11 @@ util::Result<SnapshotInfo> ParseHeader(const std::byte* data,
   RE2X_RETURN_IF_ERROR(r.U64(&info.triple_count));
   RE2X_RETURN_IF_ERROR(r.U64(&info.term_count));
   RE2X_RETURN_IF_ERROR(r.U64(&flags));
-  if (info.version != kSnapshotVersion &&
-      info.version != kSnapshotVersionCompressed) {
+  if (info.version < kSnapshotVersion || info.version > kSnapshotVersionLive) {
     return util::Status::InvalidArgument(
         "unsupported snapshot version " + std::to_string(info.version) +
         " (this build reads versions " + std::to_string(kSnapshotVersion) +
-        "-" + std::to_string(kSnapshotVersionCompressed) + ")");
+        "-" + std::to_string(kSnapshotVersionLive) + ")");
   }
   if (section_count == 0 || section_count > kMaxSections) {
     return util::Status::ParseError("snapshot section count " +
@@ -723,11 +839,14 @@ util::Result<SnapshotInfo> ParseHeader(const std::byte* data,
     RE2X_RETURN_IF_ERROR(r.U64(&s.offset));
     RE2X_RETURN_IF_ERROR(r.U64(&s.bytes));
     RE2X_RETURN_IF_ERROR(r.U64(&s.checksum));
-    // Version 1 images predate the compressed block sections, so their
-    // valid id range stops at kVsg; an id past the version's range means
-    // corruption, not a feature gap.
+    // Each version's valid id range stops at the last section that
+    // version can carry (v1 predates the compressed block sections, v2
+    // the delta chain); an id past the version's range means corruption,
+    // not a feature gap.
     const uint32_t max_id =
-        info.version >= kSnapshotVersionCompressed
+        info.version >= kSnapshotVersionLive
+            ? static_cast<uint32_t>(SectionId::kDeltaChain)
+        : info.version >= kSnapshotVersionCompressed
             ? static_cast<uint32_t>(SectionId::kOspBlocks)
             : static_cast<uint32_t>(SectionId::kVsg);
     if (id < static_cast<uint32_t>(SectionId::kDictionary) || id > max_id) {
@@ -795,6 +914,7 @@ const char* SectionName(SectionId id) {
     case SectionId::kSpoBlocks: return "spo_blocks";
     case SectionId::kPosBlocks: return "pos_blocks";
     case SectionId::kOspBlocks: return "osp_blocks";
+    case SectionId::kDeltaChain: return "delta_chain";
   }
   return "unknown";
 }
@@ -813,9 +933,27 @@ util::Status SaveSnapshotImpl(const std::string& path,
     return util::Status::InvalidArgument(
         "snapshot requires a frozen store (call Freeze() first)");
   }
+  // Pin the epoch chain so every store accessor below answers from one
+  // epoch (no-op on non-live stores). Live saves additionally require
+  // quiesced ingestion — see the format notes in snapshot.h.
+  rdf::TripleStore::ReadPin pin(store);
+  std::shared_ptr<const rdf::EpochChain> chain = store.live_chain();
+  const rdf::LiveBase* live_base = chain ? chain->base.get() : nullptr;
+  const bool live_layers = chain != nullptr && !chain->layers.empty();
   if (store.size() == 0) {
     return util::Status::InvalidArgument(
         "refusing to snapshot an empty store: nothing to persist");
+  }
+  // The index trio always carries the chain's base (the whole store on
+  // non-live stores); visible = base + delta adds - delta dels.
+  const uint64_t base_triples =
+      chain == nullptr
+          ? store.size()
+          : store.size() + chain->delta_dels - chain->delta_adds;
+  if (base_triples == 0) {
+    return util::Status::InvalidArgument(
+        "refusing to snapshot a live store whose chain base is empty; "
+        "compact first so the image carries a non-empty index trio");
   }
   RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
   util::WallTimer timer;
@@ -829,7 +967,7 @@ util::Status SaveSnapshotImpl(const std::string& path,
     util::Status status;
   };
   std::vector<Pending> sections;
-  sections.reserve(7);
+  sections.reserve(8);
   auto add = [&](SectionId id, const void* data = nullptr,
                  size_t bytes = 0) {
     Pending p;
@@ -838,9 +976,19 @@ util::Status SaveSnapshotImpl(const std::string& path,
     p.bytes = bytes;
     sections.push_back(std::move(p));
   };
-  const bool compressed = store.compressed_index();
+  // A compacted chain base lives in the chain's LiveBase vectors (always
+  // raw), not in the store's own arrays — those still hold the stale
+  // pre-ingestion data.
+  const bool compressed = live_base == nullptr && store.compressed_index();
   add(SectionId::kDictionary);
-  if (compressed) {
+  if (live_base != nullptr) {
+    add(SectionId::kSpo, live_base->spo.data(),
+        live_base->spo.size() * sizeof(EncodedTriple));
+    add(SectionId::kPos, live_base->pos.data(),
+        live_base->pos.size() * sizeof(EncodedTriple));
+    add(SectionId::kOsp, live_base->osp.data(),
+        live_base->osp.size() * sizeof(EncodedTriple));
+  } else if (compressed) {
     add(SectionId::kSpoBlocks);
     add(SectionId::kPosBlocks);
     add(SectionId::kOspBlocks);
@@ -855,6 +1003,7 @@ util::Status SaveSnapshotImpl(const std::string& path,
   add(SectionId::kPredicateStats);
   if (text != nullptr) add(SectionId::kTextIndex);
   if (vsg != nullptr) add(SectionId::kVsg);
+  if (live_layers) add(SectionId::kDeltaChain);
 
   static obs::Histogram& encode_hist =
       obs::MetricsRegistry::Global().GetHistogram(
@@ -870,7 +1019,13 @@ util::Status SaveSnapshotImpl(const std::string& path,
             EncodeDictionary(store.dictionary(), options.guard, &s.buf);
         break;
       case SectionId::kPredicateStats:
-        s.status = EncodeStats(store.all_predicate_stats(), &s.buf);
+        // The stats section matches the index trio, i.e. the chain base:
+        // the loader re-applies the delta layers' stat adjustments when it
+        // republishes the chain (TripleStore::RestoreChain).
+        s.status = EncodeStats(live_base != nullptr
+                                   ? live_base->stats
+                                   : store.all_predicate_stats(),
+                               &s.buf);
         break;
       case SectionId::kTextIndex:
         s.status = EncodeTextIndex(*text, options.guard, &s.buf);
@@ -887,6 +1042,9 @@ util::Status SaveSnapshotImpl(const std::string& path,
       case SectionId::kOspBlocks:
         s.status = EncodeCompressedPerm(*store.osp_blocks(), &s.buf);
         break;
+      case SectionId::kDeltaChain:
+        s.status = EncodeDeltaChain(*chain, &s.buf);
+        break;
       default:
         break;  // raw triple sections: data/bytes already set
     }
@@ -902,9 +1060,13 @@ util::Status SaveSnapshotImpl(const std::string& path,
   RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
 
   SnapshotInfo info;
-  info.version = compressed ? kSnapshotVersionCompressed : kSnapshotVersion;
+  info.version = live_layers    ? kSnapshotVersionLive
+                 : compressed   ? kSnapshotVersionCompressed
+                                : kSnapshotVersion;
+  // Live stores answer freeze_epoch() with the pinned chain's epoch, so a
+  // version 3 image restores at exactly the epoch it was saved at.
   info.freeze_epoch = store.freeze_epoch();
-  info.triple_count = store.size();
+  info.triple_count = base_triples;
   info.term_count = store.dictionary().size();
   info.has_text_index = text != nullptr;
   info.has_vsg = vsg != nullptr;
@@ -1020,6 +1182,14 @@ util::Result<LoadedSnapshot> LoadSnapshotImpl(
   if (raw_trio && compressed_trio) {
     return util::Status::ParseError(
         "snapshot carries both raw and compressed index sections");
+  }
+  // ParseHeader already rejects a kDeltaChain id in pre-v3 images, so only
+  // the missing direction can actually fire here.
+  const SectionInfo* delta_sec = FindSection(info, SectionId::kDeltaChain);
+  if ((info.version >= kSnapshotVersionLive) != (delta_sec != nullptr)) {
+    return util::Status::ParseError(
+        "snapshot version disagrees with the delta_chain section (version "
+        "3 images carry exactly one, earlier versions none)");
   }
   if (info.triple_count == 0 || info.term_count == 0) {
     return util::Status::ParseError(
@@ -1140,6 +1310,16 @@ util::Result<LoadedSnapshot> LoadSnapshotImpl(
   RE2X_RETURN_IF_ERROR(GuardCheck(options.guard));
   if (vsg_sec != nullptr) out.vsg = std::move(vsg_image);
 
+  // Delta layers decode on the calling thread (their validation fans out
+  // over the pool itself, which must not nest inside the task fan-out).
+  std::vector<std::shared_ptr<const rdf::DeltaLayer>> delta_layers;
+  if (delta_sec != nullptr) {
+    RE2X_ASSIGN_OR_RETURN(
+        delta_layers,
+        DecodeDeltaChain(base + delta_sec->offset, delta_sec->bytes,
+                         info.term_count, options.pool, options.guard));
+  }
+
   // Both modes adopt the index sections as views into the loaded image —
   // a mapped file or an owned heap buffer — with the image as keepalive,
   // so no index bytes are copied. The first mutation materializes owned
@@ -1152,6 +1332,13 @@ util::Result<LoadedSnapshot> LoadSnapshotImpl(
   } else {
     out.store->AdoptFrozenView(spo, pos, osp, std::move(stats),
                                info.freeze_epoch, keepalive);
+  }
+  // Version 3: the adopted trio is the chain base — resume live mode and
+  // republish the saved layers at the saved epoch (RestoreChain recomputes
+  // merged stats, visible count and delta totals from the layers).
+  if (delta_sec != nullptr) {
+    out.store->EnterLive();
+    out.store->RestoreChain(std::move(delta_layers), info.freeze_epoch);
   }
 
   obs::MetricsRegistry::Global().GetCounter("storage.loads").Inc();

@@ -41,6 +41,18 @@
 // version 1 images byte-identical to pre-v2 builds, and version 1 images
 // load unchanged.
 //
+// Version 3 images persist a live store (rdf/delta_layer.h) whose epoch
+// chain carries delta layers: the index trio (raw or compressed) holds the
+// chain's base, header triple_count counts that base, freeze_epoch is the
+// chain's epoch, and one kDeltaChain section holds every sealed layer. The
+// loader adopts the base, re-enters live mode and republishes the layers
+// (TripleStore::RestoreChain), so queries, cache keys and the visible
+// triple set resume exactly where the saved process stopped. A live store
+// with an empty chain writes a plain version 1/2 image (a compacted base
+// is written as the raw trio), losing nothing but the liveness flag.
+// Saving a live store requires ingestion to be quiesced — no concurrent
+// IngestText/Compact publication during the save.
+//
 // Corruption is a first-class path: every failure mode surfaces as a typed
 // util::Status, never UB —
 //   bad magic / truncation / checksum mismatch / malformed payload
@@ -75,6 +87,11 @@ inline constexpr uint32_t kSnapshotVersion = 1;
 /// Version written for compressed-index images (raw stores keep writing
 /// version 1 so their images stay byte-identical to older builds).
 inline constexpr uint32_t kSnapshotVersionCompressed = 2;
+/// Version written for live stores whose epoch chain carries delta layers:
+/// the index trio holds the chain's base and a kDeltaChain section holds
+/// the layers, so a loaded image resumes live at the exact saved epoch. A
+/// live store with an empty chain writes a plain version 1/2 image.
+inline constexpr uint32_t kSnapshotVersionLive = 3;
 /// Section payloads (and the first payload after the header) start at
 /// multiples of this, so raw triple arrays are safely mmap-addressable.
 inline constexpr uint64_t kSectionAlignment = 64;
@@ -94,6 +111,11 @@ enum class SectionId : uint32_t {
   kSpoBlocks = 8,   // skip table + delta/vbyte payload, (s,p,o) order
   kPosBlocks = 9,   // skip table + delta/vbyte payload, (p,o,s) order
   kOspBlocks = 10,  // skip table + delta/vbyte payload, (o,s,p) order
+  // Version >= 3 only: the live store's sealed delta layers (inserts and
+  // tombstones above the base index trio). Layout: layer_count u64, then
+  // per layer { batch_id u64 | add_count u64 | del_count u64 } followed by
+  // six raw EncodedTriple arrays (add spo/pos/osp, then del spo/pos/osp).
+  kDeltaChain = 11,
 };
 
 /// Stable display name ("dictionary", "spo", ...) for diagnostics.
@@ -169,6 +191,8 @@ struct SnapshotLoadOptions {
 /// A reconstructed dataset image. `store` is always present and frozen at
 /// the image's epoch; `text` and `vsg` are present when the image carried
 /// those sections. The zero-copy mapping (if any) is owned by the store.
+/// Version 3 images hand back a store already in live mode with the saved
+/// delta layers republished at the saved epoch.
 struct LoadedSnapshot {
   SnapshotInfo info;
   std::unique_ptr<rdf::TripleStore> store;
@@ -178,6 +202,8 @@ struct LoadedSnapshot {
 
 /// Serializes `store` (which must be frozen and non-empty) plus the
 /// optional text index and graph image into a snapshot file at `path`.
+/// Live stores write a version 3 image when their chain carries layers
+/// (see the format notes above); the caller must quiesce ingestion first.
 /// Registered failpoint: `snapshot.save`.
 util::Status SaveSnapshot(const std::string& path,
                           const rdf::TripleStore& store,

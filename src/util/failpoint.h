@@ -28,6 +28,8 @@ namespace re2xolap::util {
 ///   server.accept    server acceptor, post-accept (error, delay)
 ///   server.parse     server request parse         (error, delay)
 ///   server.write     server response write        (error, delay)
+///   store.ingest     store::Ingestor::IngestText  (error, delay)
+///   store.compact    store::Ingestor compaction   (error, delay)
 ///
 /// Configuration comes from the environment on first use —
 ///   RE2XOLAP_FAILPOINTS="engine.execute=error;store.scan=delay:50ms;cache.insert=skip"

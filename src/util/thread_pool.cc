@@ -132,6 +132,18 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn,
   if (state->error) std::rethrow_exception(state->error);
 }
 
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.emplace_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 size_t ThreadPool::DefaultThreads() {
   unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1 : static_cast<size_t>(hc);

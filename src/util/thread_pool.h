@@ -75,6 +75,14 @@ class ThreadPool {
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn,
                    CancellationToken* token = nullptr);
 
+  /// Enqueues one fire-and-forget task. Runs inline on the calling thread
+  /// when the pool has no workers (so callers need no serial fallback of
+  /// their own, mirroring ParallelFor). The destructor drains queued tasks
+  /// before joining, so a submitted task always runs — callers that need
+  /// completion signalling build it into the task (store::Ingestor's
+  /// compaction inflight flag does this).
+  void Submit(std::function<void()> task);
+
   /// Convenience: a process-wide default number of workers. Returns
   /// hardware_concurrency (at least 1).
   static size_t DefaultThreads();
